@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the real execution engine: activation queue
+//! throughput and a small end-to-end IdealJoin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::JoinDatabase;
+use dbs3_engine::{Activation, ActivationQueue, Executor, Scheduler, SchedulerOptions};
+use dbs3_lera::{plans, CostParameters, ExtendedPlan, JoinAlgorithm};
+use dbs3_storage::tuple::int_tuple;
+use std::hint::black_box;
+
+fn queue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_queue");
+    group.sample_size(20);
+    group.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let q = ActivationQueue::new(0, 2048, 0.0);
+            for i in 0..1000 {
+                q.push(Activation::Data(int_tuple(&[i])));
+            }
+            let mut popped = 0usize;
+            while popped < 1000 {
+                popped += q.try_pop_batch(64).len();
+            }
+            black_box(popped)
+        })
+    });
+    group.finish();
+}
+
+fn end_to_end_join(c: &mut Criterion) {
+    let db = JoinDatabase::generate(4_000, 400);
+    let catalog = db.catalog(20, 0.0);
+    let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+    let extended = ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).unwrap();
+    let schedule = Scheduler::build(
+        &plan,
+        &extended,
+        &SchedulerOptions::default().with_total_threads(4),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(10);
+    group.bench_function("ideal_join_4k_threads4", |b| {
+        b.iter(|| {
+            let outcome = Executor::new(&catalog).execute(&plan, &schedule).unwrap();
+            black_box(outcome.results["Result"].len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, queue_throughput, end_to_end_join);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 8/9 bench: the Allcache remote-access penalty on a parallel
+//! selection (smoke scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig08_remote_access;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_remote_access");
+    group.sample_size(10);
+    group.bench_function("selection_local_vs_remote", |b| {
+        b.iter(|| black_box(fig08_remote_access(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

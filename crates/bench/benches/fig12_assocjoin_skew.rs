@@ -1,0 +1,18 @@
+//! Figure 12 bench: AssocJoin execution time across the skew sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig12_assocjoin_skew;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_assocjoin_skew");
+    group.sample_size(10);
+    group.bench_function("assocjoin_skew_sweep", |b| {
+        b.iter(|| black_box(fig12_assocjoin_skew(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

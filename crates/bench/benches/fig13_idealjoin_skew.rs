@@ -1,0 +1,18 @@
+//! Figure 13 bench: IdealJoin Random vs LPT across the skew sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig13_idealjoin_skew;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_idealjoin_skew");
+    group.sample_size(10);
+    group.bench_function("idealjoin_skew_sweep", |b| {
+        b.iter(|| black_box(fig13_idealjoin_skew(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

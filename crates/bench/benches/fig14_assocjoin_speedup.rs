@@ -1,0 +1,18 @@
+//! Figure 14 bench: AssocJoin speed-up across the thread sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig14_assocjoin_speedup;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_assocjoin_speedup");
+    group.sample_size(10);
+    group.bench_function("assocjoin_thread_sweep", |b| {
+        b.iter(|| black_box(fig14_assocjoin_speedup(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

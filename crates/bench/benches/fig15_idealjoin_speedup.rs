@@ -1,0 +1,19 @@
+//! Figure 15 bench: IdealJoin speed-up across the thread sweep for four
+//! skew factors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig15_idealjoin_speedup;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_idealjoin_speedup");
+    group.sample_size(10);
+    group.bench_function("idealjoin_thread_sweep", |b| {
+        b.iter(|| black_box(fig15_idealjoin_speedup(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 16 bench: per-degree partitioning overhead without indexes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig16_partitioning_overhead;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_partitioning_overhead");
+    group.sample_size(10);
+    group.bench_function("degree_sweep_no_index", |b| {
+        b.iter(|| black_box(fig16_partitioning_overhead(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 17 bench: execution time with a temporary index across the
+//! degree-of-partitioning sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig17_index_partitioning;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_index_partitioning");
+    group.sample_size(10);
+    group.bench_function("degree_sweep_temp_index", |b| {
+        b.iter(|| black_box(fig17_index_partitioning(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 18 bench: skew overhead v0.6 across the degree-of-partitioning
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig18_skew_vs_partitioning;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_skew_vs_partitioning");
+    group.sample_size(10);
+    group.bench_function("skew_overhead_degree_sweep", |b| {
+        b.iter(|| black_box(fig18_skew_vs_partitioning(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

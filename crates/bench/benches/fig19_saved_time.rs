@@ -1,0 +1,19 @@
+//! Figure 19 bench: time saved by raising the degree of partitioning on
+//! skewed data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs3_bench::experiments::fig19_saved_time;
+use dbs3_bench::ExperimentScale;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig19_saved_time");
+    group.sample_size(10);
+    group.bench_function("saved_time_degree_sweep", |b| {
+        b.iter(|| black_box(fig19_saved_time(ExperimentScale::Smoke)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # dbs3-bench
+//!
+//! The experiment harness regenerating every figure of the paper's
+//! evaluation (Section 5), plus three ablations.
+//!
+//! Every experiment is a pure function returning printable rows, so the same
+//! code backs:
+//!
+//! * the `experiments` binary (`cargo run -p dbs3-bench --release --bin
+//!   experiments -- fig15`), which prints the same series the paper plots at
+//!   paper scale;
+//! * the Criterion benches (`cargo bench -p dbs3-bench`), which run the
+//!   identical harness at a reduced "smoke" scale so a full `cargo bench`
+//!   stays tractable.
+//!
+//! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison of every figure.
+
+pub mod data;
+pub mod experiments;
+
+pub use data::{ExperimentScale, JoinDatabase};

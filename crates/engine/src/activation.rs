@@ -1,0 +1,70 @@
+//! Activations: the sequential units of work.
+//!
+//! "An activator denotes either a tuple (data activation) or a control
+//! message (control activation). In either case, when an operator receives an
+//! activation, the corresponding sequential operation is executed. Therefore,
+//! each activation acts as a sequential unit of work." (Section 2)
+
+use dbs3_storage::Tuple;
+
+/// One activation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Activation {
+    /// A control activation: start the operation instance on its associated
+    /// fragment. A triggered queue receives exactly one of these.
+    Trigger,
+    /// A data activation: one tuple flowing through a pipeline.
+    Data(Tuple),
+}
+
+impl Activation {
+    /// Whether this is a control activation.
+    pub fn is_trigger(&self) -> bool {
+        matches!(self, Activation::Trigger)
+    }
+
+    /// The tuple carried by a data activation.
+    pub fn tuple(&self) -> Option<&Tuple> {
+        match self {
+            Activation::Trigger => None,
+            Activation::Data(t) => Some(t),
+        }
+    }
+
+    /// Consumes the activation, returning the tuple of a data activation.
+    pub fn into_tuple(self) -> Option<Tuple> {
+        match self {
+            Activation::Trigger => None,
+            Activation::Data(t) => Some(t),
+        }
+    }
+}
+
+impl From<Tuple> for Activation {
+    fn from(t: Tuple) -> Self {
+        Activation::Data(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs3_storage::tuple::int_tuple;
+
+    #[test]
+    fn trigger_has_no_tuple() {
+        let a = Activation::Trigger;
+        assert!(a.is_trigger());
+        assert!(a.tuple().is_none());
+        assert!(a.into_tuple().is_none());
+    }
+
+    #[test]
+    fn data_carries_tuple() {
+        let t = int_tuple(&[1, 2]);
+        let a = Activation::from(t.clone());
+        assert!(!a.is_trigger());
+        assert_eq!(a.tuple(), Some(&t));
+        assert_eq!(a.into_tuple(), Some(t));
+    }
+}

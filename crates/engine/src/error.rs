@@ -1,0 +1,80 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Errors produced while scheduling or executing a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The plan failed validation or expansion.
+    Plan(String),
+    /// A storage lookup failed at bind time.
+    Storage(String),
+    /// The schedule does not cover every operation of the plan.
+    IncompleteSchedule { node: usize },
+    /// A schedule parameter is invalid (zero threads, zero queue capacity,...).
+    InvalidSchedule(String),
+    /// A worker thread panicked during execution.
+    WorkerPanicked { operation: String },
+    /// The executor was asked to run a plan with no store operator, so there
+    /// is nowhere to put the result.
+    NoStoreOperator,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(msg) => write!(f, "plan error: {msg}"),
+            EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
+            EngineError::IncompleteSchedule { node } => {
+                write!(f, "schedule is missing operation for plan node {node}")
+            }
+            EngineError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            EngineError::WorkerPanicked { operation } => {
+                write!(f, "a worker thread of operation `{operation}` panicked")
+            }
+            EngineError::NoStoreOperator => {
+                write!(f, "plan has no store operator; results would be lost")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<dbs3_lera::PlanError> for EngineError {
+    fn from(e: dbs3_lera::PlanError) -> Self {
+        EngineError::Plan(e.to_string())
+    }
+}
+
+impl From<dbs3_storage::StorageError> for EngineError {
+    fn from(e: dbs3_storage::StorageError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::NoStoreOperator.to_string().contains("store"));
+        assert!(EngineError::IncompleteSchedule { node: 4 }.to_string().contains('4'));
+        assert!(EngineError::InvalidSchedule("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: EngineError = dbs3_lera::PlanError::EmptyPlan.into();
+        assert!(matches!(p, EngineError::Plan(_)));
+        let s: EngineError = dbs3_storage::StorageError::InvalidDegree(0).into();
+        assert!(matches!(s, EngineError::Storage(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<EngineError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! # dbs3-engine
+//!
+//! The adaptive parallel execution engine of DBS3 — the paper's primary
+//! contribution (Sections 2–3).
+//!
+//! The engine combines **static partitioning** with **dynamic processor
+//! allocation**:
+//!
+//! * every operation of the extended plan has one *instance* per fragment,
+//!   and every instance owns a FIFO **activation queue** ([`queue`]);
+//! * a **pool of threads** is allocated to the whole operation, independent
+//!   of the number of instances ([`executor`]); the queues live in shared
+//!   memory so any thread of the pool can consume any activation;
+//! * queues are split into **main** and **secondary** queues per thread to
+//!   limit access conflicts: a thread first drains its main queues and only
+//!   then looks at the others ([`strategy`]);
+//! * a producer-side **internal activation cache** batches tuple activations
+//!   to reduce producer/consumer interference ([`cache`]);
+//! * two **consumption strategies** are provided, `Random` (default) and
+//!   `LPT` (longest processing time first) for skewed triggered operations;
+//! * the **scheduler** ([`schedule`]) fixes `ThreadNb`, `QueueNb`,
+//!   `CacheSize` and `Strategy` for every operation following the four-step
+//!   top-down approach of Figure 5, using the analytic thread-allocation
+//!   solver of [`dbs3_model`].
+//!
+//! The engine executes plans with real OS threads and produces both the
+//! query result and detailed [`metrics`] (per-thread busy time, activation
+//! counts, queue contention) used by the experiments.
+
+pub mod activation;
+pub mod cache;
+pub mod error;
+pub mod executor;
+pub mod metrics;
+pub mod operators;
+pub mod queue;
+pub mod schedule;
+pub mod strategy;
+
+pub use activation::Activation;
+pub use cache::OutputCache;
+pub use error::EngineError;
+pub use executor::{ExecutionOutcome, Executor};
+pub use metrics::{ExecutionMetrics, OperationMetrics};
+pub use queue::ActivationQueue;
+pub use schedule::{ExecutionSchedule, OperationSchedule, Scheduler, SchedulerOptions};
+pub use strategy::ConsumptionStrategy;
+
+/// Convenient `Result` alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

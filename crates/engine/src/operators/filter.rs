@@ -1,0 +1,100 @@
+//! The filter operator.
+
+use crate::activation::Activation;
+use dbs3_lera::predicate::BoundPredicate;
+use dbs3_storage::{PartitionedRelation, Tuple};
+use std::sync::Arc;
+
+/// A triggered selection: when instance `i` receives its trigger activation
+/// it scans fragment `i` of the relation and emits the tuples satisfying the
+/// predicate.
+#[derive(Debug)]
+pub struct FilterOperator {
+    relation: Arc<PartitionedRelation>,
+    predicate: BoundPredicate,
+}
+
+impl FilterOperator {
+    /// Creates a bound filter.
+    pub fn new(relation: Arc<PartitionedRelation>, predicate: BoundPredicate) -> Self {
+        FilterOperator {
+            relation,
+            predicate,
+        }
+    }
+
+    /// Processes one activation for `instance`.
+    ///
+    /// Data activations are ignored (a filter is always triggered); the
+    /// executor never routes them here, but being lenient keeps the operator
+    /// harmless under misuse.
+    pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
+        if !activation.is_trigger() {
+            return Vec::new();
+        }
+        let fragment = self
+            .relation
+            .fragment(instance)
+            .expect("executor only routes activations to existing instances");
+        fragment
+            .tuples()
+            .iter()
+            .filter(|t| self.predicate.eval(t))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs3_lera::Predicate;
+    use dbs3_storage::{PartitionSpec, WisconsinConfig, WisconsinGenerator};
+
+    fn relation() -> Arc<PartitionedRelation> {
+        let rel = WisconsinGenerator::new()
+            .generate(&WisconsinConfig::narrow("A", 1000))
+            .unwrap();
+        Arc::new(
+            PartitionedRelation::from_relation(&rel, PartitionSpec::on("unique1", 8, 2)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn trigger_selects_matching_tuples_of_the_fragment() {
+        let rel = relation();
+        let schema = rel.schema().clone();
+        let pred = Predicate::range("unique1", 0, 100).bind("A", &schema).unwrap();
+        let op = FilterOperator::new(Arc::clone(&rel), pred);
+
+        let mut total = 0usize;
+        for instance in 0..rel.degree() {
+            let out = op.process(instance, Activation::Trigger);
+            total += out.len();
+            let u1 = schema.column_index("unique1").unwrap();
+            for t in &out {
+                let v = t.value(u1).as_int().unwrap();
+                assert!((0..100).contains(&v));
+            }
+        }
+        assert_eq!(total, 100, "exactly unique1 in [0,100) across all fragments");
+    }
+
+    #[test]
+    fn data_activation_is_ignored() {
+        let rel = relation();
+        let pred = Predicate::True.bind("A", rel.schema()).unwrap();
+        let op = FilterOperator::new(Arc::clone(&rel), pred);
+        let some_tuple = rel.fragments()[0].tuples()[0].clone();
+        assert!(op.process(0, Activation::Data(some_tuple)).is_empty());
+    }
+
+    #[test]
+    fn true_predicate_returns_whole_fragment() {
+        let rel = relation();
+        let pred = Predicate::True.bind("A", rel.schema()).unwrap();
+        let op = FilterOperator::new(Arc::clone(&rel), pred);
+        let out = op.process(3, Activation::Trigger);
+        assert_eq!(out.len(), rel.fragment(3).unwrap().cardinality());
+    }
+}

@@ -1,0 +1,61 @@
+//! Physical operators (the paper's "database functions", `DBFunc` in
+//! Figure 4).
+//!
+//! Every operator is *bound*: plan-level column names are resolved to column
+//! indexes and relation names to `Arc<PartitionedRelation>` fragments before
+//! execution, so processing an activation does no name lookups. Operators are
+//! shared by all threads of their operation pool and must be `Send + Sync`.
+
+mod filter;
+mod join;
+mod store;
+mod transmit;
+
+pub use filter::FilterOperator;
+pub use join::{PipelinedJoinOperator, TriggeredJoinOperator};
+pub use store::StoreOperator;
+pub use transmit::TransmitOperator;
+
+use crate::activation::Activation;
+use dbs3_storage::Tuple;
+
+/// A bound physical operator: given an activation for one of its instances,
+/// produce the output tuples.
+#[derive(Debug)]
+pub enum BoundOperator {
+    /// Triggered selection over base fragments.
+    Filter(FilterOperator),
+    /// Triggered scan + redistribution of base fragments.
+    Transmit(TransmitOperator),
+    /// Triggered co-partitioned join (IdealJoin).
+    TriggeredJoin(TriggeredJoinOperator),
+    /// Pipelined join probing co-partitioned inner fragments.
+    PipelinedJoin(PipelinedJoinOperator),
+    /// Result materialisation.
+    Store(StoreOperator),
+}
+
+impl BoundOperator {
+    /// Processes one activation for `instance`, returning the produced
+    /// tuples (empty for `Store`).
+    pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
+        match self {
+            BoundOperator::Filter(op) => op.process(instance, activation),
+            BoundOperator::Transmit(op) => op.process(instance, activation),
+            BoundOperator::TriggeredJoin(op) => op.process(instance, activation),
+            BoundOperator::PipelinedJoin(op) => op.process(instance, activation),
+            BoundOperator::Store(op) => op.process(instance, activation),
+        }
+    }
+
+    /// Short operator name for metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BoundOperator::Filter(_) => "filter",
+            BoundOperator::Transmit(_) => "transmit",
+            BoundOperator::TriggeredJoin(_) => "triggered-join",
+            BoundOperator::PipelinedJoin(_) => "pipelined-join",
+            BoundOperator::Store(_) => "store",
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Activation queues.
+//!
+//! "To manage activations, a FIFO queue is associated to each operation
+//! instance." (Section 2). The queue mirrors the data structure of Figure 4:
+//! a bounded buffer protected by a mutex, with a `NotEmpty` condition to wake
+//! consumers and a `NotFull` condition to wake producers.
+//!
+//! Two kinds of queues exist:
+//! * a **triggered** queue receives exactly one control activation;
+//! * a **pipelined** queue receives one data activation per pipelined tuple.
+//!
+//! The queue also records whether it is *closed* (its producers have
+//! terminated): a consumer popping from an empty closed queue knows the
+//! operation instance has no further work.
+
+use crate::activation::Activation;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug)]
+struct QueueState {
+    buffer: VecDeque<Activation>,
+    closed: bool,
+}
+
+/// A bounded FIFO activation queue (one per operation instance).
+#[derive(Debug)]
+pub struct ActivationQueue {
+    /// Instance this queue belongs to (fragment id).
+    instance: usize,
+    /// Maximum number of buffered activations before producers block.
+    capacity: usize,
+    /// Static cost estimate of the work behind this queue, used by LPT.
+    estimated_cost: f64,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// Total activations ever enqueued (metrics).
+    enqueued: AtomicU64,
+    /// Total activations ever dequeued (metrics).
+    dequeued: AtomicU64,
+}
+
+impl ActivationQueue {
+    /// Creates a queue for `instance` with the given capacity and static
+    /// cost estimate.
+    pub fn new(instance: usize, capacity: usize, estimated_cost: f64) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        ActivationQueue {
+            instance,
+            capacity,
+            estimated_cost,
+            state: Mutex::new(QueueState {
+                buffer: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+        }
+    }
+
+    /// The instance (fragment) this queue belongs to.
+    pub fn instance(&self) -> usize {
+        self.instance
+    }
+
+    /// The static cost estimate used by the LPT strategy.
+    pub fn estimated_cost(&self) -> f64 {
+        self.estimated_cost
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes one activation, blocking while the queue is full.
+    ///
+    /// Pushing to a closed queue is a logic error in the engine (producers
+    /// close queues only after they have all finished producing) and panics.
+    pub fn push(&self, activation: Activation) {
+        let mut state = self.state.lock();
+        while state.buffer.len() >= self.capacity {
+            self.not_full.wait(&mut state);
+        }
+        assert!(!state.closed, "push into a closed activation queue");
+        state.buffer.push_back(activation);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Pushes a batch of activations (the producer-side internal cache
+    /// flushes whole batches to amortise locking).
+    pub fn push_batch(&self, batch: Vec<Activation>) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut remaining = batch.into_iter();
+        loop {
+            let mut state = self.state.lock();
+            while state.buffer.len() >= self.capacity {
+                self.not_full.wait(&mut state);
+            }
+            assert!(!state.closed, "push into a closed activation queue");
+            let room = self.capacity - state.buffer.len();
+            let mut pushed = 0usize;
+            for a in remaining.by_ref().take(room) {
+                state.buffer.push_back(a);
+                pushed += 1;
+            }
+            self.enqueued.fetch_add(pushed as u64, Ordering::Relaxed);
+            let more = remaining.len() > 0;
+            drop(state);
+            self.not_empty.notify_all();
+            if !more {
+                break;
+            }
+        }
+    }
+
+    /// Attempts to pop up to `max` activations without blocking.
+    ///
+    /// Returns an empty vector when the queue is currently empty (whether or
+    /// not it is closed); use [`ActivationQueue::is_exhausted`] to tell the
+    /// difference.
+    pub fn try_pop_batch(&self, max: usize) -> Vec<Activation> {
+        let mut state = self.state.lock();
+        let n = state.buffer.len().min(max);
+        let out: Vec<Activation> = state.buffer.drain(..n).collect();
+        drop(state);
+        if !out.is_empty() {
+            self.dequeued.fetch_add(out.len() as u64, Ordering::Relaxed);
+            self.not_full.notify_all();
+        }
+        out
+    }
+
+    /// Pops one activation, blocking until one is available or the queue is
+    /// closed and drained (then returns `None`).
+    pub fn pop_blocking(&self) -> Option<Activation> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(a) = state.buffer.pop_front() {
+                self.dequeued.fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                self.not_full.notify_one();
+                return Some(a);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
+    }
+
+    /// Marks the queue closed: no further activations will be pushed. Wakes
+    /// all waiting consumers.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether the queue is closed (producers finished).
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Whether the queue currently holds no activations.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().buffer.is_empty()
+    }
+
+    /// Number of buffered activations.
+    pub fn len(&self) -> usize {
+        self.state.lock().buffer.len()
+    }
+
+    /// Whether the queue is closed *and* drained: no work will ever come out
+    /// of it again.
+    pub fn is_exhausted(&self) -> bool {
+        let state = self.state.lock();
+        state.closed && state.buffer.is_empty()
+    }
+
+    /// Total activations enqueued over the queue's lifetime.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Total activations dequeued over the queue's lifetime.
+    pub fn total_dequeued(&self) -> u64 {
+        self.dequeued.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs3_storage::tuple::int_tuple;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = ActivationQueue::new(0, 16, 0.0);
+        q.push(Activation::Data(int_tuple(&[1])));
+        q.push(Activation::Data(int_tuple(&[2])));
+        q.push(Activation::Data(int_tuple(&[3])));
+        let batch = q.try_pop_batch(10);
+        let vals: Vec<i64> = batch
+            .iter()
+            .map(|a| a.tuple().unwrap().value(0).as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+        assert_eq!(q.total_enqueued(), 3);
+        assert_eq!(q.total_dequeued(), 3);
+    }
+
+    #[test]
+    fn try_pop_respects_max() {
+        let q = ActivationQueue::new(0, 16, 0.0);
+        for i in 0..10 {
+            q.push(Activation::Data(int_tuple(&[i])));
+        }
+        assert_eq!(q.try_pop_batch(3).len(), 3);
+        assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn close_unblocks_consumer() {
+        let q = Arc::new(ActivationQueue::new(0, 4, 0.0));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop_blocking());
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+        assert!(q.is_exhausted());
+    }
+
+    #[test]
+    fn bounded_push_blocks_until_pop() {
+        let q = Arc::new(ActivationQueue::new(0, 2, 0.0));
+        q.push(Activation::Trigger);
+        q.push(Activation::Trigger);
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            // This push must block until the consumer below makes room.
+            q2.push(Activation::Trigger);
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "producer should still be blocked");
+        assert_eq!(q.try_pop_batch(1).len(), 1);
+        h.join().unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn push_batch_larger_than_capacity() {
+        let q = Arc::new(ActivationQueue::new(0, 8, 0.0));
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || {
+            let batch: Vec<Activation> = (0..100).map(|i| Activation::Data(int_tuple(&[i]))).collect();
+            q2.push_batch(batch);
+        });
+        let mut got = 0usize;
+        while got < 100 {
+            let batch = q.try_pop_batch(16);
+            if batch.is_empty() {
+                thread::yield_now();
+            } else {
+                got += batch.len();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(q.total_enqueued(), 100);
+        assert_eq!(q.total_dequeued(), 100);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(ActivationQueue::new(0, 32, 0.0));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..500i64 {
+                        q.push(Activation::Data(int_tuple(&[p * 1000 + i])));
+                    }
+                })
+            })
+            .collect();
+        let consumed = Arc::new(AtomicU64::new(0));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                thread::spawn(move || {
+                    while let Some(_a) = q.pop_blocking() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ActivationQueue::new(0, 0, 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let q = ActivationQueue::new(7, 16, 42.0);
+        assert_eq!(q.instance(), 7);
+        assert_eq!(q.capacity(), 16);
+        assert!((q.estimated_cost() - 42.0).abs() < 1e-12);
+        assert!(q.is_empty());
+        assert!(!q.is_closed());
+    }
+}

@@ -1,0 +1,425 @@
+//! The scheduler: fixing `ThreadNb`, `QueueNb`, `CacheSize` and `Strategy`
+//! for every operation (Section 3, Figure 5).
+//!
+//! The four steps:
+//!
+//! 1. **Choosing the number of threads** from the query's estimated
+//!    complexity (or an explicit request from the caller, as in the paper's
+//!    experiments which fix the thread count).
+//! 2. **Assigning the threads to subqueries** bottom-up over the subquery
+//!    tree, proportionally to sequential complexity
+//!    ([`dbs3_model::allocate_subqueries`]).
+//! 3. **Assigning the threads of each chain to its operations** by
+//!    complexity ratio ([`dbs3_model::allocate_chain`]).
+//! 4. **Choosing the consumption strategy** per operation: LPT for triggered
+//!    operations over skewed fragments, Random otherwise.
+
+use crate::error::EngineError;
+use crate::strategy::ConsumptionStrategy;
+use crate::Result;
+use dbs3_lera::{ActivationKind, ExtendedPlan, NodeId, Plan, PlanComplexity, SubqueryDecomposition};
+use dbs3_model::{allocate_chain, allocate_subqueries, SubqueryNode};
+use std::collections::BTreeMap;
+
+/// Execution parameters of one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperationSchedule {
+    /// Number of threads in the operation's pool.
+    pub threads: usize,
+    /// Consumption strategy of the pool.
+    pub strategy: ConsumptionStrategy,
+    /// Capacity of each activation queue.
+    pub queue_capacity: usize,
+    /// Producer-side internal cache size (activations per destination before
+    /// a flush).
+    pub cache_size: usize,
+}
+
+/// Execution parameters for a whole plan.
+#[derive(Debug, Clone)]
+pub struct ExecutionSchedule {
+    per_node: BTreeMap<NodeId, OperationSchedule>,
+}
+
+impl ExecutionSchedule {
+    /// Builds a schedule from explicit per-node parameters.
+    pub fn from_parts(per_node: BTreeMap<NodeId, OperationSchedule>) -> Self {
+        ExecutionSchedule { per_node }
+    }
+
+    /// The schedule of one operation.
+    pub fn operation(&self, node: NodeId) -> Result<OperationSchedule> {
+        self.per_node
+            .get(&node)
+            .copied()
+            .ok_or(EngineError::IncompleteSchedule { node: node.0 })
+    }
+
+    /// Overrides the strategy of every operation (used by the experiments to
+    /// force Random or LPT).
+    pub fn with_strategy(mut self, strategy: ConsumptionStrategy) -> Self {
+        for s in self.per_node.values_mut() {
+            s.strategy = strategy;
+        }
+        self
+    }
+
+    /// Overrides the thread count of a single operation.
+    pub fn with_operation_threads(mut self, node: NodeId, threads: usize) -> Self {
+        if let Some(s) = self.per_node.get_mut(&node) {
+            s.threads = threads.max(1);
+        }
+        self
+    }
+
+    /// Total threads across all pools.
+    pub fn total_threads(&self) -> usize {
+        self.per_node.values().map(|s| s.threads).sum()
+    }
+
+    /// All per-node schedules.
+    pub fn per_node(&self) -> &BTreeMap<NodeId, OperationSchedule> {
+        &self.per_node
+    }
+
+    /// Checks the schedule is sane (non-zero threads, capacities and cache
+    /// sizes everywhere, and covers every plan node).
+    pub fn validate(&self, plan: &Plan) -> Result<()> {
+        for node in plan.nodes() {
+            let s = self.operation(node.id)?;
+            if s.threads == 0 {
+                return Err(EngineError::InvalidSchedule(format!(
+                    "operation {} has zero threads",
+                    node.id
+                )));
+            }
+            if s.queue_capacity == 0 || s.cache_size == 0 {
+                return Err(EngineError::InvalidSchedule(format!(
+                    "operation {} has a zero queue capacity or cache size",
+                    node.id
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Tunables of the scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerOptions {
+    /// Explicit total thread count (the experiments fix this). `None` lets
+    /// step 1 derive it from the estimated complexity.
+    pub total_threads: Option<usize>,
+    /// Upper bound on the derived thread count (e.g. the number of
+    /// processors the system may use).
+    pub max_threads: usize,
+    /// Estimated work (cost units) one thread should be given before it is
+    /// worth adding another thread — controls start-up-time amortisation for
+    /// low-complexity queries (step 1).
+    pub work_per_thread: f64,
+    /// Capacity of every activation queue.
+    pub queue_capacity: usize,
+    /// Producer-side internal cache size.
+    pub cache_size: usize,
+    /// Force a strategy for every operation instead of letting step 4 pick.
+    pub strategy_override: Option<ConsumptionStrategy>,
+    /// Skew factor (max instance cost / average instance cost) above which a
+    /// triggered operation switches from Random to LPT.
+    pub lpt_skew_threshold: f64,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> Self {
+        SchedulerOptions {
+            total_threads: None,
+            max_threads: 64,
+            work_per_thread: 250_000.0,
+            queue_capacity: 1024,
+            cache_size: 32,
+            strategy_override: None,
+            lpt_skew_threshold: 3.0,
+        }
+    }
+}
+
+impl SchedulerOptions {
+    /// Fixes the total thread count, as the paper's experiments do.
+    pub fn with_total_threads(mut self, threads: usize) -> Self {
+        self.total_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Forces one consumption strategy everywhere.
+    pub fn with_strategy(mut self, strategy: ConsumptionStrategy) -> Self {
+        self.strategy_override = Some(strategy);
+        self
+    }
+}
+
+/// The DBS3 scheduler.
+#[derive(Debug, Default)]
+pub struct Scheduler;
+
+impl Scheduler {
+    /// Builds an execution schedule for a plan (steps 1–4 of Figure 5).
+    pub fn build(
+        plan: &Plan,
+        extended: &ExtendedPlan,
+        options: &SchedulerOptions,
+    ) -> Result<ExecutionSchedule> {
+        let complexity = PlanComplexity::from_extended(extended);
+        let decomposition = SubqueryDecomposition::decompose(plan)?;
+
+        // Step 1: total thread count.
+        let total_threads = match options.total_threads {
+            Some(n) => n.max(1),
+            None => {
+                let derived = (complexity.total() / options.work_per_thread).ceil() as usize;
+                derived.clamp(1, options.max_threads.max(1))
+            }
+        };
+
+        // Step 2: threads per subquery. Independent chains become children of
+        // a synthetic root whose own complexity is zero, which reproduces the
+        // paper's proportional split between sibling subqueries.
+        let chain_threads: Vec<usize> = if decomposition.len() == 1 {
+            vec![total_threads]
+        } else {
+            let children: Vec<SubqueryNode> = decomposition
+                .subqueries()
+                .iter()
+                .map(|sq| SubqueryNode::leaf(sq.id, sq.complexity(&complexity)))
+                .collect();
+            let root_id = decomposition.len(); // unused id for the synthetic root
+            let tree = SubqueryNode::node(root_id, 0.0, children);
+            let alloc = allocate_subqueries(&tree, total_threads);
+            decomposition
+                .subqueries()
+                .iter()
+                .map(|sq| alloc.integral_threads_of(sq.id).unwrap_or(1))
+                .collect()
+        };
+
+        // Step 3: threads per operation within each chain.
+        let mut per_node: BTreeMap<NodeId, OperationSchedule> = BTreeMap::new();
+        for (sq, &threads) in decomposition.subqueries().iter().zip(&chain_threads) {
+            let op_complexities: Vec<f64> = sq.nodes.iter().map(|n| complexity.node(*n)).collect();
+            let shares = allocate_chain(threads, &op_complexities);
+            for (node, share) in sq.nodes.iter().zip(shares) {
+                // Step 4: consumption strategy.
+                let strategy = Self::pick_strategy(extended, *node, options);
+                per_node.insert(
+                    *node,
+                    OperationSchedule {
+                        threads: share,
+                        strategy,
+                        queue_capacity: options.queue_capacity,
+                        cache_size: options.cache_size,
+                    },
+                );
+            }
+        }
+
+        let schedule = ExecutionSchedule { per_node };
+        schedule.validate(plan)?;
+        Ok(schedule)
+    }
+
+    /// Step 4: LPT for skewed triggered operations, Random otherwise.
+    fn pick_strategy(
+        extended: &ExtendedPlan,
+        node: NodeId,
+        options: &SchedulerOptions,
+    ) -> ConsumptionStrategy {
+        if let Some(forced) = options.strategy_override {
+            return forced;
+        }
+        let Some(op) = extended.operation(node) else {
+            return ConsumptionStrategy::Random;
+        };
+        if op.activation_kind != ActivationKind::Control {
+            // Pipelined operations are naturally insensitive to skew
+            // (Section 4.1): Random is fine and cheaper.
+            return ConsumptionStrategy::Random;
+        }
+        let costs: Vec<f64> = op.instances().iter().map(|i| i.estimated_cost).collect();
+        if costs.is_empty() {
+            return ConsumptionStrategy::Random;
+        }
+        let max = costs.iter().cloned().fold(f64::MIN, f64::max);
+        let avg = costs.iter().sum::<f64>() / costs.len() as f64;
+        if avg > 0.0 && max / avg > options.lpt_skew_threshold {
+            ConsumptionStrategy::Lpt
+        } else {
+            ConsumptionStrategy::Random
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs3_lera::{plans, CostParameters, JoinAlgorithm};
+    use dbs3_storage::{
+        Catalog, PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
+    };
+
+    fn catalog(skew: f64) -> Catalog {
+        let gen = WisconsinGenerator::new();
+        let a = gen.generate(&WisconsinConfig::narrow("A", 5000)).unwrap();
+        let b = gen.generate(&WisconsinConfig::narrow("Bprime", 500)).unwrap();
+        let mut cat = Catalog::new();
+        let spec = PartitionSpec::on("unique1", 40, 4);
+        let a_part = if skew > 0.0 {
+            PartitionedRelation::from_relation_with_skew(&a, spec.clone(), skew).unwrap()
+        } else {
+            PartitionedRelation::from_relation(&a, spec.clone()).unwrap()
+        };
+        cat.register(a_part).unwrap();
+        cat.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+        cat
+    }
+
+    fn extended(cat: &Catalog, plan: &Plan) -> ExtendedPlan {
+        ExtendedPlan::from_plan(plan, cat, &CostParameters::default()).unwrap()
+    }
+
+    #[test]
+    fn explicit_thread_count_is_distributed_across_the_chain() {
+        let cat = catalog(0.0);
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
+        let ext = extended(&cat, &plan);
+        let schedule = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(10),
+        )
+        .unwrap();
+        assert_eq!(schedule.total_threads(), 10);
+        // The join dominates the complexity, so it receives most threads.
+        let join_threads = schedule.operation(NodeId(1)).unwrap().threads;
+        let transmit_threads = schedule.operation(NodeId(0)).unwrap().threads;
+        assert!(join_threads > transmit_threads);
+        assert!(transmit_threads >= 1);
+    }
+
+    #[test]
+    fn derived_thread_count_scales_with_complexity() {
+        let cat = catalog(0.0);
+        let small = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let big = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let options = SchedulerOptions {
+            total_threads: None,
+            work_per_thread: 10_000.0,
+            max_threads: 32,
+            ..SchedulerOptions::default()
+        };
+        let s_small = Scheduler::build(&small, &extended(&cat, &small), &options).unwrap();
+        let s_big = Scheduler::build(&big, &extended(&cat, &big), &options).unwrap();
+        assert!(s_big.total_threads() >= s_small.total_threads());
+        assert!(s_big.total_threads() <= 32 + 1); // clamp (+1 for the minimum-per-op rule)
+    }
+
+    #[test]
+    fn skewed_triggered_join_gets_lpt() {
+        let cat = catalog(1.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let ext = extended(&cat, &plan);
+        let schedule = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(10),
+        )
+        .unwrap();
+        assert_eq!(
+            schedule.operation(NodeId(0)).unwrap().strategy,
+            ConsumptionStrategy::Lpt
+        );
+    }
+
+    #[test]
+    fn unskewed_join_keeps_random() {
+        let cat = catalog(0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let ext = extended(&cat, &plan);
+        let schedule = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(10),
+        )
+        .unwrap();
+        assert_eq!(
+            schedule.operation(NodeId(0)).unwrap().strategy,
+            ConsumptionStrategy::Random
+        );
+    }
+
+    #[test]
+    fn strategy_override_wins() {
+        let cat = catalog(1.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let ext = extended(&cat, &plan);
+        let schedule = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions::default()
+                .with_total_threads(10)
+                .with_strategy(ConsumptionStrategy::Random),
+        )
+        .unwrap();
+        assert_eq!(
+            schedule.operation(NodeId(0)).unwrap().strategy,
+            ConsumptionStrategy::Random
+        );
+    }
+
+    #[test]
+    fn missing_operation_is_an_error() {
+        let schedule = ExecutionSchedule::from_parts(BTreeMap::new());
+        assert!(matches!(
+            schedule.operation(NodeId(0)),
+            Err(EngineError::IncompleteSchedule { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_zero_threads() {
+        let cat = catalog(0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let mut per_node = BTreeMap::new();
+        for node in plan.nodes() {
+            per_node.insert(
+                node.id,
+                OperationSchedule {
+                    threads: 0,
+                    strategy: ConsumptionStrategy::Random,
+                    queue_capacity: 16,
+                    cache_size: 4,
+                },
+            );
+        }
+        let schedule = ExecutionSchedule::from_parts(per_node);
+        assert!(matches!(
+            schedule.validate(&plan),
+            Err(EngineError::InvalidSchedule(_))
+        ));
+        let _ = cat;
+    }
+
+    #[test]
+    fn with_helpers_adjust_schedule() {
+        let cat = catalog(0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let ext = extended(&cat, &plan);
+        let schedule = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(4),
+        )
+        .unwrap()
+        .with_strategy(ConsumptionStrategy::Lpt)
+        .with_operation_threads(NodeId(0), 7);
+        assert_eq!(schedule.operation(NodeId(0)).unwrap().threads, 7);
+        assert_eq!(schedule.operation(NodeId(1)).unwrap().strategy, ConsumptionStrategy::Lpt);
+    }
+}

@@ -1,0 +1,171 @@
+//! Fluent construction of Lera-par plans.
+
+use crate::ops::{InputSource, JoinAlgorithm, NodeId, OperatorKind, OperatorNode, OuterInput};
+use crate::plan::Plan;
+use crate::predicate::{JoinCondition, Predicate};
+
+/// Builds plans node by node.
+///
+/// The builder assigns dense node ids in insertion order and returns them so
+/// that later nodes can reference earlier ones as pipeline producers:
+///
+/// ```
+/// use dbs3_lera::{PlanBuilder, Predicate, JoinAlgorithm, JoinCondition};
+///
+/// let mut b = PlanBuilder::new("filter_join");
+/// let filter = b.filter("R", Predicate::one_in("onePercent", 10));
+/// let join = b.pipelined_join(filter, "S", JoinCondition::natural("unique1"), JoinAlgorithm::Hash);
+/// let _store = b.store(join, "Result");
+/// let plan = b.build();
+/// assert_eq!(plan.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    name: String,
+    nodes: Vec<OperatorNode>,
+}
+
+impl PlanBuilder {
+    /// Starts a new plan with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        PlanBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, name: String, kind: OperatorKind, input: InputSource) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(OperatorNode::new(id, name, kind, input));
+        id
+    }
+
+    /// Adds a triggered filter over a base relation.
+    pub fn filter(&mut self, relation: impl Into<String>, predicate: Predicate) -> NodeId {
+        let relation = relation.into();
+        self.push(
+            format!("filter({relation})"),
+            OperatorKind::Filter {
+                relation,
+                predicate,
+            },
+            InputSource::Trigger,
+        )
+    }
+
+    /// Adds a triggered transmit (redistribution) of a base relation, hashing
+    /// on `key_column`.
+    pub fn transmit(
+        &mut self,
+        relation: impl Into<String>,
+        key_column: impl Into<String>,
+    ) -> NodeId {
+        let relation = relation.into();
+        self.push(
+            format!("transmit({relation})"),
+            OperatorKind::Transmit {
+                relation,
+                key_column: key_column.into(),
+            },
+            InputSource::Trigger,
+        )
+    }
+
+    /// Adds a triggered, co-partitioned join between two base relations
+    /// (the IdealJoin pattern).
+    pub fn copartitioned_join(
+        &mut self,
+        outer_relation: impl Into<String>,
+        inner_relation: impl Into<String>,
+        condition: JoinCondition,
+        algorithm: JoinAlgorithm,
+    ) -> NodeId {
+        let outer_relation = outer_relation.into();
+        let inner_relation = inner_relation.into();
+        self.push(
+            format!("join({outer_relation},{inner_relation})"),
+            OperatorKind::Join {
+                outer: OuterInput::Fragment {
+                    relation: outer_relation,
+                },
+                inner_relation,
+                condition,
+                algorithm,
+            },
+            InputSource::Trigger,
+        )
+    }
+
+    /// Adds a pipelined join: the outer tuples arrive from `producer`, the
+    /// inner operand is the co-partitioned fragment of `inner_relation`.
+    pub fn pipelined_join(
+        &mut self,
+        producer: NodeId,
+        inner_relation: impl Into<String>,
+        condition: JoinCondition,
+        algorithm: JoinAlgorithm,
+    ) -> NodeId {
+        let inner_relation = inner_relation.into();
+        self.push(
+            format!("join(pipe,{inner_relation})"),
+            OperatorKind::Join {
+                outer: OuterInput::Pipeline,
+                inner_relation,
+                condition,
+                algorithm,
+            },
+            InputSource::Pipeline { producer },
+        )
+    }
+
+    /// Adds a store materialising `producer`'s output under `result_name`.
+    pub fn store(&mut self, producer: NodeId, result_name: impl Into<String>) -> NodeId {
+        let result_name = result_name.into();
+        self.push(
+            format!("store({result_name})"),
+            OperatorKind::Store { result_name },
+            InputSource::Pipeline { producer },
+        )
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> Plan {
+        Plan::new(self.name, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut b = PlanBuilder::new("p");
+        let f = b.filter("R", Predicate::True);
+        let j = b.pipelined_join(f, "S", JoinCondition::natural("k"), JoinAlgorithm::NestedLoop);
+        let s = b.store(j, "Res");
+        assert_eq!((f.0, j.0, s.0), (0, 1, 2));
+        let plan = b.build();
+        assert_eq!(plan.nodes()[1].producer(), Some(f));
+        assert_eq!(plan.nodes()[2].producer(), Some(j));
+        assert_eq!(plan.name(), "p");
+    }
+
+    #[test]
+    fn copartitioned_join_is_triggered() {
+        let mut b = PlanBuilder::new("ideal");
+        let j = b.copartitioned_join("A", "B", JoinCondition::natural("k"), JoinAlgorithm::Hash);
+        b.store(j, "Res");
+        let plan = b.build();
+        assert_eq!(plan.triggered_nodes(), vec![j]);
+    }
+
+    #[test]
+    fn transmit_builder() {
+        let mut b = PlanBuilder::new("assoc");
+        let t = b.transmit("Bprime", "unique1");
+        let plan = b.build();
+        assert_eq!(plan.nodes()[t.0].kind.name(), "transmit");
+        assert_eq!(plan.nodes()[t.0].kind.associated_relation(), Some("Bprime"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Plan construction and validation errors.
+
+use std::fmt;
+
+/// Errors raised while building, validating or expanding a Lera-par plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A node id referenced by an edge or input does not exist.
+    UnknownNode(usize),
+    /// A relation referenced by an operator is not in the catalog.
+    UnknownRelation(String),
+    /// A column referenced by a predicate or join condition does not exist.
+    UnknownColumn { relation: String, column: String },
+    /// The plan has no nodes.
+    EmptyPlan,
+    /// A triggered operator was given a pipeline input or vice versa.
+    InputMismatch { node: usize, reason: String },
+    /// Two co-partitioned join operands have different degrees of
+    /// partitioning (an IdealJoin requires identical degrees).
+    DegreeMismatch {
+        left: String,
+        left_degree: usize,
+        right: String,
+        right_degree: usize,
+    },
+    /// The operands of a co-partitioned join are not partitioned on the join
+    /// attributes.
+    NotCoPartitioned { relation: String, column: String },
+    /// The plan graph contains a cycle.
+    CyclicPlan,
+    /// A node has more than one pipeline consumer, which Lera-par's linear
+    /// chains do not allow.
+    MultipleConsumers(usize),
+    /// An error bubbled up from the storage layer.
+    Storage(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownNode(id) => write!(f, "unknown plan node {id}"),
+            PlanError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            PlanError::UnknownColumn { relation, column } => {
+                write!(f, "relation `{relation}` has no column `{column}`")
+            }
+            PlanError::EmptyPlan => write!(f, "plan has no operators"),
+            PlanError::InputMismatch { node, reason } => {
+                write!(f, "invalid input for node {node}: {reason}")
+            }
+            PlanError::DegreeMismatch {
+                left,
+                left_degree,
+                right,
+                right_degree,
+            } => write!(
+                f,
+                "co-partitioned join requires equal degrees: `{left}` has {left_degree}, `{right}` has {right_degree}"
+            ),
+            PlanError::NotCoPartitioned { relation, column } => write!(
+                f,
+                "relation `{relation}` is not partitioned on join attribute `{column}`"
+            ),
+            PlanError::CyclicPlan => write!(f, "plan graph contains a cycle"),
+            PlanError::MultipleConsumers(id) => {
+                write!(f, "node {id} has more than one pipeline consumer")
+            }
+            PlanError::Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<dbs3_storage::StorageError> for PlanError {
+    fn from(e: dbs3_storage::StorageError) -> Self {
+        PlanError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PlanError::UnknownNode(3).to_string().contains('3'));
+        assert!(PlanError::EmptyPlan.to_string().contains("no operators"));
+        let e = PlanError::DegreeMismatch {
+            left: "A".into(),
+            left_degree: 200,
+            right: "B".into(),
+            right_degree: 100,
+        };
+        assert!(e.to_string().contains("200"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn from_storage_error() {
+        let s = dbs3_storage::StorageError::UnknownRelation("X".into());
+        let p: PlanError = s.into();
+        assert!(matches!(p, PlanError::Storage(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<PlanError>();
+    }
+}

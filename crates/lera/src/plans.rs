@@ -1,0 +1,143 @@
+//! Ready-made plans, including the two experiment plans of the paper.
+//!
+//! * [`ideal_join`] — Figure 10: a triggered parallel join where both
+//!   operands are partitioned on the join attribute with the same number of
+//!   fragments; instance `i` joins `A_i` with `B'_i`.
+//! * [`assoc_join`] — Figure 11: one operand (`B'`) is dynamically
+//!   repartitioned by a triggered `Transmit`, whose data activations are
+//!   pipelined to the join instances associated with the fragments of `A`.
+//! * [`filter_join`] — Figure 1: a triggered filter pipelined into a join.
+//! * [`selection`] — the simple parallel selection used by the Allcache
+//!   experiment of Section 5.2.
+
+use crate::builder::PlanBuilder;
+use crate::ops::JoinAlgorithm;
+use crate::plan::Plan;
+use crate::predicate::{JoinCondition, Predicate};
+
+/// The `IdealJoin` plan (Figure 10): triggered co-partitioned join of
+/// `outer_relation` and `inner_relation` on `join_column`, materialised into
+/// `Result`.
+pub fn ideal_join(
+    outer_relation: &str,
+    inner_relation: &str,
+    join_column: &str,
+    algorithm: JoinAlgorithm,
+) -> Plan {
+    let mut b = PlanBuilder::new("IdealJoin");
+    let join = b.copartitioned_join(
+        outer_relation,
+        inner_relation,
+        JoinCondition::natural(join_column),
+        algorithm,
+    );
+    b.store(join, "Result");
+    b.build()
+}
+
+/// The `AssocJoin` plan (Figure 11): `transmitted_relation` (the paper's
+/// `B'`) is scanned and redistributed by hashing `join_column`; each
+/// redistributed tuple is joined against the co-partitioned fragment of
+/// `partitioned_relation` (the paper's `A`), and results are stored.
+pub fn assoc_join(
+    transmitted_relation: &str,
+    partitioned_relation: &str,
+    join_column: &str,
+    algorithm: JoinAlgorithm,
+) -> Plan {
+    let mut b = PlanBuilder::new("AssocJoin");
+    let transmit = b.transmit(transmitted_relation, join_column);
+    let join = b.pipelined_join(
+        transmit,
+        partitioned_relation,
+        JoinCondition::natural(join_column),
+        algorithm,
+    );
+    b.store(join, "Result");
+    b.build()
+}
+
+/// The filter–join plan of Figure 1: filter `filtered_relation` with
+/// `predicate`, pipeline the selected tuples into a join with
+/// `inner_relation` on `join_column`, and store the result.
+pub fn filter_join(
+    filtered_relation: &str,
+    predicate: Predicate,
+    inner_relation: &str,
+    join_column: &str,
+    algorithm: JoinAlgorithm,
+) -> Plan {
+    let mut b = PlanBuilder::new("FilterJoin");
+    let filter = b.filter(filtered_relation, predicate);
+    let join = b.pipelined_join(
+        filter,
+        inner_relation,
+        JoinCondition::natural(join_column),
+        algorithm,
+    );
+    b.store(join, "Result");
+    b.build()
+}
+
+/// A parallel selection: filter `relation` with `predicate` and store the
+/// result under `result_name` (the plan of the 200K-tuple selection used to
+/// measure the Allcache remote-access penalty, Section 5.2).
+pub fn selection(relation: &str, predicate: Predicate, result_name: &str) -> Plan {
+    let mut b = PlanBuilder::new("Selection");
+    let filter = b.filter(relation, predicate);
+    b.store(filter, result_name);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{OperatorKind, OuterInput};
+
+    #[test]
+    fn ideal_join_shape() {
+        let p = ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        assert_eq!(p.name(), "IdealJoin");
+        assert_eq!(p.len(), 2);
+        match &p.nodes()[0].kind {
+            OperatorKind::Join { outer, inner_relation, condition, .. } => {
+                assert!(matches!(outer, OuterInput::Fragment { relation } if relation == "A"));
+                assert_eq!(inner_relation, "Bprime");
+                assert_eq!(condition.outer_column, "unique1");
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert!(matches!(p.nodes()[1].kind, OperatorKind::Store { .. }));
+    }
+
+    #[test]
+    fn assoc_join_shape() {
+        let p = assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.nodes()[0].kind, OperatorKind::Transmit { .. }));
+        match &p.nodes()[1].kind {
+            OperatorKind::Join { outer, inner_relation, .. } => {
+                assert!(matches!(outer, OuterInput::Pipeline));
+                assert_eq!(inner_relation, "A");
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        // The pipelined join is routed on the outer join column.
+        assert_eq!(p.nodes()[1].kind.routing_column(), Some("unique1"));
+    }
+
+    #[test]
+    fn filter_join_shape() {
+        let p = filter_join("R", Predicate::one_in("ten", 10), "S", "unique1", JoinAlgorithm::Hash);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.triggered_nodes().len(), 1);
+        assert_eq!(p.sinks().len(), 1);
+    }
+
+    #[test]
+    fn selection_shape() {
+        let p = selection("DewittA", Predicate::range("unique1", 0, 100_000), "Out");
+        assert_eq!(p.len(), 2);
+        assert!(matches!(p.nodes()[0].kind, OperatorKind::Filter { .. }));
+    }
+}

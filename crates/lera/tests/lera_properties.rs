@@ -1,0 +1,131 @@
+//! Property-based tests of the plan layer: extended-view expansion and
+//! subquery decomposition invariants over arbitrary catalogs and plan
+//! shapes.
+
+use dbs3_lera::{
+    plans, CostParameters, ExtendedPlan, JoinAlgorithm, PlanBuilder, PlanComplexity, Predicate,
+    SubqueryDecomposition,
+};
+use dbs3_storage::{
+    Catalog, ColumnDef, PartitionSpec, PartitionedRelation, Relation, Schema, Tuple, Value,
+};
+use proptest::prelude::*;
+
+fn relation(name: &str, cardinality: usize) -> Relation {
+    let schema = Schema::new(vec![ColumnDef::int("unique1"), ColumnDef::int("payload")]);
+    let tuples = (0..cardinality as i64)
+        .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 3)]))
+        .collect();
+    Relation::new(name, schema, tuples).unwrap()
+}
+
+fn catalog(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Catalog {
+    let spec = PartitionSpec::on("unique1", degree, 4);
+    let a = relation("A", a_card);
+    let b = relation("Bprime", b_card);
+    let a_part = if theta > 0.0 {
+        PartitionedRelation::from_relation_with_skew(&a, spec.clone(), theta).unwrap()
+    } else {
+        PartitionedRelation::from_relation(&a, spec.clone()).unwrap()
+    };
+    let mut cat = Catalog::new();
+    cat.register(a_part).unwrap();
+    cat.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+    cat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The extended view always has one instance per fragment for every
+    /// fragment-associated operator, for both experiment plans, and the
+    /// estimated pipelined activations equal the transmitted cardinality.
+    #[test]
+    fn extended_view_instance_counts(
+        a_card in 1usize..2_000,
+        b_card in 1usize..400,
+        degree in 1usize..64,
+        theta_millis in 0u32..=1000,
+        assoc in any::<bool>(),
+    ) {
+        let theta = f64::from(theta_millis) / 1000.0;
+        let cat = catalog(a_card, b_card, degree, theta);
+        let plan = if assoc {
+            plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash)
+        } else {
+            plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop)
+        };
+        let ext = ExtendedPlan::from_plan(&plan, &cat, &CostParameters::default()).unwrap();
+        for node in plan.nodes() {
+            let op = ext.operation(node.id).unwrap();
+            prop_assert_eq!(op.instance_count(), degree, "node {}", node.name);
+        }
+        if assoc {
+            let join = ext.operation(dbs3_lera::NodeId(1)).unwrap();
+            let activations: f64 = join.instances().iter().map(|i| i.estimated_activations).sum();
+            prop_assert!((activations - b_card as f64).abs() < 1.0);
+        }
+    }
+
+    /// Plan complexity is additive over nodes and strictly positive for
+    /// non-empty relations; the LPT order is a permutation sorted by
+    /// decreasing estimated cost.
+    #[test]
+    fn complexity_and_lpt_order(
+        a_card in 1usize..2_000,
+        b_card in 1usize..300,
+        degree in 1usize..48,
+        theta_millis in 0u32..=1000,
+    ) {
+        let theta = f64::from(theta_millis) / 1000.0;
+        let cat = catalog(a_card, b_card, degree, theta);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let ext = ExtendedPlan::from_plan(&plan, &cat, &CostParameters::default()).unwrap();
+        let cx = PlanComplexity::from_extended(&ext);
+        let sum: f64 = plan.nodes().iter().map(|n| cx.node(n.id)).sum();
+        prop_assert!((sum - cx.total()).abs() < 1e-6);
+        prop_assert!(cx.total() > 0.0);
+
+        let join = ext.operation(dbs3_lera::NodeId(0)).unwrap();
+        let order = join.lpt_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..degree).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            prop_assert!(
+                join.instances()[w[0]].estimated_cost + 1e-9 >= join.instances()[w[1]].estimated_cost
+            );
+        }
+    }
+
+    /// Subquery decomposition covers every node exactly once for arbitrary
+    /// bushy collections of independent chains.
+    #[test]
+    fn decomposition_partitions_nodes(chains in 1usize..6, with_join in any::<bool>()) {
+        let mut builder = PlanBuilder::new("many-chains");
+        for c in 0..chains {
+            let filter = builder.filter(format!("R{c}"), Predicate::True);
+            let tail = if with_join {
+                builder.pipelined_join(
+                    filter,
+                    format!("S{c}"),
+                    dbs3_lera::JoinCondition::natural("unique1"),
+                    JoinAlgorithm::Hash,
+                )
+            } else {
+                filter
+            };
+            builder.store(tail, format!("Out{c}"));
+        }
+        let plan = builder.build();
+        let dec = SubqueryDecomposition::decompose(&plan).unwrap();
+        prop_assert_eq!(dec.len(), chains);
+        let mut seen = std::collections::HashSet::new();
+        for sq in dec.subqueries() {
+            for node in &sq.nodes {
+                prop_assert!(seen.insert(*node), "node {node} appears in two chains");
+            }
+        }
+        prop_assert_eq!(seen.len(), plan.len());
+    }
+}

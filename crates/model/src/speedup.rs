@@ -1,0 +1,136 @@
+//! Speed-up ceilings and theoretical speed-up (Section 5.5).
+//!
+//! For a triggered operation the execution time is bounded below by the time
+//! of the longest activation `Pmax`: once `Pmax > (a · P) / n`, adding
+//! threads no longer helps. The paper defines the maximum useful degree of
+//! parallelism
+//!
+//! ```text
+//! nmax = (a · P) / Pmax
+//! ```
+//!
+//! and reports `nmax = 6` for Zipf = 1, `19` for Zipf = 0.6 and `40` for
+//! Zipf = 0.4 with 200 fragments — values reproduced by the tests below.
+
+/// The `Pmax / P` ratio of a Zipf(θ) distribution over `n` ranks, i.e. how
+/// much bigger the largest fragment is than the average fragment.
+///
+/// This is the same quantity as `dbs3_storage::zipf::skew_factor`, duplicated
+/// here so the analytical crate stays dependency-free.
+pub fn zipf_max_to_avg(theta: f64, n: usize) -> f64 {
+    assert!(n > 0, "need at least one rank");
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
+    let harmonic: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).sum();
+    n as f64 / harmonic
+}
+
+/// `nmax = (a · P) / Pmax`, the degree of parallelism beyond which a
+/// triggered operation sees no further gain (Section 5.5).
+pub fn n_max(activations: u64, skew_factor: f64) -> f64 {
+    assert!(skew_factor >= 1.0, "Pmax cannot be smaller than P");
+    activations as f64 / skew_factor
+}
+
+/// The theoretical speed-up of an operation with `a` activations of average
+/// cost `P` and maximum cost `Pmax`, run on `threads` threads over
+/// `processors` physical processors.
+///
+/// Three effects cap the speed-up:
+/// * you cannot use more processors than you have (`threads > processors`
+///   adds nothing — the paper observes speed-up *decreasing* past 70 threads
+///   on 70 reserved processors, we model the cap as flat);
+/// * you cannot use more threads than activations;
+/// * a triggered operation cannot finish before `Pmax`, so speed-up is
+///   capped by `nmax`.
+pub fn theoretical_speedup(
+    activations: u64,
+    skew_factor: f64,
+    threads: usize,
+    processors: usize,
+) -> f64 {
+    assert!(threads > 0 && processors > 0);
+    let effective = threads.min(processors).min(activations.max(1) as usize) as f64;
+    effective.min(n_max(activations, skew_factor))
+}
+
+/// The speed-up ceiling of a triggered operation: `min(a, nmax)` — useful
+/// for plotting the horizontal asymptotes of Figure 15.
+pub fn triggered_speedup_ceiling(activations: u64, skew_factor: f64) -> f64 {
+    (activations as f64).min(n_max(activations, skew_factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_ratio_matches_paper_34() {
+        let r = zipf_max_to_avg(1.0, 200);
+        assert!((r - 34.0).abs() < 1.0, "got {r}");
+    }
+
+    #[test]
+    fn nmax_matches_paper_values() {
+        // Paper, Section 5.5: "We obtain nmax = 6 with Zipf = 1, 19 with 0.6
+        // and 40 with 0.4" for 200 fragments.
+        let n1 = n_max(200, zipf_max_to_avg(1.0, 200));
+        let n06 = n_max(200, zipf_max_to_avg(0.6, 200));
+        let n04 = n_max(200, zipf_max_to_avg(0.4, 200));
+        assert!((n1 - 6.0).abs() < 1.0, "Zipf=1: {n1}");
+        assert!((n06 - 19.0).abs() < 1.5, "Zipf=0.6: {n06}");
+        assert!((n04 - 40.0).abs() < 2.5, "Zipf=0.4: {n04}");
+    }
+
+    #[test]
+    fn unskewed_speedup_is_linear_up_to_processors() {
+        // Unskewed data: speed-up > 60 with 70 processors (Section 5.5).
+        let s = theoretical_speedup(200, 1.0, 70, 70);
+        assert!((s - 70.0).abs() < 1e-9);
+        // More threads than processors do not help.
+        let s100 = theoretical_speedup(200, 1.0, 100, 70);
+        assert!(s100 <= 70.0 + 1e-9);
+    }
+
+    #[test]
+    fn skewed_triggered_speedup_hits_ceiling() {
+        let skew = zipf_max_to_avg(1.0, 200);
+        let s10 = theoretical_speedup(200, skew, 10, 70);
+        let s70 = theoretical_speedup(200, skew, 70, 70);
+        // Both are capped at nmax ≈ 6.
+        assert!(s10 <= 6.5 && s70 <= 6.5);
+        assert!((s10 - s70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_speedup_insensitive_to_skew() {
+        // 20 000 activations: nmax = 20000/34 ≈ 588, far above any realistic
+        // thread count, so the ceiling never binds.
+        let s = theoretical_speedup(20_000, 34.0, 70, 70);
+        assert!((s - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_capped_by_activation_count() {
+        // 4 activations cannot occupy 8 threads.
+        let s = theoretical_speedup(4, 1.0, 8, 16);
+        assert!((s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceiling_helper_consistent() {
+        let skew = zipf_max_to_avg(0.6, 200);
+        assert!((triggered_speedup_ceiling(200, skew) - n_max(200, skew)).abs() < 1e-9);
+        assert!((triggered_speedup_ceiling(3, 1.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_ratio_is_one_when_uniform() {
+        assert!((zipf_max_to_avg(0.0, 123) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in [0, 1]")]
+    fn zipf_ratio_rejects_bad_theta() {
+        zipf_max_to_avg(2.0, 10);
+    }
+}

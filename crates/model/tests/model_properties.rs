@@ -1,0 +1,125 @@
+//! Property-based tests of the analytical model.
+
+use dbs3_model::{
+    allocate_chain, allocate_subqueries, ideal_time, n_max, overhead_bound, theoretical_speedup,
+    worst_time, SubqueryNode,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The worst-case time always dominates the ideal time, and never
+    /// exceeds the sequential time plus the longest activation.
+    #[test]
+    fn worst_time_brackets(
+        activations in 1u64..100_000,
+        avg_milli in 1u32..10_000,
+        skew_milli in 1_000u32..200_000,
+        threads in 1usize..128,
+    ) {
+        let avg = f64::from(avg_milli) / 1000.0;
+        let max = avg * f64::from(skew_milli) / 1000.0;
+        let t_ideal = ideal_time(activations, avg, threads);
+        let t_worst = worst_time(activations, avg, max, threads);
+        prop_assert!(t_worst + 1e-9 >= t_ideal);
+        prop_assert!(t_worst <= activations as f64 * avg + max + 1e-6);
+    }
+
+    /// The overhead bound is consistent with the worst-case time:
+    /// Tworst ≤ (1 + v) · Tideal whenever Pmax ≥ P.
+    #[test]
+    fn bound_consistent_with_worst_time(
+        activations in 1u64..50_000,
+        skew_milli in 1_000u32..100_000,
+        threads in 1usize..101,
+    ) {
+        let avg = 1.0;
+        let skew = f64::from(skew_milli) / 1000.0;
+        // Pmax is one of the `a` activations, so it can never exceed the
+        // total work a·P: skew factors above `a` are physically impossible
+        // and outside the derivation of equations 2–3.
+        prop_assume!(skew <= activations as f64);
+        let v = overhead_bound(activations, skew, threads);
+        let t_ideal = ideal_time(activations, avg, threads);
+        let t_worst = worst_time(activations, avg, skew * avg, threads);
+        prop_assert!(t_worst <= (1.0 + v) * t_ideal + 1e-6);
+        prop_assert!(v >= 0.0);
+    }
+
+    /// Theoretical speed-up is monotone in the thread count and never
+    /// exceeds min(threads, processors, activations, nmax).
+    #[test]
+    fn speedup_monotone_and_bounded(
+        activations in 1u64..10_000,
+        skew_milli in 1_000u32..50_000,
+        threads in 1usize..100,
+        processors in 1usize..100,
+    ) {
+        let skew = f64::from(skew_milli) / 1000.0;
+        let s = theoretical_speedup(activations, skew, threads, processors);
+        let s_more = theoretical_speedup(activations, skew, threads + 1, processors);
+        prop_assert!(s_more + 1e-9 >= s);
+        prop_assert!(s <= threads.min(processors) as f64 + 1e-9);
+        prop_assert!(s <= activations as f64 + 1e-9);
+        prop_assert!(s <= n_max(activations, skew) + 1e-9);
+    }
+
+    /// Chain allocation always sums to max(threads, operations), gives every
+    /// operation at least one thread, and larger weights never get fewer
+    /// threads than smaller weights.
+    #[test]
+    fn chain_allocation_invariants(
+        weights in proptest::collection::vec(0.0f64..1_000.0, 1..12),
+        threads in 1usize..64,
+    ) {
+        let shares = allocate_chain(threads, &weights);
+        prop_assert_eq!(shares.len(), weights.len());
+        prop_assert_eq!(shares.iter().sum::<usize>(), threads.max(weights.len()));
+        prop_assert!(shares.iter().all(|&s| s >= 1));
+        for i in 0..weights.len() {
+            for j in 0..weights.len() {
+                if weights[i] > weights[j] {
+                    prop_assert!(shares[i] + 1 >= shares[j],
+                        "weight {} got {} threads while weight {} got {}",
+                        weights[i], shares[i], weights[j], shares[j]);
+                }
+            }
+        }
+    }
+
+    /// Subquery allocation: the root receives the whole budget, every
+    /// sibling group's fractional shares sum to the parent's share, and
+    /// children split proportionally to subtree complexity.
+    #[test]
+    fn subquery_allocation_invariants(
+        t1 in 0.1f64..1_000.0,
+        t2 in 0.1f64..1_000.0,
+        t3 in 0.1f64..1_000.0,
+        t4 in 0.1f64..1_000.0,
+        total in 2usize..200,
+    ) {
+        let tree = SubqueryNode::node(
+            4,
+            t4,
+            vec![
+                SubqueryNode::node(2, t2, vec![SubqueryNode::leaf(0, t1)]),
+                SubqueryNode::leaf(3, t3),
+            ],
+        );
+        let alloc = allocate_subqueries(&tree, total);
+        let n = |id: usize| alloc.threads_of(id).unwrap();
+        prop_assert!((n(4) - total as f64).abs() < 1e-9);
+        prop_assert!((n(2) + n(3) - n(4)).abs() < 1e-6);
+        // Children of the root split proportionally to subtree complexity.
+        let left = t2 + t1;
+        let right = t3;
+        prop_assert!((n(2) / n(3) - left / right).abs() / (left / right) < 1e-6);
+        // The single child of node 2 inherits its full share.
+        prop_assert!((n(0) - n(2)).abs() < 1e-9);
+        // Integral allocation sums to the budget at each sibling level.
+        let i2 = alloc.integral_threads_of(2).unwrap();
+        let i3 = alloc.integral_threads_of(3).unwrap();
+        prop_assert_eq!(i2 + i3, total.max(2));
+    }
+}

@@ -1,0 +1,144 @@
+//! The KSR1 Allcache memory model (Section 5.2).
+//!
+//! "Each processor has its own 32 Megabytes memory, called local cache. ...
+//! the access to a remote cache line is 6 times that of the access to a
+//! local cache line." The experiment of Figures 8–9 runs a parallel
+//! selection over the 200K-tuple `DewittA` relation twice — once with the
+//! data already resident in the executing processors' local caches, once
+//! with all data remote — and measures `Tr − Tl`.
+//!
+//! Two observations the model must reproduce:
+//!
+//! * `Tr − Tl` is only ≈ 4 % of the execution time, because the memory-access
+//!   component of a tuple selection is small compared to the CPU component,
+//!   and it decreases with the number of threads because the remote misses
+//!   are serviced in parallel;
+//! * below ≈ 5 threads the local run degenerates to the remote run: the
+//!   per-thread share of the relation no longer fits a 32 MB local cache, so
+//!   even the "local" configuration has to ship data.
+
+/// Where the relation resides relative to the executing processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPlacement {
+    /// Every fragment is already in the local cache of the processor that
+    /// processes it.
+    Local,
+    /// Every fragment initially resides in another processor's cache and is
+    /// shipped by the Allcache hardware on first access.
+    Remote,
+}
+
+/// Parameters of the Allcache model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllcacheParams {
+    /// Size of one processor's local cache, in bytes (KSR1: 32 MB).
+    pub local_cache_bytes: u64,
+    /// Ratio of a remote access to a local access (KSR1: 6).
+    pub remote_to_local_ratio: f64,
+    /// Memory-access component of processing one tuple, in virtual
+    /// microseconds, when the tuple is local.
+    pub local_access_us_per_tuple: f64,
+    /// Effective per-tuple footprint in the cache (tuple bytes plus working
+    /// structures such as the selection output and the scan state).
+    pub tuple_footprint_bytes: u64,
+}
+
+impl Default for AllcacheParams {
+    fn default() -> Self {
+        AllcacheParams {
+            local_cache_bytes: 32 * 1024 * 1024,
+            remote_to_local_ratio: 6.0,
+            // Calibrated so that (ratio-1) * access ≈ 4% of the ~140 µs
+            // per-tuple selection cost, as measured in Figure 8.
+            local_access_us_per_tuple: 1.1,
+            // Calibrated so that the per-thread share of a 200K-tuple
+            // relation stops fitting a 32 MB cache below ~5 threads.
+            tuple_footprint_bytes: 800,
+        }
+    }
+}
+
+impl AllcacheParams {
+    /// The per-tuple memory-access cost (µs) for the given placement, when
+    /// `tuples` tuples are spread over `threads` threads.
+    ///
+    /// In the `Local` placement, if the per-thread share does not fit the
+    /// local cache the data cannot actually stay local, and the cost falls
+    /// back to the remote cost (the paper: "Under 5 threads, Tr is equal to
+    /// Tl ... the local cache size is too small to contain all the data").
+    pub fn access_us_per_tuple(&self, placement: DataPlacement, tuples: u64, threads: usize) -> f64 {
+        let remote = self.local_access_us_per_tuple * self.remote_to_local_ratio;
+        match placement {
+            DataPlacement::Remote => remote,
+            DataPlacement::Local => {
+                if self.fits_locally(tuples, threads) {
+                    self.local_access_us_per_tuple
+                } else {
+                    remote
+                }
+            }
+        }
+    }
+
+    /// Whether a per-thread share of `tuples / threads` tuples fits in one
+    /// local cache.
+    pub fn fits_locally(&self, tuples: u64, threads: usize) -> bool {
+        let per_thread_bytes = tuples.div_ceil(threads.max(1) as u64) * self.tuple_footprint_bytes;
+        per_thread_bytes <= self.local_cache_bytes
+    }
+
+    /// The minimum number of threads for which the `Local` placement really
+    /// is local for a relation of `tuples` tuples.
+    pub fn local_thread_threshold(&self, tuples: u64) -> usize {
+        let total_bytes = tuples * self.tuple_footprint_bytes;
+        total_bytes.div_ceil(self.local_cache_bytes) as usize
+    }
+
+    /// Extra per-tuple cost of the remote placement over the (truly) local
+    /// placement, in microseconds.
+    pub fn remote_penalty_us_per_tuple(&self) -> f64 {
+        self.local_access_us_per_tuple * (self.remote_to_local_ratio - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_is_ratio_times_local() {
+        let p = AllcacheParams::default();
+        let local = p.access_us_per_tuple(DataPlacement::Local, 200_000, 30);
+        let remote = p.access_us_per_tuple(DataPlacement::Remote, 200_000, 30);
+        assert!((remote / local - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_falls_back_to_remote_below_threshold() {
+        let p = AllcacheParams::default();
+        let threshold = p.local_thread_threshold(200_000);
+        assert!(
+            (4..=6).contains(&threshold),
+            "threshold {threshold} should be around 5 threads as in the paper"
+        );
+        let below = p.access_us_per_tuple(DataPlacement::Local, 200_000, threshold - 1);
+        let above = p.access_us_per_tuple(DataPlacement::Local, 200_000, threshold + 1);
+        assert!(below > above, "below the threshold local behaves like remote");
+        assert!((below - p.access_us_per_tuple(DataPlacement::Remote, 200_000, 2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn penalty_is_small_fraction_of_tuple_cost() {
+        // (6-1) * 1.1 µs ≈ 5.5 µs against a ~140 µs scan: about 4%.
+        let p = AllcacheParams::default();
+        let fraction = p.remote_penalty_us_per_tuple() / 140.0;
+        assert!(fraction > 0.02 && fraction < 0.06, "fraction = {fraction}");
+    }
+
+    #[test]
+    fn fits_locally_monotone_in_threads() {
+        let p = AllcacheParams::default();
+        assert!(!p.fits_locally(200_000, 1));
+        assert!(p.fits_locally(200_000, 64));
+    }
+}

@@ -1,0 +1,148 @@
+//! Simulation reports.
+
+use dbs3_lera::NodeId;
+
+/// Per-operation outcome of a simulation.
+#[derive(Debug, Clone)]
+pub struct OperationReport {
+    /// Plan node of the operation.
+    pub node: NodeId,
+    /// Operation display name.
+    pub name: String,
+    /// Threads allocated to the operation's pool.
+    pub threads: usize,
+    /// Number of activations processed.
+    pub activations: usize,
+    /// Sum of activation costs (virtual µs, undilated).
+    pub total_work_us: f64,
+    /// Cost of the most expensive activation (virtual µs).
+    pub max_activation_us: f64,
+    /// Virtual time at which the operation's last activation completed,
+    /// measured from the end of start-up.
+    pub completion_us: f64,
+}
+
+impl OperationReport {
+    /// The operation's skew factor `Pmax / P` over its activation costs.
+    pub fn skew_factor(&self) -> f64 {
+        if self.activations == 0 || self.total_work_us == 0.0 {
+            return 1.0;
+        }
+        self.max_activation_us / (self.total_work_us / self.activations as f64)
+    }
+}
+
+/// The outcome of simulating one plan execution.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total threads of the simulated execution.
+    pub threads: usize,
+    /// Sequential start-up time (queue creation + thread start), virtual µs.
+    pub startup_us: f64,
+    /// Parallel execution span (from start-up end to the last activation
+    /// completing), virtual µs.
+    pub execution_us: f64,
+    /// Total sequential work contained in the plan (sum of all activation
+    /// costs), virtual µs.
+    pub sequential_work_us: f64,
+    /// Per-operation breakdown.
+    pub operations: Vec<OperationReport>,
+}
+
+impl SimReport {
+    /// Total virtual response time (start-up + execution), in µs.
+    pub fn total_us(&self) -> f64 {
+        self.startup_us + self.execution_us
+    }
+
+    /// Total virtual response time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_us() / 1e6
+    }
+
+    /// Parallel execution span in seconds (without start-up).
+    pub fn execution_seconds(&self) -> f64 {
+        self.execution_us / 1e6
+    }
+
+    /// Speed-up relative to an explicitly measured sequential time (µs).
+    pub fn speedup_vs(&self, sequential_us: f64) -> f64 {
+        sequential_us / self.total_us()
+    }
+
+    /// Speed-up relative to the plan's own sequential work (the paper's
+    /// `Tseq` is the one-thread execution, whose start-up time is
+    /// negligible next to hundreds of seconds of work).
+    pub fn speedup(&self) -> f64 {
+        self.speedup_vs(self.sequential_work_us)
+    }
+
+    /// Speed-up of the parallel execution span alone, ignoring start-up —
+    /// useful for small test databases where queue/thread start-up would
+    /// otherwise dominate (the "low complexity query" effect of Section 1).
+    pub fn execution_speedup(&self) -> f64 {
+        if self.execution_us == 0.0 {
+            return 1.0;
+        }
+        self.sequential_work_us / self.execution_us
+    }
+
+    /// Report of one operation.
+    pub fn operation(&self, node: NodeId) -> Option<&OperationReport> {
+        self.operations.iter().find(|o| o.node == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            threads: 10,
+            startup_us: 1_000.0,
+            execution_us: 99_000.0,
+            sequential_work_us: 900_000.0,
+            operations: vec![OperationReport {
+                node: NodeId(0),
+                name: "join".into(),
+                threads: 10,
+                activations: 100,
+                total_work_us: 900_000.0,
+                max_activation_us: 90_000.0,
+                completion_us: 99_000.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn totals_and_speedup() {
+        let r = report();
+        assert!((r.total_us() - 100_000.0).abs() < 1e-9);
+        assert!((r.total_seconds() - 0.1).abs() < 1e-12);
+        assert!((r.speedup() - 9.0).abs() < 1e-9);
+        assert!((r.speedup_vs(1_000_000.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operation_lookup_and_skew() {
+        let r = report();
+        let op = r.operation(NodeId(0)).unwrap();
+        assert!((op.skew_factor() - 10.0).abs() < 1e-9);
+        assert!(r.operation(NodeId(5)).is_none());
+    }
+
+    #[test]
+    fn empty_operation_has_unit_skew() {
+        let op = OperationReport {
+            node: NodeId(1),
+            name: "store".into(),
+            threads: 1,
+            activations: 0,
+            total_work_us: 0.0,
+            max_activation_us: 0.0,
+            completion_us: 0.0,
+        };
+        assert_eq!(op.skew_factor(), 1.0);
+    }
+}

@@ -1,0 +1,886 @@
+//! Pipeline-aware list-scheduling simulation of an extended plan.
+//!
+//! The simulator models exactly the execution structure of the engine:
+//!
+//! * every operation has one activation per fragment (triggered) or one per
+//!   pipelined tuple (data), with a cost from [`crate::cost::SimCostParams`];
+//! * every operation has its own pool of virtual workers, sized by the same
+//!   [`dbs3_engine::Scheduler`] the real engine uses;
+//! * a triggered operation's activations are all available at start; the
+//!   pool consumes them in the order dictated by the consumption strategy
+//!   (`Random` or `LPT`), each activation going to the earliest-free worker —
+//!   which is precisely what shared activation queues achieve;
+//! * a pipelined operation's activations are *released* over time, as the
+//!   producer instances stream their tuples; they are consumed in release
+//!   order by the earliest-free worker of the consumer pool;
+//! * with [`WorkerAssignment::StaticPerInstance`] the earliest-free-worker
+//!   rule is replaced by a fixed instance→worker binding, which models the
+//!   conventional "one thread per operation instance" execution model the
+//!   paper improves upon (the ablation baseline);
+//! * start-up time grows with the number of queues and threads, and running
+//!   more threads than processors dilates every activation (time sharing).
+//!
+//! `Store` operations are folded into their producers (the paper's
+//! experiment plans write result fragments directly from the join
+//! instances), so the simulated plans have the same activation counts as the
+//! plans of Figures 10 and 11.
+
+use crate::allcache::{AllcacheParams, DataPlacement};
+use crate::cost::SimCostParams;
+use crate::report::{OperationReport, SimReport};
+use crate::{Result, SimError};
+use dbs3_engine::{ConsumptionStrategy, Scheduler, SchedulerOptions};
+use dbs3_lera::{
+    CostParameters, ExtendedPlan, JoinAlgorithm, NodeId, OperatorKind, OuterInput, Plan,
+};
+use dbs3_storage::Catalog;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// How activations are assigned to the workers of a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerAssignment {
+    /// The DBS3 model: queues are shared, any worker of the pool may take
+    /// any activation (modelled as "earliest-free worker").
+    #[default]
+    SharedQueues,
+    /// The conventional model: each operation instance is bound to one
+    /// worker (`instance mod threads`) and no stealing happens.
+    StaticPerInstance,
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Total threads allocated to the query (the paper's x-axis).
+    pub total_threads: usize,
+    /// Number of physical processors (KSR1: 72; the experiments reserve 70).
+    pub processors: usize,
+    /// Force a consumption strategy for every operation instead of letting
+    /// the scheduler pick.
+    pub strategy_override: Option<ConsumptionStrategy>,
+    /// Shared queues (adaptive) or static per-instance binding (baseline).
+    pub assignment: WorkerAssignment,
+    /// Where base data resides relative to the executing processors.
+    pub placement: DataPlacement,
+    /// The activation cost model.
+    pub costs: SimCostParams,
+    /// The Allcache memory model.
+    pub allcache: AllcacheParams,
+    /// Seed of the Random strategy's shuffles.
+    pub seed: u64,
+    /// Grain of parallelism for *triggered* joins: when set, each
+    /// co-partitioned join activation is split into sub-activations of at
+    /// most this many outer tuples.
+    ///
+    /// This implements the paper's stated future work ("allowing the choice
+    /// of the grain of parallelism independent of the operation semantics",
+    /// Section 6): a coarse grain (`None`, one activation per fragment) has
+    /// minimal overhead but suffers from skew; a fine grain behaves like a
+    /// pipelined operation — insensitive to skew at the price of one
+    /// activation-handling overhead per sub-activation.
+    pub triggered_granule: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            total_threads: 10,
+            processors: 70,
+            strategy_override: None,
+            assignment: WorkerAssignment::SharedQueues,
+            placement: DataPlacement::Local,
+            costs: SimCostParams::default(),
+            allcache: AllcacheParams::default(),
+            seed: 0xD857,
+            triggered_granule: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the total thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.total_threads = threads;
+        self
+    }
+
+    /// Forces a consumption strategy.
+    pub fn with_strategy(mut self, strategy: ConsumptionStrategy) -> Self {
+        self.strategy_override = Some(strategy);
+        self
+    }
+
+    /// Selects the static one-thread-per-instance baseline.
+    pub fn with_static_baseline(mut self) -> Self {
+        self.assignment = WorkerAssignment::StaticPerInstance;
+        self
+    }
+
+    /// Sets the data placement (Allcache experiment).
+    pub fn with_placement(mut self, placement: DataPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Splits triggered join activations into sub-activations of at most
+    /// `outer_tuples` outer tuples (the grain-of-parallelism extension).
+    pub fn with_triggered_granule(mut self, outer_tuples: usize) -> Self {
+        self.triggered_granule = Some(outer_tuples.max(1));
+        self
+    }
+}
+
+/// One simulated activation.
+#[derive(Debug, Clone)]
+struct SimActivation {
+    /// Instance (queue) the activation belongs to.
+    instance: usize,
+    /// Virtual time at which the activation becomes available.
+    release: f64,
+    /// Processing cost (undilated µs).
+    cost: f64,
+    /// Start time assigned by the pool simulation (filled in).
+    start: f64,
+}
+
+/// Activations prepared for a pipelined consumer by its producer.
+#[derive(Debug, Default)]
+struct PendingPipeline {
+    activations: Vec<SimActivation>,
+}
+
+/// The virtual-time simulator.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over a catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Simulator { catalog }
+    }
+
+    /// Simulates the execution of `plan` under `config`.
+    pub fn simulate(&self, plan: &Plan, config: &SimConfig) -> Result<SimReport> {
+        if config.total_threads == 0 || config.processors == 0 {
+            return Err(SimError::InvalidConfig(
+                "total_threads and processors must be at least 1".to_string(),
+            ));
+        }
+        let extended = ExtendedPlan::from_plan(plan, self.catalog, &CostParameters::default())?;
+        let mut options = SchedulerOptions::default().with_total_threads(config.total_threads);
+        if let Some(s) = config.strategy_override {
+            options = options.with_strategy(s);
+        }
+        let schedule = Scheduler::build(plan, &extended, &options)?;
+        let dilation = (config.total_threads as f64 / config.processors as f64).max(1.0);
+
+        // Start-up cost: queue creation for every non-store operation plus
+        // thread start-up.
+        let mut control_queues = 0usize;
+        let mut data_queues = 0usize;
+        for node in plan.nodes() {
+            if matches!(node.kind, OperatorKind::Store { .. }) {
+                continue;
+            }
+            let count = extended
+                .operation(node.id)
+                .map(|op| op.instance_count())
+                .unwrap_or(0);
+            if node.kind.requires_pipeline() {
+                data_queues += count;
+            } else {
+                control_queues += count;
+            }
+        }
+        let startup_us =
+            config
+                .costs
+                .startup_us(control_queues, data_queues, schedule.total_threads());
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut reports: Vec<OperationReport> = Vec::new();
+        let mut pending: HashMap<NodeId, PendingPipeline> = HashMap::new();
+        let mut execution_us: f64 = 0.0;
+        let mut sequential_work_us: f64 = 0.0;
+
+        for id in plan.topological_order()? {
+            let node = plan.node(id)?;
+            if matches!(node.kind, OperatorKind::Store { .. }) {
+                continue;
+            }
+            let op_schedule = schedule.operation(id)?;
+            // Store operations are folded into their producers (the paper's
+            // plans write result fragments directly from the join
+            // instances), so the threads the scheduler reserved for a store
+            // are credited back to the producer's pool.
+            let store_threads: usize = plan
+                .consumers(id)
+                .iter()
+                .filter_map(|c| plan.node(*c).ok())
+                .filter(|c| matches!(c.kind, OperatorKind::Store { .. }))
+                .filter_map(|c| schedule.operation(c.id).ok())
+                .map(|s| s.threads)
+                .sum();
+            let pool_threads =
+                (op_schedule.threads + store_threads).min(config.total_threads.max(1));
+            let strategy = config.strategy_override.unwrap_or(op_schedule.strategy);
+
+            let mut activations = self.build_activations(plan, id, config, &mut pending)?;
+            let total_work: f64 = activations.iter().map(|a| a.cost).sum();
+            let max_activation = activations.iter().map(|a| a.cost).fold(0.0, f64::max);
+            sequential_work_us += total_work;
+
+            let completion = simulate_pool(
+                &mut activations,
+                pool_threads,
+                strategy,
+                config.assignment,
+                dilation,
+                &mut rng,
+            );
+            execution_us = execution_us.max(completion);
+
+            // If this operation feeds a pipelined consumer, derive the
+            // consumer's activations (with release times) from the producer's
+            // per-instance start times and the actual tuples.
+            if let Some(consumer_id) = plan.consumers(id).first().copied() {
+                let consumer = plan.node(consumer_id)?;
+                if matches!(
+                    consumer.kind,
+                    OperatorKind::Join {
+                        outer: OuterInput::Pipeline,
+                        ..
+                    }
+                ) {
+                    let produced =
+                        self.build_pipeline_activations(plan, id, consumer_id, &activations, config)?;
+                    pending.insert(consumer_id, produced);
+                }
+            }
+
+            reports.push(OperationReport {
+                node: id,
+                name: node.name.clone(),
+                threads: pool_threads,
+                activations: activations.len(),
+                total_work_us: total_work,
+                max_activation_us: max_activation,
+                completion_us: completion,
+            });
+        }
+
+        Ok(SimReport {
+            threads: config.total_threads,
+            startup_us,
+            execution_us,
+            sequential_work_us,
+            operations: reports,
+        })
+    }
+
+    /// Builds the activation list of one operation.
+    fn build_activations(
+        &self,
+        plan: &Plan,
+        id: NodeId,
+        config: &SimConfig,
+        pending: &mut HashMap<NodeId, PendingPipeline>,
+    ) -> Result<Vec<SimActivation>> {
+        let node = plan.node(id)?;
+        let consumer_is_store = plan
+            .consumers(id)
+            .first()
+            .and_then(|c| plan.node(*c).ok())
+            .map(|c| matches!(c.kind, OperatorKind::Store { .. }))
+            .unwrap_or(false);
+        let costs = &config.costs;
+
+        match &node.kind {
+            OperatorKind::Filter {
+                relation,
+                predicate,
+            } => {
+                let rel = self.catalog.get(relation)?;
+                let bound = predicate.bind(relation, rel.schema())?;
+                let access =
+                    config
+                        .allcache
+                        .access_us_per_tuple(config.placement, rel.cardinality() as u64, config.total_threads);
+                let per_emitted = if consumer_is_store {
+                    costs.store_tuple_us
+                } else {
+                    costs.move_tuple_us
+                };
+                Ok(rel
+                    .fragments()
+                    .iter()
+                    .map(|frag| {
+                        let selected = frag.tuples().iter().filter(|t| bound.eval(t)).count();
+                        SimActivation {
+                            instance: frag.id(),
+                            release: 0.0,
+                            cost: costs.activation_overhead_us
+                                + frag.cardinality() as f64 * (costs.scan_tuple_us + access)
+                                + selected as f64 * per_emitted,
+                            start: 0.0,
+                        }
+                    })
+                    .collect())
+            }
+            OperatorKind::Transmit { relation, .. } => {
+                let rel = self.catalog.get(relation)?;
+                let access = config.allcache.access_us_per_tuple(
+                    config.placement,
+                    rel.cardinality() as u64,
+                    config.total_threads,
+                );
+                Ok(rel
+                    .fragments()
+                    .iter()
+                    .map(|frag| SimActivation {
+                        instance: frag.id(),
+                        release: 0.0,
+                        cost: costs.activation_overhead_us
+                            + frag.cardinality() as f64
+                                * (costs.scan_tuple_us + access + costs.move_tuple_us),
+                        start: 0.0,
+                    })
+                    .collect())
+            }
+            OperatorKind::Join {
+                outer,
+                inner_relation,
+                algorithm,
+                ..
+            } => {
+                let inner = self.catalog.get(inner_relation)?;
+                match outer {
+                    OuterInput::Fragment { relation } => {
+                        let outer_rel = self.catalog.get(relation)?;
+                        let mut activations = Vec::new();
+                        for (i, (&oc, ic)) in outer_rel
+                            .fragment_cardinalities()
+                            .iter()
+                            .zip(inner.fragment_cardinalities())
+                            .enumerate()
+                        {
+                            // Grain of parallelism: split the fragment's
+                            // outer tuples into sub-activations of at most
+                            // `granule` tuples. `None` keeps the paper's one
+                            // activation per fragment.
+                            let granule = config.triggered_granule.unwrap_or(oc.max(1)).max(1);
+                            let mut remaining = oc;
+                            loop {
+                                let chunk = remaining.min(granule).max(if oc == 0 { 0 } else { 1 });
+                                let output = ((chunk as f64 / oc.max(1) as f64)
+                                    * oc.min(ic) as f64)
+                                    .round() as usize;
+                                activations.push(SimActivation {
+                                    instance: i,
+                                    release: 0.0,
+                                    cost: costs.triggered_join_activation_us(
+                                        chunk, ic, output, *algorithm,
+                                    ),
+                                    start: 0.0,
+                                });
+                                if remaining <= granule {
+                                    break;
+                                }
+                                remaining -= granule;
+                            }
+                        }
+                        Ok(activations)
+                    }
+                    OuterInput::Pipeline => {
+                        let mut activations = pending
+                            .remove(&id)
+                            .ok_or_else(|| {
+                                SimError::Plan(format!(
+                                    "pipelined operation {id} has no pending activations"
+                                ))
+                            })?
+                            .activations;
+                        // Index / hash-table builds happen once per instance,
+                        // at operation start.
+                        if !matches!(algorithm, JoinAlgorithm::NestedLoop) {
+                            for (i, &card) in inner.fragment_cardinalities().iter().enumerate() {
+                                activations.push(SimActivation {
+                                    instance: i,
+                                    release: 0.0,
+                                    cost: costs.pipelined_build_us(card, *algorithm),
+                                    start: 0.0,
+                                });
+                            }
+                        }
+                        Ok(activations)
+                    }
+                }
+            }
+            OperatorKind::Store { .. } => Ok(Vec::new()),
+        }
+    }
+
+    /// Builds the data activations a producer streams into a pipelined join,
+    /// with per-tuple release times derived from the producer's simulated
+    /// per-instance start times.
+    fn build_pipeline_activations(
+        &self,
+        plan: &Plan,
+        producer_id: NodeId,
+        consumer_id: NodeId,
+        producer_activations: &[SimActivation],
+        config: &SimConfig,
+    ) -> Result<PendingPipeline> {
+        let producer = plan.node(producer_id)?;
+        let consumer = plan.node(consumer_id)?;
+        let costs = &config.costs;
+
+        let OperatorKind::Join {
+            inner_relation,
+            algorithm,
+            ..
+        } = &consumer.kind
+        else {
+            return Ok(PendingPipeline::default());
+        };
+        let inner = self.catalog.get(inner_relation)?;
+        let inner_cards = inner.fragment_cardinalities();
+        let consumer_feeds_store = plan
+            .consumers(consumer_id)
+            .first()
+            .and_then(|c| plan.node(*c).ok())
+            .map(|c| matches!(c.kind, OperatorKind::Store { .. }))
+            .unwrap_or(false);
+        let matches_per_probe = if consumer_feeds_store { 1 } else { 1 };
+
+        // Column of the producer's output tuples used for routing.
+        let producer_schema = plan.output_schema(producer_id, self.catalog)?;
+        let routing_column = consumer
+            .kind
+            .routing_column()
+            .ok_or_else(|| SimError::Plan("pipelined join without a routing column".to_string()))?;
+        let route_index = producer_schema
+            .column_index(routing_column)
+            .map_err(|e| SimError::Storage(e.to_string()))?;
+
+        // Per-instance start times of the producer.
+        let mut start_of_instance: HashMap<usize, f64> = HashMap::new();
+        for a in producer_activations {
+            start_of_instance
+                .entry(a.instance)
+                .and_modify(|s| *s = s.min(a.start))
+                .or_insert(a.start);
+        }
+
+        let mut activations = Vec::new();
+        match &producer.kind {
+            OperatorKind::Filter {
+                relation,
+                predicate,
+            } => {
+                let rel = self.catalog.get(relation)?;
+                let bound = predicate.bind(relation, rel.schema())?;
+                let access = config.allcache.access_us_per_tuple(
+                    config.placement,
+                    rel.cardinality() as u64,
+                    config.total_threads,
+                );
+                for frag in rel.fragments() {
+                    let mut t = *start_of_instance.get(&frag.id()).unwrap_or(&0.0);
+                    for tuple in frag.tuples() {
+                        t += costs.scan_tuple_us + access;
+                        if bound.eval(tuple) {
+                            t += costs.move_tuple_us;
+                            let target = (tuple.hash_key(&[route_index])
+                                % inner.degree() as u64)
+                                as usize;
+                            activations.push(SimActivation {
+                                instance: target,
+                                release: t,
+                                cost: costs.pipelined_probe_us(
+                                    inner_cards[target],
+                                    matches_per_probe,
+                                    *algorithm,
+                                ),
+                                start: 0.0,
+                            });
+                        }
+                    }
+                }
+            }
+            OperatorKind::Transmit { relation, .. } => {
+                let rel = self.catalog.get(relation)?;
+                let access = config.allcache.access_us_per_tuple(
+                    config.placement,
+                    rel.cardinality() as u64,
+                    config.total_threads,
+                );
+                for frag in rel.fragments() {
+                    let mut t = *start_of_instance.get(&frag.id()).unwrap_or(&0.0);
+                    for tuple in frag.tuples() {
+                        t += costs.scan_tuple_us + access + costs.move_tuple_us;
+                        let target =
+                            (tuple.hash_key(&[route_index]) % inner.degree() as u64) as usize;
+                        activations.push(SimActivation {
+                            instance: target,
+                            release: t,
+                            cost: costs.pipelined_probe_us(
+                                inner_cards[target],
+                                matches_per_probe,
+                                *algorithm,
+                            ),
+                            start: 0.0,
+                        });
+                    }
+                }
+            }
+            _ => {
+                return Err(SimError::Plan(
+                    "only filter and transmit producers can feed a pipelined join".to_string(),
+                ))
+            }
+        }
+        Ok(PendingPipeline { activations })
+    }
+}
+
+/// Simulates one operation pool: assigns every activation a start time and
+/// returns the completion time of the pool.
+fn simulate_pool(
+    activations: &mut [SimActivation],
+    threads: usize,
+    strategy: ConsumptionStrategy,
+    assignment: WorkerAssignment,
+    dilation: f64,
+    rng: &mut StdRng,
+) -> f64 {
+    if activations.is_empty() {
+        return 0.0;
+    }
+    let threads = threads.max(1);
+
+    // Decide the consumption order.
+    let mut order: Vec<usize> = (0..activations.len()).collect();
+    let all_immediate = activations.iter().all(|a| a.release == 0.0);
+    if all_immediate {
+        match strategy {
+            ConsumptionStrategy::Lpt => order.sort_by(|&a, &b| {
+                activations[b]
+                    .cost
+                    .partial_cmp(&activations[a].cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }),
+            ConsumptionStrategy::Random => order.shuffle(rng),
+        }
+    } else {
+        order.sort_by(|&a, &b| {
+            activations[a]
+                .release
+                .partial_cmp(&activations[b].release)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+
+    let mut completion: f64 = 0.0;
+    match assignment {
+        WorkerAssignment::SharedQueues => {
+            // Min-heap of worker free times, keyed on bit-ordered f64.
+            let mut heap: BinaryHeap<Reverse<OrderedF64>> =
+                (0..threads).map(|_| Reverse(OrderedF64(0.0))).collect();
+            for idx in order {
+                let Reverse(OrderedF64(free)) = heap.pop().expect("heap holds `threads` entries");
+                let start = free.max(activations[idx].release);
+                let end = start + activations[idx].cost * dilation;
+                activations[idx].start = start;
+                completion = completion.max(end);
+                heap.push(Reverse(OrderedF64(end)));
+            }
+        }
+        WorkerAssignment::StaticPerInstance => {
+            let mut free = vec![0.0f64; threads];
+            for idx in order {
+                let worker = activations[idx].instance % threads;
+                let start = free[worker].max(activations[idx].release);
+                let end = start + activations[idx].cost * dilation;
+                activations[idx].start = start;
+                free[worker] = end;
+                completion = completion.max(end);
+            }
+        }
+    }
+    completion
+}
+
+/// `f64` wrapper with a total order for use in the worker heap (all values
+/// are finite simulation times).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs3_lera::plans;
+    use dbs3_lera::Predicate;
+    use dbs3_storage::{
+        PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
+    };
+
+    /// Builds an experiment catalog: relation `A` (optionally skewed) and
+    /// `Bprime`, both partitioned on `unique1` with the given degree.
+    fn catalog(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Catalog {
+        let gen = WisconsinGenerator::new();
+        let a = gen.generate(&WisconsinConfig::narrow("A", a_card)).unwrap();
+        let b = gen.generate(&WisconsinConfig::narrow("Bprime", b_card)).unwrap();
+        let spec = PartitionSpec::on("unique1", degree, 8);
+        let mut cat = Catalog::new();
+        let a_part = if theta > 0.0 {
+            PartitionedRelation::from_relation_with_skew(&a, spec.clone(), theta).unwrap()
+        } else {
+            PartitionedRelation::from_relation(&a, spec.clone()).unwrap()
+        };
+        cat.register(a_part).unwrap();
+        cat.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+        cat
+    }
+
+    #[test]
+    fn unskewed_ideal_join_speeds_up_linearly() {
+        let cat = catalog(10_000, 1_000, 200, 0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let sim = Simulator::new(&cat);
+        let r1 = sim.simulate(&plan, &SimConfig::default().with_threads(1)).unwrap();
+        let r10 = sim.simulate(&plan, &SimConfig::default().with_threads(10)).unwrap();
+        let r70 = sim.simulate(&plan, &SimConfig::default().with_threads(70)).unwrap();
+        assert!(r10.total_us() < r1.total_us() / 5.0);
+        // Start-up (queues + threads) is significant for this deliberately
+        // small database, so assess linearity on the execution span.
+        // (The small test fragments have noticeable cardinality variance, so
+        // the speed-up is good but not perfectly linear.)
+        assert!(r70.execution_speedup() > 45.0, "speedup(70) = {}", r70.execution_speedup());
+        assert!(r10.execution_speedup() > 7.0, "speedup(10) = {}", r10.execution_speedup());
+    }
+
+    #[test]
+    fn skewed_triggered_join_hits_nmax_ceiling() {
+        let cat = catalog(10_000, 1_000, 200, 1.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let sim = Simulator::new(&cat);
+        let cfg = |n: usize| {
+            SimConfig::default()
+                .with_threads(n)
+                .with_strategy(ConsumptionStrategy::Lpt)
+        };
+        let s10 = sim.simulate(&plan, &cfg(10)).unwrap().speedup();
+        let s70 = sim.simulate(&plan, &cfg(70)).unwrap().speedup();
+        // nmax ≈ 6 for Zipf = 1 with 200 fragments: more threads do not help.
+        assert!(s10 < 9.0, "speedup(10) = {s10}");
+        assert!((s70 - s10).abs() < 2.0, "speedup should plateau: {s10} vs {s70}");
+    }
+
+    #[test]
+    fn pipelined_assoc_join_absorbs_skew() {
+        let cat = catalog(10_000, 1_000, 200, 1.0);
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
+        let sim = Simulator::new(&cat);
+        let skewed = sim
+            .simulate(&plan, &SimConfig::default().with_threads(10))
+            .unwrap();
+        let cat0 = catalog(10_000, 1_000, 200, 0.0);
+        let sim0 = Simulator::new(&cat0);
+        let unskewed = sim0
+            .simulate(&plan, &SimConfig::default().with_threads(10))
+            .unwrap();
+        let overhead = skewed.total_us() / unskewed.total_us() - 1.0;
+        assert!(
+            overhead.abs() < 0.10,
+            "pipelined execution should be (almost) insensitive to skew, got {overhead}"
+        );
+    }
+
+    #[test]
+    fn lpt_beats_random_on_skewed_triggered_join() {
+        let cat = catalog(10_000, 1_000, 200, 0.8);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let sim = Simulator::new(&cat);
+        let lpt = sim
+            .simulate(
+                &plan,
+                &SimConfig::default().with_threads(10).with_strategy(ConsumptionStrategy::Lpt),
+            )
+            .unwrap();
+        let random = sim
+            .simulate(
+                &plan,
+                &SimConfig::default()
+                    .with_threads(10)
+                    .with_strategy(ConsumptionStrategy::Random),
+            )
+            .unwrap();
+        assert!(lpt.total_us() <= random.total_us() * 1.02);
+    }
+
+    #[test]
+    fn static_baseline_is_slower_under_skew() {
+        let cat = catalog(10_000, 1_000, 50, 1.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let sim = Simulator::new(&cat);
+        let adaptive = sim
+            .simulate(&plan, &SimConfig::default().with_threads(10))
+            .unwrap();
+        let baseline = sim
+            .simulate(&plan, &SimConfig::default().with_threads(10).with_static_baseline())
+            .unwrap();
+        assert!(
+            baseline.total_us() > adaptive.total_us(),
+            "static binding cannot rebalance skewed instances"
+        );
+    }
+
+    #[test]
+    fn startup_grows_with_partitioning_degree() {
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::TempIndex);
+        let low = catalog(5_000, 500, 20, 0.0);
+        let high = catalog(5_000, 500, 400, 0.0);
+        let r_low = Simulator::new(&low)
+            .simulate(&plan, &SimConfig::default().with_threads(20))
+            .unwrap();
+        let r_high = Simulator::new(&high)
+            .simulate(&plan, &SimConfig::default().with_threads(20))
+            .unwrap();
+        assert!(r_high.startup_us > r_low.startup_us);
+        // Roughly 0.45 ms per extra fragment for a triggered join.
+        let per_degree_ms = (r_high.startup_us - r_low.startup_us) / 1e3 / 380.0;
+        assert!((per_degree_ms - 0.45).abs() < 0.1, "got {per_degree_ms} ms/degree");
+    }
+
+    #[test]
+    fn remote_placement_slower_by_a_few_percent() {
+        let gen = WisconsinGenerator::new();
+        let a = gen.generate(&WisconsinConfig::narrow("DewittA", 20_000)).unwrap();
+        let mut cat = Catalog::new();
+        cat.register(
+            PartitionedRelation::from_relation(&a, PartitionSpec::on("unique1", 64, 8)).unwrap(),
+        )
+        .unwrap();
+        let plan = plans::selection("DewittA", Predicate::range("unique1", 0, 10_000), "Out");
+        let sim = Simulator::new(&cat);
+        let local = sim
+            .simulate(&plan, &SimConfig::default().with_threads(20))
+            .unwrap();
+        let remote = sim
+            .simulate(
+                &plan,
+                &SimConfig::default().with_threads(20).with_placement(DataPlacement::Remote),
+            )
+            .unwrap();
+        let overhead = remote.total_us() / local.total_us() - 1.0;
+        assert!(overhead > 0.0);
+        assert!(overhead < 0.10, "remote overhead should be a few percent, got {overhead}");
+    }
+
+    #[test]
+    fn more_threads_than_processors_do_not_help() {
+        let cat = catalog(10_000, 1_000, 200, 0.0);
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
+        let sim = Simulator::new(&cat);
+        let at_70 = sim.simulate(&plan, &SimConfig::default().with_threads(70)).unwrap();
+        let at_100 = sim.simulate(&plan, &SimConfig::default().with_threads(100)).unwrap();
+        assert!(at_100.speedup() <= at_70.speedup() + 1.0);
+    }
+
+    #[test]
+    fn fine_granule_absorbs_skew_of_triggered_join() {
+        // The grain-of-parallelism extension (paper Section 6, future work):
+        // splitting the skewed fragments' activations into sub-activations
+        // recovers most of the time lost to the longest activation.
+        let cat = catalog(10_000, 1_000, 50, 1.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let sim = Simulator::new(&cat);
+        let base = SimConfig::default()
+            .with_threads(20)
+            .with_strategy(ConsumptionStrategy::Lpt);
+        let coarse = sim.simulate(&plan, &base.clone()).unwrap();
+        let fine = sim
+            .simulate(&plan, &base.clone().with_triggered_granule(50))
+            .unwrap();
+        assert!(
+            fine.execution_us < coarse.execution_us * 0.7,
+            "fine grain {} should beat coarse grain {} on skewed data",
+            fine.execution_us,
+            coarse.execution_us
+        );
+        // The total work only grows by the extra per-activation overhead.
+        assert!(fine.sequential_work_us < coarse.sequential_work_us * 1.2);
+        // Sub-activations multiply the activation count.
+        let coarse_join = coarse.operation(NodeId(0)).unwrap().activations;
+        let fine_join = fine.operation(NodeId(0)).unwrap().activations;
+        assert_eq!(coarse_join, 50);
+        assert!(fine_join > 150, "expected many sub-activations, got {fine_join}");
+    }
+
+    #[test]
+    fn granule_larger_than_fragments_changes_nothing() {
+        let cat = catalog(2_000, 200, 20, 0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let sim = Simulator::new(&cat);
+        let plain = sim.simulate(&plan, &SimConfig::default().with_threads(8)).unwrap();
+        let huge = sim
+            .simulate(
+                &plan,
+                &SimConfig::default().with_threads(8).with_triggered_granule(1_000_000),
+            )
+            .unwrap();
+        assert_eq!(
+            plain.operation(NodeId(0)).unwrap().activations,
+            huge.operation(NodeId(0)).unwrap().activations
+        );
+        assert!((plain.total_us() - huge.total_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let cat = catalog(100, 10, 4, 0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let sim = Simulator::new(&cat);
+        assert!(matches!(
+            sim.simulate(&plan, &SimConfig::default().with_threads(0)),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn report_contains_per_operation_breakdown() {
+        let cat = catalog(2_000, 200, 20, 0.0);
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+        let report = Simulator::new(&cat)
+            .simulate(&plan, &SimConfig::default().with_threads(8))
+            .unwrap();
+        // Transmit and join are reported; store is folded away.
+        assert_eq!(report.operations.len(), 2);
+        let join = report.operation(NodeId(1)).unwrap();
+        // One probe per transmitted tuple plus one index build per fragment.
+        assert_eq!(join.activations, 200 + 20);
+        assert!(report.sequential_work_us > 0.0);
+        assert!(report.execution_us > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! A small relation catalog.
+//!
+//! Execution plans refer to base relations by name; the catalog maps those
+//! names to partitioned relations. It corresponds to the part of DBS3's
+//! storage manager the compiler consults to find the degree of partitioning
+//! and the partitioning attributes of each relation.
+
+use crate::error::StorageError;
+use crate::partition::PartitionedRelation;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Name → partitioned relation map.
+///
+/// Relations are stored behind `Arc` so that plans, the execution engine and
+/// the simulator can all hold references to the same fragments without
+/// copying the data (exactly the shared-memory assumption of the paper).
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    relations: HashMap<String, Arc<PartitionedRelation>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            relations: HashMap::new(),
+        }
+    }
+
+    /// Registers a partitioned relation under its name.
+    pub fn register(&mut self, relation: PartitionedRelation) -> Result<Arc<PartitionedRelation>> {
+        let name = relation.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        let arc = Arc::new(relation);
+        self.relations.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Replaces (or inserts) a relation, returning the previous entry if any.
+    pub fn replace(
+        &mut self,
+        relation: PartitionedRelation,
+    ) -> Option<Arc<PartitionedRelation>> {
+        let name = relation.name().to_string();
+        self.relations.insert(name, Arc::new(relation))
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Result<Arc<PartitionedRelation>> {
+        self.relations
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a relation with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Removes a relation by name.
+    pub fn remove(&mut self, name: &str) -> Result<Arc<PartitionedRelation>> {
+        self.relations
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Names of all registered relations, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Returns true when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{PartitionSpec, PartitionedRelation};
+    use crate::relation::test_relation;
+
+    fn partitioned(name: &str) -> PartitionedRelation {
+        let rel = test_relation(name, &[(1, 10), (2, 20), (3, 30)]);
+        PartitionedRelation::from_relation(&rel, PartitionSpec::on("id", 2, 1)).unwrap()
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut cat = Catalog::new();
+        cat.register(partitioned("A")).unwrap();
+        assert!(cat.contains("A"));
+        assert_eq!(cat.get("A").unwrap().cardinality(), 3);
+        assert!(matches!(cat.get("B"), Err(StorageError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut cat = Catalog::new();
+        cat.register(partitioned("A")).unwrap();
+        assert!(matches!(
+            cat.register(partitioned("A")),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut cat = Catalog::new();
+        cat.register(partitioned("A")).unwrap();
+        let old = cat.replace(partitioned("A"));
+        assert!(old.is_some());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_names() {
+        let mut cat = Catalog::new();
+        cat.register(partitioned("B")).unwrap();
+        cat.register(partitioned("A")).unwrap();
+        assert_eq!(cat.relation_names(), vec!["A".to_string(), "B".to_string()]);
+        cat.remove("A").unwrap();
+        assert!(!cat.contains("A"));
+        assert!(cat.remove("A").is_err());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        assert!(cat.relation_names().is_empty());
+    }
+}

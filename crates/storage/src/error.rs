@@ -1,0 +1,117 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+///
+/// The storage layer is deliberately strict: schema mismatches, unknown
+/// columns and out-of-range fragment identifiers are reported as errors
+/// instead of silently producing wrong partitions, because a wrong
+/// partitioning silently changes the degree of parallelism observed by the
+/// execution engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A column index was out of bounds for the schema.
+    ColumnIndexOutOfBounds { index: usize, width: usize },
+    /// A tuple did not match the schema it was inserted under.
+    SchemaMismatch { expected: usize, actual: usize },
+    /// A value had the wrong type for the column it was assigned to.
+    TypeMismatch {
+        column: String,
+        expected: &'static str,
+        actual: &'static str,
+    },
+    /// The requested degree of partitioning is invalid (must be >= 1).
+    InvalidDegree(usize),
+    /// The requested fragment does not exist.
+    FragmentOutOfBounds { fragment: usize, degree: usize },
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// A relation with the same name already exists in the catalog.
+    DuplicateRelation(String),
+    /// The Zipf parameter was outside the supported `[0, 1]` range used by
+    /// the paper.
+    InvalidZipfParameter(f64),
+    /// A generator configuration was invalid (e.g. zero cardinality).
+    InvalidGeneratorConfig(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            StorageError::ColumnIndexOutOfBounds { index, width } => {
+                write!(f, "column index {index} out of bounds for schema of width {width}")
+            }
+            StorageError::SchemaMismatch { expected, actual } => {
+                write!(f, "tuple has {actual} values but schema has {expected} columns")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch for column `{column}`: expected {expected}, got {actual}"
+            ),
+            StorageError::InvalidDegree(d) => {
+                write!(f, "invalid degree of partitioning {d}: must be at least 1")
+            }
+            StorageError::FragmentOutOfBounds { fragment, degree } => {
+                write!(f, "fragment {fragment} out of bounds for degree {degree}")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already registered")
+            }
+            StorageError::InvalidZipfParameter(theta) => {
+                write!(f, "invalid Zipf parameter {theta}: must be in [0, 1]")
+            }
+            StorageError::InvalidGeneratorConfig(msg) => {
+                write!(f, "invalid generator configuration: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_column() {
+        let e = StorageError::UnknownColumn("unique1".to_string());
+        assert_eq!(e.to_string(), "unknown column `unique1`");
+    }
+
+    #[test]
+    fn display_schema_mismatch() {
+        let e = StorageError::SchemaMismatch {
+            expected: 16,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("3 values"));
+        assert!(e.to_string().contains("16 columns"));
+    }
+
+    #[test]
+    fn display_invalid_degree() {
+        assert!(StorageError::InvalidDegree(0).to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<StorageError>();
+    }
+
+    #[test]
+    fn display_zipf_parameter() {
+        let e = StorageError::InvalidZipfParameter(1.5);
+        assert!(e.to_string().contains("1.5"));
+    }
+}

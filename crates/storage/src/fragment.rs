@@ -1,0 +1,128 @@
+//! Relation fragments.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// One fragment of a statically partitioned relation.
+///
+/// In DBS3 a fragment is the unit of intra-operation parallelism: the
+/// extended view of a Lera-par plan has one operation *instance* per fragment
+/// of the partitioned input relation, and each instance owns one activation
+/// queue. The fragment also records which "disk" it was placed on
+/// (round-robin placement, Section 2); the disk assignment is carried along
+/// so benches can reason about placement even though all data is
+/// memory-resident, as in the paper's experiments.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Fragment identifier, `0 .. degree`.
+    id: usize,
+    /// Disk the fragment is placed on (`id % num_disks`).
+    disk: usize,
+    /// Schema shared with the parent relation.
+    schema: Schema,
+    /// The tuples of this fragment.
+    tuples: Vec<Tuple>,
+}
+
+impl Fragment {
+    /// Creates a fragment.
+    pub fn new(id: usize, disk: usize, schema: Schema, tuples: Vec<Tuple>) -> Self {
+        Fragment {
+            id,
+            disk,
+            schema,
+            tuples,
+        }
+    }
+
+    /// Creates an empty fragment.
+    pub fn empty(id: usize, disk: usize, schema: Schema) -> Self {
+        Self::new(id, disk, schema, Vec::new())
+    }
+
+    /// Fragment identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Disk the fragment is assigned to.
+    pub fn disk(&self) -> usize {
+        self.disk
+    }
+
+    /// Fragment schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples of this fragment.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples in the fragment.
+    pub fn cardinality(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns true when the fragment has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a tuple.
+    pub fn push(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+    }
+
+    /// Approximate in-memory size in bytes (Allcache cache-occupancy model).
+    pub fn approximate_size(&self) -> usize {
+        self.tuples.iter().map(Tuple::approximate_size).sum()
+    }
+
+    /// Static cost estimate for processing this fragment with a per-tuple
+    /// cost of 1: simply the cardinality. The LPT consumption strategy sorts
+    /// activation queues by this estimate (the paper: "we can arrange the
+    /// operation instance in decreasing order of estimated execution time,
+    /// for instance, based on static information on fragment sizes").
+    pub fn estimated_cost(&self) -> u64 {
+        self.tuples.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::tuple::int_tuple;
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::int("id"), ColumnDef::int("val")])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let f = Fragment::new(3, 1, schema(), vec![int_tuple(&[1, 2])]);
+        assert_eq!(f.id(), 3);
+        assert_eq!(f.disk(), 1);
+        assert_eq!(f.cardinality(), 1);
+        assert!(!f.is_empty());
+        assert_eq!(f.schema().width(), 2);
+    }
+
+    #[test]
+    fn empty_fragment() {
+        let f = Fragment::empty(0, 0, schema());
+        assert!(f.is_empty());
+        assert_eq!(f.estimated_cost(), 0);
+    }
+
+    #[test]
+    fn push_updates_cost() {
+        let mut f = Fragment::empty(0, 0, schema());
+        f.push(int_tuple(&[1, 1]));
+        f.push(int_tuple(&[2, 2]));
+        assert_eq!(f.estimated_cost(), 2);
+        assert!(f.approximate_size() > 0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Relation schemas.
+
+use crate::error::StorageError;
+use crate::value::Value;
+use crate::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// The data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// Variable-length string.
+    Str,
+}
+
+impl DataType {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Str => "string",
+        }
+    }
+
+    /// Whether the given value is an instance of this type.
+    pub fn matches(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (DataType::Int, Value::Int(_)) | (DataType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (Wisconsin names such as `unique1`, `tenPercent`, ...).
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl ColumnDef {
+    /// Creates a new column definition.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+        }
+    }
+
+    /// Shorthand for an integer column.
+    pub fn int(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Int)
+    }
+
+    /// Shorthand for a string column.
+    pub fn str(name: impl Into<String>) -> Self {
+        Self::new(name, DataType::Str)
+    }
+}
+
+/// An ordered set of column definitions.
+///
+/// Schemas are shared widely (every fragment, every operator instance and
+/// every activation refers to one), so the column vector is kept behind an
+/// `Arc` and cloning a schema is cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<Vec<ColumnDef>>,
+}
+
+impl Schema {
+    /// Creates a schema from column definitions.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema {
+            columns: Arc::new(columns),
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns true when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Looks up a column index by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// Returns the column definition at `index`.
+    pub fn column(&self, index: usize) -> Result<&ColumnDef> {
+        self.columns
+            .get(index)
+            .ok_or(StorageError::ColumnIndexOutOfBounds {
+                index,
+                width: self.columns.len(),
+            })
+    }
+
+    /// Checks that `values` matches this schema in arity and types.
+    pub fn validate_values(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.width() {
+            return Err(StorageError::SchemaMismatch {
+                expected: self.width(),
+                actual: values.len(),
+            });
+        }
+        for (col, value) in self.columns.iter().zip(values) {
+            if !col.data_type.matches(value) {
+                return Err(StorageError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.data_type.name(),
+                    actual: value.type_name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the schema of the concatenation of two schemas, used for join
+    /// results. Column names from the right side are prefixed when they would
+    /// collide with a left-side name.
+    pub fn join(&self, right: &Schema, right_prefix: &str) -> Schema {
+        let mut columns: Vec<ColumnDef> = self.columns().to_vec();
+        for col in right.columns() {
+            let name = if self.column_index(&col.name).is_ok() {
+                format!("{right_prefix}.{}", col.name)
+            } else {
+                col.name.clone()
+            };
+            columns.push(ColumnDef::new(name, col.data_type));
+        }
+        Schema::new(columns)
+    }
+
+    /// Builds a schema containing only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut columns = Vec::with_capacity(names.len());
+        for name in names {
+            let idx = self.column_index(name)?;
+            columns.push(self.columns[idx].clone());
+        }
+        Ok(Schema::new(columns))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnDef::int("unique1"),
+            ColumnDef::int("unique2"),
+            ColumnDef::str("stringu1"),
+        ])
+    }
+
+    #[test]
+    fn width_and_lookup() {
+        let s = sample();
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.column_index("unique2").unwrap(), 1);
+        assert!(matches!(
+            s.column_index("missing"),
+            Err(StorageError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn column_by_index() {
+        let s = sample();
+        assert_eq!(s.column(2).unwrap().name, "stringu1");
+        assert!(matches!(
+            s.column(9),
+            Err(StorageError::ColumnIndexOutOfBounds { index: 9, width: 3 })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_matching_tuple() {
+        let s = sample();
+        let values = vec![Value::Int(1), Value::Int(2), Value::from("AAA")];
+        assert!(s.validate_values(&values).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity() {
+        let s = sample();
+        let values = vec![Value::Int(1)];
+        assert!(matches!(
+            s.validate_values(&values),
+            Err(StorageError::SchemaMismatch { expected: 3, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_type() {
+        let s = sample();
+        let values = vec![Value::Int(1), Value::from("oops"), Value::from("AAA")];
+        assert!(matches!(
+            s.validate_values(&values),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn join_schema_prefixes_collisions() {
+        let left = sample();
+        let right = Schema::new(vec![ColumnDef::int("unique1"), ColumnDef::int("other")]);
+        let joined = left.join(&right, "b");
+        assert_eq!(joined.width(), 5);
+        assert_eq!(joined.columns()[3].name, "b.unique1");
+        assert_eq!(joined.columns()[4].name, "other");
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let s = sample();
+        let p = s.project(&["stringu1", "unique1"]).unwrap();
+        assert_eq!(p.width(), 2);
+        assert_eq!(p.columns()[0].name, "stringu1");
+        assert_eq!(p.columns()[1].name, "unique1");
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample();
+        assert_eq!(s.to_string(), "(unique1 int, unique2 int, stringu1 string)");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let s = sample();
+        let c = s.clone();
+        assert_eq!(s, c);
+        // The Arc is shared, not deep-copied.
+        assert!(Arc::ptr_eq(&s.columns, &c.columns));
+    }
+}

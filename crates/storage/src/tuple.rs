@@ -1,0 +1,151 @@
+//! Tuples.
+
+use crate::value::{stable_hash_values, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A tuple: an immutable, cheaply clonable row of values.
+///
+/// Tuple activations are the unit of work of pipelined operations in DBS3:
+/// every tuple produced by a filter is sent as one activation to a join
+/// instance. The execution engine therefore clones tuples when it enqueues
+/// them, so the values are stored behind an `Arc` and a clone is a pointer
+/// copy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Arc<Vec<Value>>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: Arc::new(values),
+        }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The values in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at a column index (panics if out of range; callers validate
+    /// column indexes against the schema once, at plan-build time).
+    pub fn value(&self, index: usize) -> &Value {
+        &self.values[index]
+    }
+
+    /// Value at a column index without panicking.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// Concatenates two tuples (join result construction).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(self.values());
+        values.extend_from_slice(other.values());
+        Tuple::new(values)
+    }
+
+    /// Projects the tuple onto the given column indexes.
+    pub fn project(&self, indexes: &[usize]) -> Tuple {
+        Tuple::new(indexes.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Deterministic hash of the values at `key_indexes`, used for
+    /// partitioning and redistribution.
+    pub fn hash_key(&self, key_indexes: &[usize]) -> u64 {
+        stable_hash_values(key_indexes.iter().map(|&i| &self.values[i]))
+    }
+
+    /// Approximate in-memory size in bytes (used by the Allcache model).
+    pub fn approximate_size(&self) -> usize {
+        let header = 24; // Arc + vec header, rounded
+        header + self.values.iter().map(Value::approximate_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Convenience constructor for integer-only tuples (tests and examples).
+pub fn int_tuple(values: &[i64]) -> Tuple {
+    Tuple::new(values.iter().map(|&v| Value::Int(v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let t = int_tuple(&[1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.value(1), &Value::Int(2));
+        assert_eq!(t.get(5), None);
+    }
+
+    #[test]
+    fn concat_appends_values() {
+        let a = int_tuple(&[1, 2]);
+        let b = int_tuple(&[3]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.value(2), &Value::Int(3));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = int_tuple(&[10, 20, 30]);
+        let p = t.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Int(30), Value::Int(10)]);
+    }
+
+    #[test]
+    fn hash_key_depends_only_on_key_columns() {
+        let a = int_tuple(&[7, 100, 3]);
+        let b = int_tuple(&[7, 999, 4]);
+        assert_eq!(a.hash_key(&[0]), b.hash_key(&[0]));
+        assert_ne!(a.hash_key(&[1]), b.hash_key(&[1]));
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = int_tuple(&[1, 2, 3]);
+        let c = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &c.values));
+    }
+
+    #[test]
+    fn display_formats_values() {
+        let t = Tuple::new(vec![Value::Int(1), Value::from("X")]);
+        assert_eq!(t.to_string(), "[1, X]");
+    }
+
+    #[test]
+    fn approximate_size_grows_with_arity() {
+        assert!(int_tuple(&[1, 2, 3]).approximate_size() > int_tuple(&[1]).approximate_size());
+    }
+}

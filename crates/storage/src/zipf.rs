@@ -1,0 +1,180 @@
+//! Zipf skew model.
+//!
+//! The paper generates skewed databases by varying the tuple distribution
+//! across fragments: "To determine fragment cardinality, we use a Zipf
+//! function which yields a factor between 0 (no skew) and 1 (high skew)"
+//! (Section 5.4). Fragment `i` (1-based) of a relation with `n` fragments and
+//! total cardinality `C` receives
+//!
+//! ```text
+//! card(i) = C * (1 / i^theta) / H_n(theta)        H_n(theta) = sum_{k=1..n} 1/k^theta
+//! ```
+//!
+//! With `theta = 0` every fragment gets `C/n` tuples (no skew); with
+//! `theta = 1` the largest fragment gets `n / H_n(1)` times the average
+//! (≈ 34 for n = 200, which is exactly the `Pmax = 34 P` value the paper
+//! quotes in the footnote of Section 5.5).
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// A Zipf(θ) distribution over `n` ranks, θ ∈ [0, 1].
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    theta: f64,
+    n: usize,
+    /// Normalisation constant `H_n(theta)`.
+    harmonic: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution with parameter `theta` over `n` ranks.
+    ///
+    /// `theta` must lie in `[0, 1]` (the paper's skew-factor range) and `n`
+    /// must be at least 1.
+    pub fn new(theta: f64, n: usize) -> Result<Self> {
+        if !(0.0..=1.0).contains(&theta) || theta.is_nan() {
+            return Err(StorageError::InvalidZipfParameter(theta));
+        }
+        if n == 0 {
+            return Err(StorageError::InvalidGeneratorConfig(
+                "Zipf distribution needs at least one rank".to_string(),
+            ));
+        }
+        let harmonic = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).sum();
+        Ok(Zipf { theta, n, harmonic })
+    }
+
+    /// The skew parameter θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Probability mass of rank `i` (1-based).
+    pub fn mass(&self, rank: usize) -> f64 {
+        assert!(rank >= 1 && rank <= self.n, "rank out of range");
+        (1.0 / (rank as f64).powf(self.theta)) / self.harmonic
+    }
+
+    /// Ratio of the largest mass to the average mass, i.e. the paper's
+    /// `Pmax / P` skew factor for a triggered operation whose activation cost
+    /// is proportional to fragment cardinality.
+    pub fn max_to_average_ratio(&self) -> f64 {
+        self.mass(1) * self.n as f64
+    }
+
+    /// Splits `total` items into `n` integer cardinalities following the
+    /// distribution. The cardinalities sum exactly to `total` (the rounding
+    /// remainder is assigned to the largest fragments first, mirroring how a
+    /// real loader would fill the heaviest partitions).
+    pub fn cardinalities(&self, total: usize) -> Vec<usize> {
+        let mut cards: Vec<usize> = (1..=self.n)
+            .map(|i| (self.mass(i) * total as f64).floor() as usize)
+            .collect();
+        let assigned: usize = cards.iter().sum();
+        let mut remainder = total - assigned;
+        let mut rank = 0usize;
+        while remainder > 0 {
+            cards[rank % self.n] += 1;
+            remainder -= 1;
+            rank += 1;
+        }
+        cards
+    }
+
+    /// Harmonic normalisation constant `H_n(theta)`.
+    pub fn harmonic(&self) -> f64 {
+        self.harmonic
+    }
+}
+
+/// Computes the `Pmax / P` skew factor for a given θ and fragment count,
+/// without building fragment cardinalities. This is the quantity plugged into
+/// the analytic overhead bound (equation 3 of the paper).
+pub fn skew_factor(theta: f64, fragments: usize) -> Result<f64> {
+    Ok(Zipf::new(theta, fragments)?.max_to_average_ratio())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Zipf::new(-0.1, 10).is_err());
+        assert!(Zipf::new(1.5, 10).is_err());
+        assert!(Zipf::new(f64::NAN, 10).is_err());
+        assert!(Zipf::new(0.5, 0).is_err());
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(0.0, 8).unwrap();
+        for i in 1..=8 {
+            assert!((z.mass(i) - 0.125).abs() < 1e-12);
+        }
+        assert!((z.max_to_average_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        for &theta in &[0.0, 0.4, 0.6, 0.8, 1.0] {
+            let z = Zipf::new(theta, 200).unwrap();
+            let total: f64 = (1..=200).map(|i| z.mass(i)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "theta={theta} total={total}");
+        }
+    }
+
+    #[test]
+    fn masses_are_monotonically_decreasing() {
+        let z = Zipf::new(0.7, 50).unwrap();
+        for i in 1..50 {
+            assert!(z.mass(i) >= z.mass(i + 1));
+        }
+    }
+
+    #[test]
+    fn paper_skew_factor_for_200_fragments() {
+        // The paper (Section 5.5 footnote): with Zipf = 1 and a = 200
+        // buckets, Pmax = 34 P.
+        let ratio = skew_factor(1.0, 200).unwrap();
+        assert!((ratio - 34.0).abs() < 1.0, "expected ~34, got {ratio}");
+    }
+
+    #[test]
+    fn cardinalities_sum_to_total() {
+        let z = Zipf::new(0.8, 37).unwrap();
+        let cards = z.cardinalities(100_003);
+        assert_eq!(cards.iter().sum::<usize>(), 100_003);
+        assert_eq!(cards.len(), 37);
+    }
+
+    #[test]
+    fn cardinalities_follow_skew_ordering() {
+        let z = Zipf::new(1.0, 20).unwrap();
+        let cards = z.cardinalities(10_000);
+        // Allow for the +1 remainder distribution but the head must dominate.
+        assert!(cards[0] > cards[10]);
+        assert!(cards[0] > 4 * cards[19]);
+    }
+
+    #[test]
+    fn cardinalities_uniform_when_unskewed() {
+        let z = Zipf::new(0.0, 10).unwrap();
+        let cards = z.cardinalities(1000);
+        assert!(cards.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn skew_factor_monotone_in_theta() {
+        let a = skew_factor(0.2, 100).unwrap();
+        let b = skew_factor(0.6, 100).unwrap();
+        let c = skew_factor(1.0, 100).unwrap();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,101 @@
+//! Adaptive scheduling: the four-step thread-allocation procedure of
+//! Section 3 (Figure 5) applied to a filter–join pipeline.
+//!
+//! The example builds the filter–join query of Figure 1 with the fluent
+//! plan builder, shows how the scheduler distributes a thread budget over
+//! the operations of the pipeline proportionally to their estimated
+//! complexity, how the consumption strategy is picked per operation, and
+//! then executes the plan on the real engine to compare the predicted and
+//! observed load balance.
+//!
+//! ```text
+//! cargo run --release --example adaptive_scheduling
+//! ```
+
+use dbs3::prelude::*;
+use dbs3_lera::JoinCondition;
+
+fn main() {
+    // A 50K-tuple orders-like relation and a 5K-tuple reference relation,
+    // partitioned on the join attribute with a *skewed* distribution for R.
+    let generator = WisconsinGenerator::new();
+    let r = generator
+        .generate(&WisconsinConfig::narrow("R", 50_000))
+        .expect("generate R");
+    let s = generator
+        .generate(&WisconsinConfig::narrow("S", 5_000))
+        .expect("generate S");
+    let spec = PartitionSpec::on("unique1", 64, 8);
+    let mut catalog = Catalog::new();
+    catalog
+        .register(
+            PartitionedRelation::from_relation_with_skew(&r, spec.clone(), 0.8).expect("skew R"),
+        )
+        .expect("register R");
+    catalog
+        .register(PartitionedRelation::from_relation(&s, spec).expect("partition S"))
+        .expect("register S");
+
+    // Build the Figure 1 pipeline by hand with the PlanBuilder: a selective
+    // filter over R pipelined into a join with S, materialised into `Out`.
+    let mut builder = PlanBuilder::new("filter_join_example");
+    let filter = builder.filter("R", Predicate::one_in("onePercent", 4));
+    let join = builder.pipelined_join(
+        filter,
+        "S",
+        JoinCondition::natural("unique1"),
+        JoinAlgorithm::Hash,
+    );
+    builder.store(join, "Out");
+    let plan = builder.build();
+
+    let extended =
+        ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).expect("expand plan");
+
+    println!("four-step scheduling for `{}`:", plan.name());
+    for budget in [4usize, 8, 16] {
+        let schedule = Scheduler::build(
+            &plan,
+            &extended,
+            &SchedulerOptions::default().with_total_threads(budget),
+        )
+        .expect("schedule");
+        print!("  {budget:>2} threads ->");
+        for node in plan.nodes() {
+            let op = schedule.operation(node.id).unwrap();
+            print!("  {}[{} thr, {}]", node.name, op.threads, op.strategy.name());
+        }
+        println!();
+    }
+
+    // Execute with 8 threads and report the observed balance.
+    let schedule = Scheduler::build(
+        &plan,
+        &extended,
+        &SchedulerOptions::default().with_total_threads(8),
+    )
+    .expect("schedule");
+    let outcome = Executor::new(&catalog).execute(&plan, &schedule).expect("execute");
+
+    println!();
+    println!(
+        "executed in {:?}, result cardinality {}",
+        outcome.metrics.elapsed,
+        outcome.results["Out"].len()
+    );
+    for op in &outcome.metrics.operations {
+        println!(
+            "  {:<22} activations={:<7} busy(max/avg)={:.2} secondary-queue-ratio={:.2}",
+            op.name,
+            op.total_activations(),
+            op.busy_imbalance(),
+            op.secondary_consumption_ratio()
+        );
+    }
+    println!();
+    println!(
+        "The shared activation queues let every thread of a pool drain whichever instance still \
+         has work, so the busy-time imbalance stays close to 1 even though R's fragments are \
+         heavily skewed."
+    );
+}

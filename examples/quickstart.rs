@@ -1,0 +1,75 @@
+//! Quickstart: load a small Wisconsin database, run an IdealJoin on the
+//! adaptive parallel engine, and inspect the execution metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dbs3::prelude::*;
+
+fn main() {
+    // 1. Generate two Wisconsin relations: A (20K tuples) and B' (2K tuples).
+    let generator = WisconsinGenerator::new();
+    let a = generator
+        .generate(&WisconsinConfig::narrow("A", 20_000))
+        .expect("generate A");
+    let b = generator
+        .generate(&WisconsinConfig::narrow("Bprime", 2_000))
+        .expect("generate Bprime");
+
+    // 2. Statically partition both on the join attribute `unique1` into 40
+    //    fragments spread over 4 (virtual) disks, and register them.
+    let spec = PartitionSpec::on("unique1", 40, 4);
+    let mut catalog = Catalog::new();
+    catalog
+        .register(PartitionedRelation::from_relation(&a, spec.clone()).expect("partition A"))
+        .expect("register A");
+    catalog
+        .register(PartitionedRelation::from_relation(&b, spec).expect("partition Bprime"))
+        .expect("register Bprime");
+
+    // 3. Build the IdealJoin plan of the paper (Figure 10): a triggered,
+    //    co-partitioned join followed by a store.
+    let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+
+    // 4. Let the DBS3 scheduler fix the execution parameters (threads per
+    //    operation, consumption strategy, queue sizes) for 8 threads total.
+    let extended = ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default())
+        .expect("expand plan");
+    let schedule = Scheduler::build(
+        &plan,
+        &extended,
+        &SchedulerOptions::default().with_total_threads(8),
+    )
+    .expect("schedule plan");
+
+    println!("plan: {}", plan.name());
+    for node in plan.nodes() {
+        let op = schedule.operation(node.id).unwrap();
+        println!(
+            "  {:<24} threads={:<2} strategy={:<6} queues={}",
+            node.name,
+            op.threads,
+            op.strategy.name(),
+            extended.operation(node.id).unwrap().instance_count()
+        );
+    }
+
+    // 5. Execute on the parallel engine and report.
+    let outcome = Executor::new(&catalog)
+        .execute(&plan, &schedule)
+        .expect("execute plan");
+    let result = &outcome.results["Result"];
+    println!("\njoin produced {} tuples in {:?}", result.len(), outcome.metrics.elapsed);
+
+    for op in &outcome.metrics.operations {
+        println!(
+            "  {:<24} activations={:<6} tuples-out={:<7} imbalance={:.2} secondary-queue-ratio={:.2}",
+            op.name,
+            op.total_activations(),
+            op.total_tuples_out(),
+            op.busy_imbalance(),
+            op.secondary_consumption_ratio()
+        );
+    }
+}

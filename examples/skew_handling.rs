@@ -1,0 +1,99 @@
+//! Skew handling: how the adaptive execution model reacts to Zipf-skewed
+//! fragment cardinalities, on both the real engine and the KSR1-scale
+//! simulator.
+//!
+//! The example reproduces, at a reduced scale, the core claim of Section 4:
+//! pipelined operations are naturally insensitive to skew, and triggered
+//! operations stay insensitive as long as the LPT consumption strategy is
+//! used (up to the point where the longest activation dominates).
+//!
+//! ```text
+//! cargo run --release --example skew_handling
+//! ```
+
+use dbs3::prelude::*;
+
+fn build_catalog(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Catalog {
+    let generator = WisconsinGenerator::new();
+    let a = generator
+        .generate(&WisconsinConfig::narrow("A", a_card))
+        .expect("generate A");
+    let b = generator
+        .generate(&WisconsinConfig::narrow("Bprime", b_card))
+        .expect("generate Bprime");
+    let spec = PartitionSpec::on("unique1", degree, 4);
+    let a_part = if theta > 0.0 {
+        PartitionedRelation::from_relation_with_skew(&a, spec.clone(), theta).expect("skewed A")
+    } else {
+        PartitionedRelation::from_relation(&a, spec.clone()).expect("partition A")
+    };
+    let mut catalog = Catalog::new();
+    catalog.register(a_part).expect("register A");
+    catalog
+        .register(PartitionedRelation::from_relation(&b, spec).expect("partition B"))
+        .expect("register B");
+    catalog
+}
+
+fn main() {
+    println!("== Part 1: real engine, IdealJoin, Random vs LPT under skew ==");
+    println!("{:>6} {:>14} {:>14} {:>12}", "zipf", "random (ms)", "lpt (ms)", "skew factor");
+    for &theta in &[0.0, 0.5, 1.0] {
+        let catalog = build_catalog(10_000, 1_000, 40, theta);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let extended =
+            ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).expect("expand");
+        let mut elapsed = Vec::new();
+        for strategy in [ConsumptionStrategy::Random, ConsumptionStrategy::Lpt] {
+            let schedule = Scheduler::build(
+                &plan,
+                &extended,
+                &SchedulerOptions::default()
+                    .with_total_threads(4)
+                    .with_strategy(strategy),
+            )
+            .expect("schedule");
+            let outcome = Executor::new(&catalog).execute(&plan, &schedule).expect("execute");
+            elapsed.push(outcome.metrics.elapsed.as_secs_f64() * 1e3);
+        }
+        let skew = catalog.get("A").unwrap().observed_skew_factor();
+        println!("{:>6.1} {:>14.1} {:>14.1} {:>12.1}", theta, elapsed[0], elapsed[1], skew);
+    }
+
+    println!();
+    println!("== Part 2: KSR1-scale simulator, 10 threads, 200 fragments ==");
+    println!(
+        "{:>6} {:>22} {:>22} {:>12}",
+        "zipf", "IdealJoin (s, LPT)", "AssocJoin (s)", "bound v"
+    );
+    let plan_ideal = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+    let plan_assoc = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
+    for &theta in &[0.0, 0.4, 0.8, 1.0] {
+        let catalog = build_catalog(100_000, 10_000, 200, theta);
+        let simulator = Simulator::new(&catalog);
+        let ideal = simulator
+            .simulate(
+                &plan_ideal,
+                &SimConfig::default()
+                    .with_threads(10)
+                    .with_strategy(ConsumptionStrategy::Lpt),
+            )
+            .expect("simulate IdealJoin");
+        let assoc = simulator
+            .simulate(&plan_assoc, &SimConfig::default().with_threads(10))
+            .expect("simulate AssocJoin");
+        let bound = overhead_bound(200, zipf_max_to_avg(theta.max(1e-9).min(1.0), 200), 10);
+        println!(
+            "{:>6.1} {:>22.1} {:>22.1} {:>12.3}",
+            theta,
+            ideal.total_seconds(),
+            assoc.total_seconds(),
+            bound
+        );
+    }
+    println!();
+    println!(
+        "AssocJoin (pipelined, ~10K activations) stays flat; IdealJoin (triggered, 200 \
+         activations) degrades only once the longest activation exceeds the ideal time."
+    );
+}

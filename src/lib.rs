@@ -1,0 +1,78 @@
+//! # dbs3 — Adaptive Parallel Query Execution in DBS3, reproduced in Rust
+//!
+//! This umbrella crate re-exports the whole workspace so that applications
+//! (and the examples under `examples/`) can depend on a single crate:
+//!
+//! * [`storage`] ([`dbs3_storage`]) — partitioned storage, the Wisconsin
+//!   benchmark generator, Zipf skew, temporary indexes;
+//! * [`lera`] ([`dbs3_lera`]) — the Lera-par dataflow plan language,
+//!   extended-view expansion and complexity estimation;
+//! * [`engine`] ([`dbs3_engine`]) — the adaptive parallel execution engine
+//!   (activation queues, per-operation thread pools, Random/LPT consumption
+//!   strategies, the four-step scheduler);
+//! * [`model`] ([`dbs3_model`]) — the analytical model (skew overhead bound,
+//!   `nmax`, thread-allocation equations);
+//! * [`sim`] ([`dbs3_sim`]) — the virtual-time multiprocessor simulator
+//!   standing in for the 72-processor KSR1.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dbs3::prelude::*;
+//!
+//! // 1. Generate and partition two small Wisconsin relations.
+//! let gen = WisconsinGenerator::new();
+//! let a = gen.generate(&WisconsinConfig::narrow("A", 2_000)).unwrap();
+//! let b = gen.generate(&WisconsinConfig::narrow("Bprime", 200)).unwrap();
+//! let spec = PartitionSpec::on("unique1", 16, 4);
+//! let mut catalog = Catalog::new();
+//! catalog.register(PartitionedRelation::from_relation(&a, spec.clone()).unwrap()).unwrap();
+//! catalog.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+//!
+//! // 2. Build the IdealJoin plan (both operands co-partitioned on unique1).
+//! let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+//!
+//! // 3. Schedule it with 4 threads and execute it on the parallel engine.
+//! let extended = ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).unwrap();
+//! let schedule = Scheduler::build(
+//!     &plan,
+//!     &extended,
+//!     &SchedulerOptions::default().with_total_threads(4),
+//! ).unwrap();
+//! let outcome = Executor::new(&catalog).execute(&plan, &schedule).unwrap();
+//! assert_eq!(outcome.results["Result"].len(), 200);
+//! ```
+
+pub use dbs3_engine as engine;
+pub use dbs3_lera as lera;
+pub use dbs3_model as model;
+pub use dbs3_sim as sim;
+pub use dbs3_storage as storage;
+
+/// The most commonly used items of every crate, for `use dbs3::prelude::*`.
+pub mod prelude {
+    pub use dbs3_engine::{
+        ConsumptionStrategy, ExecutionSchedule, Executor, Scheduler, SchedulerOptions,
+    };
+    pub use dbs3_lera::{
+        plans, CostParameters, ExtendedPlan, JoinAlgorithm, Plan, PlanBuilder, Predicate,
+    };
+    pub use dbs3_model::{n_max, overhead_bound, theoretical_speedup, zipf_max_to_avg};
+    pub use dbs3_sim::{DataPlacement, SimConfig, Simulator, WorkerAssignment};
+    pub use dbs3_storage::{
+        Catalog, PartitionSpec, PartitionedRelation, Relation, Schema, Tuple, Value,
+        WisconsinConfig, WisconsinGenerator, Zipf,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _ = JoinAlgorithm::NestedLoop;
+        let _ = ConsumptionStrategy::Lpt;
+        let _ = DataPlacement::Local;
+        assert!(zipf_max_to_avg(1.0, 200) > 30.0);
+    }
+}
