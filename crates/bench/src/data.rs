@@ -84,11 +84,9 @@ impl JoinDatabase {
             PartitionedRelation::from_relation_with_skew(&self.a, spec.clone(), theta)
                 .expect("valid skewed partitioning")
         } else {
-            PartitionedRelation::from_relation(&self.a, spec.clone())
-                .expect("valid partitioning")
+            PartitionedRelation::from_relation(&self.a, spec.clone()).expect("valid partitioning")
         };
-        let b_part =
-            PartitionedRelation::from_relation(&self.b, spec).expect("valid partitioning");
+        let b_part = PartitionedRelation::from_relation(&self.b, spec).expect("valid partitioning");
         let mut cat = Catalog::new();
         cat.register(a_part).expect("fresh catalog");
         cat.register(b_part).expect("fresh catalog");

@@ -101,7 +101,10 @@ pub fn fig08_remote_access(scale: ExperimentScale) -> Vec<RemoteAccessRow> {
 /// Prints Figures 8 and 9.
 pub fn print_fig08(rows: &[RemoteAccessRow]) {
     println!("# Figure 8/9 — 200K-tuple selection, local vs remote data (Allcache)");
-    println!("{:>8} {:>12} {:>12} {:>14} {:>10}", "threads", "local (s)", "remote (s)", "Tr-Tl (ms)", "overhead");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>10}",
+        "threads", "local (s)", "remote (s)", "Tr-Tl (ms)", "overhead"
+    );
     for r in rows {
         println!(
             "{:>8} {:>12.3} {:>12.3} {:>14.1} {:>9.1}%",
@@ -142,7 +145,10 @@ pub fn fig12_assocjoin_skew(scale: ExperimentScale) -> Vec<AssocSkewRow> {
             let catalog = db.catalog(degree, theta);
             let sim = Simulator::new(&catalog);
             let report = sim
-                .simulate(&plan, &sim_threads(threads).with_strategy(ConsumptionStrategy::Random))
+                .simulate(
+                    &plan,
+                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Random),
+                )
                 .expect("valid plan");
             // Tworst from the analytic model, over the pipelined join's
             // activation profile and the threads its pool actually received.
@@ -168,7 +174,10 @@ pub fn print_fig12(rows: &[AssocSkewRow]) {
     println!("# Figure 12 — AssocJoin execution time vs skew (10 threads, 200 fragments)");
     println!("{:>6} {:>14} {:>12}", "zipf", "measured (s)", "Tworst (s)");
     for r in rows {
-        println!("{:>6.1} {:>14.2} {:>12.2}", r.theta, r.measured_s, r.tworst_s);
+        println!(
+            "{:>6.1} {:>14.2} {:>12.2}",
+            r.theta, r.measured_s, r.tworst_s
+        );
     }
 }
 
@@ -198,10 +207,16 @@ pub fn fig13_idealjoin_skew(scale: ExperimentScale) -> Vec<IdealSkewRow> {
             let catalog = db.catalog(degree, theta);
             let sim = Simulator::new(&catalog);
             let random = sim
-                .simulate(&plan, &sim_threads(threads).with_strategy(ConsumptionStrategy::Random))
+                .simulate(
+                    &plan,
+                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Random),
+                )
                 .expect("valid plan");
             let lpt = sim
-                .simulate(&plan, &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt))
+                .simulate(
+                    &plan,
+                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+                )
                 .expect("valid plan");
             let join = random.operation(NodeId(0)).expect("join is simulated");
             let tworst_us = random.startup_us
@@ -224,7 +239,10 @@ pub fn fig13_idealjoin_skew(scale: ExperimentScale) -> Vec<IdealSkewRow> {
 /// Prints Figure 13.
 pub fn print_fig13(rows: &[IdealSkewRow]) {
     println!("# Figure 13 — IdealJoin execution time vs skew (10 threads, 200 fragments)");
-    println!("{:>6} {:>12} {:>12} {:>12}", "zipf", "random (s)", "lpt (s)", "Tworst (s)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "zipf", "random (s)", "lpt (s)", "Tworst (s)"
+    );
     for r in rows {
         println!(
             "{:>6.1} {:>12.2} {:>12.2} {:>12.2}",
@@ -278,7 +296,10 @@ pub fn fig14_assocjoin_speedup(scale: ExperimentScale) -> Vec<AssocSpeedupRow> {
 /// Prints Figure 14.
 pub fn print_fig14(rows: &[AssocSpeedupRow]) {
     println!("# Figure 14 — AssocJoin speed-up vs threads (200 fragments)");
-    println!("{:>8} {:>10} {:>12} {:>12}", "threads", "unskewed", "zipf=1", "theoretical");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "threads", "unskewed", "zipf=1", "theoretical"
+    );
     for r in rows {
         println!(
             "{:>8} {:>10.1} {:>12.1} {:>12.1}",
@@ -314,7 +335,10 @@ pub fn fig15_idealjoin_speedup(scale: ExperimentScale) -> Vec<IdealSpeedupRow> {
         .map(|n| {
             let speedup_at = |idx: usize| {
                 Simulator::new(&catalogs[idx].1)
-                    .simulate(&plan, &sim_threads(n).with_strategy(ConsumptionStrategy::Lpt))
+                    .simulate(
+                        &plan,
+                        &sim_threads(n).with_strategy(ConsumptionStrategy::Lpt),
+                    )
                     .expect("valid plan")
                     .speedup()
             };
@@ -402,7 +426,10 @@ pub fn fig16_partitioning_overhead(scale: ExperimentScale) -> Vec<PartitioningOv
 /// Prints Figure 16 with the fitted per-degree slopes.
 pub fn print_fig16(rows: &[PartitioningOverheadRow]) {
     println!("# Figure 16 — partitioning overhead, no index (20 threads, unskewed)");
-    println!("{:>8} {:>16} {:>16}", "degree", "ideal ovh (s)", "assoc ovh (s)");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "degree", "ideal ovh (s)", "assoc ovh (s)"
+    );
     for r in rows {
         println!(
             "{:>8} {:>16.3} {:>16.3}",
@@ -447,8 +474,14 @@ pub fn fig17_index_partitioning(scale: ExperimentScale) -> Vec<IndexPartitioning
             let sim = Simulator::new(&catalog);
             IndexPartitioningRow {
                 degree: d,
-                ideal_s: sim.simulate(&ideal, &sim_threads(threads)).expect("valid plan").total_seconds(),
-                assoc_s: sim.simulate(&assoc, &sim_threads(threads)).expect("valid plan").total_seconds(),
+                ideal_s: sim
+                    .simulate(&ideal, &sim_threads(threads))
+                    .expect("valid plan")
+                    .total_seconds(),
+                assoc_s: sim
+                    .simulate(&assoc, &sim_threads(threads))
+                    .expect("valid plan")
+                    .total_seconds(),
             }
         })
         .collect()
@@ -491,7 +524,10 @@ pub fn fig18_skew_vs_partitioning(scale: ExperimentScale) -> Vec<SkewVsPartition
     let run = |db: &JoinDatabase, plan: &dbs3_lera::Plan, degree: usize, theta: f64| -> f64 {
         let catalog = db.catalog(degree, theta);
         Simulator::new(&catalog)
-            .simulate(plan, &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt))
+            .simulate(
+                plan,
+                &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+            )
             .expect("valid plan")
             .total_seconds()
     };
@@ -513,8 +549,13 @@ pub fn fig18_skew_vs_partitioning(scale: ExperimentScale) -> Vec<SkewVsPartition
 
 /// Prints Figure 18.
 pub fn print_fig18(rows: &[SkewVsPartitioningRow]) {
-    println!("# Figure 18 — skew overhead v0.6 of IdealJoin vs degree of partitioning (LPT, 20 threads)");
-    println!("{:>8} {:>16} {:>14} {:>10}", "degree", "v (nested loop)", "v (index)", "vworst");
+    println!(
+        "# Figure 18 — skew overhead v0.6 of IdealJoin vs degree of partitioning (LPT, 20 threads)"
+    );
+    println!(
+        "{:>8} {:>16} {:>14} {:>10}",
+        "degree", "v (nested loop)", "v (index)", "vworst"
+    );
     for r in rows {
         println!(
             "{:>8} {:>16.3} {:>14.3} {:>10.3}",
@@ -545,7 +586,10 @@ pub fn fig19_saved_time(scale: ExperimentScale) -> Vec<SavedTimeRow> {
         .map(|&d| {
             let catalog = db.catalog(d, 0.6);
             Simulator::new(&catalog)
-                .simulate(&plan, &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt))
+                .simulate(
+                    &plan,
+                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+                )
                 .expect("valid plan")
                 .total_seconds()
         })
@@ -608,7 +652,10 @@ pub fn ablation_static_baseline(scale: ExperimentScale) -> Vec<StaticBaselineRow
             let catalog = db.catalog(degree, theta);
             let sim = Simulator::new(&catalog);
             let adaptive = sim
-                .simulate(&plan, &sim_threads(10).with_strategy(ConsumptionStrategy::Lpt))
+                .simulate(
+                    &plan,
+                    &sim_threads(10).with_strategy(ConsumptionStrategy::Lpt),
+                )
                 .expect("valid plan");
             let fixed = sim
                 .simulate(
@@ -630,7 +677,10 @@ pub fn ablation_static_baseline(scale: ExperimentScale) -> Vec<StaticBaselineRow
 /// Prints the static-baseline ablation.
 pub fn print_ablation_static(rows: &[StaticBaselineRow]) {
     println!("# Ablation — adaptive shared queues vs static per-instance threads (IdealJoin, 10 threads)");
-    println!("{:>6} {:>14} {:>12} {:>10}", "zipf", "adaptive (s)", "static (s)", "ratio");
+    println!(
+        "{:>6} {:>14} {:>12} {:>10}",
+        "zipf", "adaptive (s)", "static (s)", "ratio"
+    );
     for r in rows {
         println!(
             "{:>6.1} {:>14.2} {:>12.2} {:>10.2}",
@@ -786,7 +836,10 @@ pub fn ablation_granule(scale: ExperimentScale) -> Vec<GranuleRow> {
                 .expect("valid plan");
             GranuleRow {
                 granule,
-                activations: skewed_report.operation(NodeId(0)).expect("join simulated").activations,
+                activations: skewed_report
+                    .operation(NodeId(0))
+                    .expect("join simulated")
+                    .activations,
                 skewed_s: skewed_report.total_seconds(),
                 unskewed_s: unskewed_report.total_seconds(),
             }
@@ -796,7 +849,9 @@ pub fn ablation_granule(scale: ExperimentScale) -> Vec<GranuleRow> {
 
 /// Prints the grain-of-parallelism ablation.
 pub fn print_ablation_granule(rows: &[GranuleRow]) {
-    println!("# Ablation — grain of parallelism for the triggered IdealJoin (Zipf = 1, LPT, 20 threads)");
+    println!(
+        "# Ablation — grain of parallelism for the triggered IdealJoin (Zipf = 1, LPT, 20 threads)"
+    );
     println!(
         "{:>10} {:>13} {:>13} {:>15} {:>10}",
         "granule", "activations", "skewed (s)", "unskewed (s)", "v"
@@ -808,7 +863,11 @@ pub fn print_ablation_granule(rows: &[GranuleRow]) {
             .unwrap_or_else(|| "fragment".to_string());
         println!(
             "{:>10} {:>13} {:>13.2} {:>15.2} {:>10.3}",
-            granule, r.activations, r.skewed_s, r.unskewed_s, r.overhead()
+            granule,
+            r.activations,
+            r.skewed_s,
+            r.unskewed_s,
+            r.overhead()
         );
     }
 }
@@ -841,11 +900,17 @@ pub fn ablation_bound(scale: ExperimentScale) -> Vec<BoundRow> {
         let unskewed = db.catalog(degree, 0.0);
         for &threads in &thread_counts {
             let t_skewed = Simulator::new(&skewed)
-                .simulate(&plan, &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt))
+                .simulate(
+                    &plan,
+                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+                )
                 .expect("valid plan")
                 .execution_us;
             let t_ideal = Simulator::new(&unskewed)
-                .simulate(&plan, &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt))
+                .simulate(
+                    &plan,
+                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+                )
                 .expect("valid plan")
                 .execution_us;
             rows.push(BoundRow {
@@ -866,7 +931,10 @@ pub fn ablation_bound(scale: ExperimentScale) -> Vec<BoundRow> {
 /// Prints the bound-validation ablation.
 pub fn print_ablation_bound(rows: &[BoundRow]) {
     println!("# Ablation — measured skew overhead vs analytic bound (IdealJoin, LPT)");
-    println!("{:>6} {:>8} {:>12} {:>10}", "zipf", "threads", "measured v", "bound v");
+    println!(
+        "{:>6} {:>8} {:>12} {:>10}",
+        "zipf", "threads", "measured v", "bound v"
+    );
     for r in rows {
         println!(
             "{:>6.1} {:>8} {:>12.3} {:>10.3}",
@@ -899,7 +967,10 @@ mod tests {
             .iter()
             .map(|r| (r.measured_s - first).abs() / first)
             .fold(0.0, f64::max);
-        assert!(worst < 0.12, "AssocJoin should stay flat, max deviation {worst}");
+        assert!(
+            worst < 0.12,
+            "AssocJoin should stay flat, max deviation {worst}"
+        );
         for r in &rows {
             assert!(r.measured_s <= r.tworst_s * 1.05);
         }
@@ -909,7 +980,11 @@ mod tests {
     fn fig13_lpt_no_worse_than_random_and_grows_with_skew() {
         let rows = fig13_idealjoin_skew(SMOKE);
         for r in &rows {
-            assert!(r.lpt_s <= r.random_s * 1.05, "LPT worse than Random at {}", r.theta);
+            assert!(
+                r.lpt_s <= r.random_s * 1.05,
+                "LPT worse than Random at {}",
+                r.theta
+            );
         }
         let first = rows.first().unwrap();
         let last = rows.last().unwrap();
@@ -920,7 +995,10 @@ mod tests {
     fn fig15_skew_caps_speedup() {
         let rows = fig15_idealjoin_speedup(SMOKE);
         let last = rows.last().unwrap();
-        assert!(last.unskewed > last.zipf_1, "skew must reduce the asymptotic speed-up");
+        assert!(
+            last.unskewed > last.zipf_1,
+            "skew must reduce the asymptotic speed-up"
+        );
     }
 
     #[test]

@@ -60,8 +60,12 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(EngineError::NoStoreOperator.to_string().contains("store"));
-        assert!(EngineError::IncompleteSchedule { node: 4 }.to_string().contains('4'));
-        assert!(EngineError::InvalidSchedule("x".into()).to_string().contains('x'));
+        assert!(EngineError::IncompleteSchedule { node: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(EngineError::InvalidSchedule("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -353,8 +353,7 @@ impl<'a> Executor<'a> {
                     OuterInput::Pipeline => {
                         let producer = node.producer().expect("validated");
                         let incoming_schema = plan.output_schema(producer, self.catalog)?;
-                        let outer_column =
-                            incoming_schema.column_index(&condition.outer_column)?;
+                        let outer_column = incoming_schema.column_index(&condition.outer_column)?;
                         Ok(BoundOperator::PipelinedJoin(PipelinedJoinOperator::new(
                             inner,
                             outer_column,
@@ -464,7 +463,9 @@ mod tests {
     ) -> (Catalog, Relation, Relation) {
         let gen = WisconsinGenerator::new();
         let a = gen.generate(&WisconsinConfig::narrow("A", a_card)).unwrap();
-        let b = gen.generate(&WisconsinConfig::narrow("Bprime", b_card)).unwrap();
+        let b = gen
+            .generate(&WisconsinConfig::narrow("Bprime", b_card))
+            .unwrap();
         let spec = PartitionSpec::on("unique1", degree, 4);
         let a_part = if skew > 0.0 {
             PartitionedRelation::from_relation_with_skew(&a, spec.clone(), skew).unwrap()
@@ -484,8 +485,12 @@ mod tests {
 
     fn schedule_for(plan: &Plan, cat: &Catalog, threads: usize) -> ExecutionSchedule {
         let ext = ExtendedPlan::from_plan(plan, cat, &CostParameters::default()).unwrap();
-        Scheduler::build(plan, &ext, &SchedulerOptions::default().with_total_threads(threads))
-            .unwrap()
+        Scheduler::build(
+            plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(threads),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -528,9 +533,10 @@ mod tests {
             let v = t.value(0).as_int().unwrap();
             (0..100).contains(&v)
         });
-        let filtered_rel =
-            Relation::new("Af", a_ref.schema().clone(), filtered).unwrap();
-        let expected = filtered_rel.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        let filtered_rel = Relation::new("Af", a_ref.schema().clone(), filtered).unwrap();
+        let expected = filtered_rel
+            .reference_join(&b_ref, "unique1", "unique1")
+            .unwrap();
         assert_eq!(outcome.results["Result"].len(), expected.len());
     }
 

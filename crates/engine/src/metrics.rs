@@ -60,7 +60,11 @@ impl OperationMetrics {
     /// Busy time of the longest-running thread — the response time of the
     /// operation is that of its slowest thread.
     pub fn max_busy(&self) -> Duration {
-        self.threads.iter().map(|t| t.busy).max().unwrap_or_default()
+        self.threads
+            .iter()
+            .map(|t| t.busy)
+            .max()
+            .unwrap_or_default()
     }
 
     /// Average busy time across threads.
@@ -110,7 +114,10 @@ pub struct ExecutionMetrics {
 impl ExecutionMetrics {
     /// Total activations consumed across the query.
     pub fn total_activations(&self) -> u64 {
-        self.operations.iter().map(OperationMetrics::total_activations).sum()
+        self.operations
+            .iter()
+            .map(OperationMetrics::total_activations)
+            .sum()
     }
 
     /// Metrics of one operation.
@@ -131,7 +138,13 @@ impl ExecutionMetrics {
 mod tests {
     use super::*;
 
-    fn thread(thread: usize, activations: u64, busy_ms: u64, main: u64, secondary: u64) -> ThreadMetrics {
+    fn thread(
+        thread: usize,
+        activations: u64,
+        busy_ms: u64,
+        main: u64,
+        secondary: u64,
+    ) -> ThreadMetrics {
         ThreadMetrics {
             thread,
             activations,

@@ -64,7 +64,9 @@ mod tests {
     fn trigger_selects_matching_tuples_of_the_fragment() {
         let rel = relation();
         let schema = rel.schema().clone();
-        let pred = Predicate::range("unique1", 0, 100).bind("A", &schema).unwrap();
+        let pred = Predicate::range("unique1", 0, 100)
+            .bind("A", &schema)
+            .unwrap();
         let op = FilterOperator::new(Arc::clone(&rel), pred);
 
         let mut total = 0usize;
@@ -77,7 +79,10 @@ mod tests {
                 assert!((0..100).contains(&v));
             }
         }
-        assert_eq!(total, 100, "exactly unique1 in [0,100) across all fragments");
+        assert_eq!(
+            total, 100,
+            "exactly unique1 in [0,100) across all fragments"
+        );
     }
 
     #[test]

@@ -151,12 +151,17 @@ mod tests {
     use super::*;
     use dbs3_storage::{PartitionSpec, Relation, WisconsinConfig, WisconsinGenerator};
 
-    fn partitioned(name: &str, cardinality: usize, degree: usize) -> (Relation, Arc<PartitionedRelation>) {
+    fn partitioned(
+        name: &str,
+        cardinality: usize,
+        degree: usize,
+    ) -> (Relation, Arc<PartitionedRelation>) {
         let rel = WisconsinGenerator::new()
             .generate(&WisconsinConfig::narrow(name, cardinality))
             .unwrap();
         let part = Arc::new(
-            PartitionedRelation::from_relation(&rel, PartitionSpec::on("unique1", degree, 2)).unwrap(),
+            PartitionedRelation::from_relation(&rel, PartitionSpec::on("unique1", degree, 2))
+                .unwrap(),
         );
         (rel, part)
     }
@@ -172,8 +177,15 @@ mod tests {
         let (a_rel, a) = partitioned("A", 400, 10);
         let (b_rel, b) = partitioned("Bprime", 40, 10);
         let u1 = a.schema().column_index("unique1").unwrap();
-        let expected = a_rel.reference_join(&b_rel, "unique1", "unique1").unwrap().len();
-        for algorithm in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash, JoinAlgorithm::TempIndex] {
+        let expected = a_rel
+            .reference_join(&b_rel, "unique1", "unique1")
+            .unwrap()
+            .len();
+        for algorithm in [
+            JoinAlgorithm::NestedLoop,
+            JoinAlgorithm::Hash,
+            JoinAlgorithm::TempIndex,
+        ] {
             let op = TriggeredJoinOperator::new(Arc::clone(&a), Arc::clone(&b), u1, u1, algorithm);
             assert_eq!(run_triggered(&op, 10), expected, "algorithm {algorithm:?}");
         }
@@ -184,7 +196,8 @@ mod tests {
         let (_, a) = partitioned("A", 100, 5);
         let (_, b) = partitioned("Bprime", 100, 5);
         let u1 = a.schema().column_index("unique1").unwrap();
-        let op = TriggeredJoinOperator::new(Arc::clone(&a), Arc::clone(&b), u1, u1, JoinAlgorithm::Hash);
+        let op =
+            TriggeredJoinOperator::new(Arc::clone(&a), Arc::clone(&b), u1, u1, JoinAlgorithm::Hash);
         let out = op.process(2, Activation::Trigger);
         assert!(!out.is_empty());
         let width = a.schema().width() + b.schema().width();
@@ -199,7 +212,10 @@ mod tests {
         let (a_rel, a) = partitioned("A", 300, 8);
         let (b_rel, _b) = partitioned("Bprime", 30, 8);
         let u1 = a.schema().column_index("unique1").unwrap();
-        let expected = b_rel.reference_join(&a_rel, "unique1", "unique1").unwrap().len();
+        let expected = b_rel
+            .reference_join(&a_rel, "unique1", "unique1")
+            .unwrap()
+            .len();
 
         for algorithm in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash] {
             let op = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, algorithm);

@@ -21,7 +21,11 @@ impl StoreOperator {
     pub fn new(result_name: impl Into<String>, instances: usize) -> Self {
         StoreOperator {
             result_name: result_name.into(),
-            buffers: Arc::new((0..instances.max(1)).map(|_| Mutex::new(Vec::new())).collect()),
+            buffers: Arc::new(
+                (0..instances.max(1))
+                    .map(|_| Mutex::new(Vec::new()))
+                    .collect(),
+            ),
         }
     }
 
@@ -39,7 +43,9 @@ impl StoreOperator {
     /// the instance's result fragment; triggers are ignored.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
         if let Some(tuple) = activation.into_tuple() {
-            self.buffers[instance % self.buffers.len()].lock().push(tuple);
+            self.buffers[instance % self.buffers.len()]
+                .lock()
+                .push(tuple);
         }
         Vec::new()
     }

@@ -266,7 +266,9 @@ mod tests {
         let q = Arc::new(ActivationQueue::new(0, 8, 0.0));
         let q2 = Arc::clone(&q);
         let producer = thread::spawn(move || {
-            let batch: Vec<Activation> = (0..100).map(|i| Activation::Data(int_tuple(&[i]))).collect();
+            let batch: Vec<Activation> = (0..100)
+                .map(|i| Activation::Data(int_tuple(&[i])))
+                .collect();
             q2.push_batch(batch);
         });
         let mut got = 0usize;

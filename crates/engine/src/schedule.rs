@@ -17,7 +17,9 @@
 use crate::error::EngineError;
 use crate::strategy::ConsumptionStrategy;
 use crate::Result;
-use dbs3_lera::{ActivationKind, ExtendedPlan, NodeId, Plan, PlanComplexity, SubqueryDecomposition};
+use dbs3_lera::{
+    ActivationKind, ExtendedPlan, NodeId, Plan, PlanComplexity, SubqueryDecomposition,
+};
 use dbs3_model::{allocate_chain, allocate_subqueries, SubqueryNode};
 use std::collections::BTreeMap;
 
@@ -267,7 +269,9 @@ mod tests {
     fn catalog(skew: f64) -> Catalog {
         let gen = WisconsinGenerator::new();
         let a = gen.generate(&WisconsinConfig::narrow("A", 5000)).unwrap();
-        let b = gen.generate(&WisconsinConfig::narrow("Bprime", 500)).unwrap();
+        let b = gen
+            .generate(&WisconsinConfig::narrow("Bprime", 500))
+            .unwrap();
         let mut cat = Catalog::new();
         let spec = PartitionSpec::on("unique1", 40, 4);
         let a_part = if skew > 0.0 {
@@ -276,7 +280,8 @@ mod tests {
             PartitionedRelation::from_relation(&a, spec.clone()).unwrap()
         };
         cat.register(a_part).unwrap();
-        cat.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+        cat.register(PartitionedRelation::from_relation(&b, spec).unwrap())
+            .unwrap();
         cat
     }
 
@@ -420,6 +425,9 @@ mod tests {
         .with_strategy(ConsumptionStrategy::Lpt)
         .with_operation_threads(NodeId(0), 7);
         assert_eq!(schedule.operation(NodeId(0)).unwrap().threads, 7);
-        assert_eq!(schedule.operation(NodeId(1)).unwrap().strategy, ConsumptionStrategy::Lpt);
+        assert_eq!(
+            schedule.operation(NodeId(1)).unwrap().strategy,
+            ConsumptionStrategy::Lpt
+        );
     }
 }

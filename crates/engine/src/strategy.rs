@@ -128,11 +128,18 @@ impl QueueSelector {
     /// candidates each call, `Lpt` visits them in decreasing estimated cost.
     /// Returns the selected queue index and the popped activations, or `None`
     /// when every queue is currently empty.
-    pub fn select_and_pop(&mut self, batch: usize) -> Option<(usize, Vec<crate::activation::Activation>)> {
+    pub fn select_and_pop(
+        &mut self,
+        batch: usize,
+    ) -> Option<(usize, Vec<crate::activation::Activation>)> {
         // Visit main queues first, then secondary queues.
         for group in 0..2 {
             let order: Vec<usize> = {
-                let candidates = if group == 0 { &self.main } else { &self.secondary };
+                let candidates = if group == 0 {
+                    &self.main
+                } else {
+                    &self.secondary
+                };
                 match self.strategy {
                     ConsumptionStrategy::Lpt => candidates.clone(),
                     ConsumptionStrategy::Random => {
@@ -205,7 +212,8 @@ mod tests {
         // Put one activation in a main queue (0) and one in a secondary (3).
         queues[0].push(Activation::Data(int_tuple(&[0])));
         queues[3].push(Activation::Data(int_tuple(&[3])));
-        let mut sel = QueueSelector::new(queues.clone(), vec![0, 1], ConsumptionStrategy::Random, 1);
+        let mut sel =
+            QueueSelector::new(queues.clone(), vec![0, 1], ConsumptionStrategy::Random, 1);
         let (q, _) = sel.select_and_pop(8).unwrap();
         assert_eq!(q, 0, "main queue must be drained before secondaries");
         let (q, _) = sel.select_and_pop(8).unwrap();
@@ -219,7 +227,8 @@ mod tests {
         for q in &queues {
             q.push(Activation::Trigger);
         }
-        let mut sel = QueueSelector::new(queues.clone(), vec![0, 1, 2], ConsumptionStrategy::Lpt, 1);
+        let mut sel =
+            QueueSelector::new(queues.clone(), vec![0, 1, 2], ConsumptionStrategy::Lpt, 1);
         assert_eq!(sel.main_queues(), &[1, 2, 0]);
         let (first, _) = sel.select_and_pop(1).unwrap();
         assert_eq!(first, 1, "LPT picks the most expensive queue first");
@@ -233,7 +242,12 @@ mod tests {
         for q in &queues {
             q.push(Activation::Trigger);
         }
-        let mut sel = QueueSelector::new(queues.clone(), (0..8).collect(), ConsumptionStrategy::Random, 42);
+        let mut sel = QueueSelector::new(
+            queues.clone(),
+            (0..8).collect(),
+            ConsumptionStrategy::Random,
+            42,
+        );
         let mut seen = std::collections::HashSet::new();
         while let Some((q, _)) = sel.select_and_pop(1) {
             seen.insert(q);

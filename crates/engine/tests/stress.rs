@@ -3,7 +3,10 @@
 //! more-threads-than-work configurations. These are the situations where a
 //! queue-based pipeline engine typically deadlocks or loses activations.
 
-use dbs3_engine::{ConsumptionStrategy, ExecutionSchedule, Executor, OperationSchedule, Scheduler, SchedulerOptions};
+use dbs3_engine::{
+    ConsumptionStrategy, ExecutionSchedule, Executor, OperationSchedule, Scheduler,
+    SchedulerOptions,
+};
 use dbs3_lera::{plans, CostParameters, ExtendedPlan, JoinAlgorithm, Plan, Predicate};
 use dbs3_storage::{
     Catalog, ColumnDef, PartitionSpec, PartitionedRelation, Relation, Schema, Tuple, Value,
@@ -21,8 +24,10 @@ fn int_relation(name: &str, keys: impl Iterator<Item = i64>) -> Relation {
 fn catalog_with(a: Relation, b: Relation, degree: usize) -> Catalog {
     let spec = PartitionSpec::on("unique1", degree, 2);
     let mut cat = Catalog::new();
-    cat.register(PartitionedRelation::from_relation(&a, spec.clone()).unwrap()).unwrap();
-    cat.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+    cat.register(PartitionedRelation::from_relation(&a, spec.clone()).unwrap())
+        .unwrap();
+    cat.register(PartitionedRelation::from_relation(&b, spec).unwrap())
+        .unwrap();
     cat
 }
 
@@ -179,10 +184,14 @@ fn lpt_single_thread_skewed() {
     let mut cat = Catalog::new();
     cat.register(PartitionedRelation::from_relation_with_skew(&a, spec.clone(), 1.0).unwrap())
         .unwrap();
-    cat.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+    cat.register(PartitionedRelation::from_relation(&b, spec).unwrap())
+        .unwrap();
     let a_ref = cat.get("A").unwrap().reassemble();
     let b_ref = cat.get("Bprime").unwrap().reassemble();
-    let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap().len();
+    let expected = a_ref
+        .reference_join(&b_ref, "unique1", "unique1")
+        .unwrap()
+        .len();
 
     let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
     let mut schedule = manual_schedule(&plan, 1, 4, 2);

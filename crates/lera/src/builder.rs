@@ -142,7 +142,12 @@ mod tests {
     fn ids_are_dense_and_ordered() {
         let mut b = PlanBuilder::new("p");
         let f = b.filter("R", Predicate::True);
-        let j = b.pipelined_join(f, "S", JoinCondition::natural("k"), JoinAlgorithm::NestedLoop);
+        let j = b.pipelined_join(
+            f,
+            "S",
+            JoinCondition::natural("k"),
+            JoinAlgorithm::NestedLoop,
+        );
         let s = b.store(j, "Res");
         assert_eq!((f.0, j.0, s.0), (0, 1, 2));
         let plan = b.build();

@@ -96,12 +96,16 @@ mod tests {
     use crate::extended::ExtendedPlan;
     use crate::ops::JoinAlgorithm;
     use crate::plans;
-    use dbs3_storage::{Catalog, PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator};
+    use dbs3_storage::{
+        Catalog, PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
+    };
 
     fn catalog() -> Catalog {
         let gen = WisconsinGenerator::new();
         let a = gen.generate(&WisconsinConfig::narrow("A", 2000)).unwrap();
-        let b = gen.generate(&WisconsinConfig::narrow("Bprime", 200)).unwrap();
+        let b = gen
+            .generate(&WisconsinConfig::narrow("Bprime", 200))
+            .unwrap();
         let mut cat = Catalog::new();
         cat.register(
             PartitionedRelation::from_relation(&a, PartitionSpec::on("unique1", 20, 4)).unwrap(),
@@ -127,7 +131,10 @@ mod tests {
         let ext = ExtendedPlan::from_plan(&plan, &cat, &CostParameters::default()).unwrap();
         let cx = PlanComplexity::from_extended(&ext);
         assert!(cx.total() > 0.0);
-        assert!(cx.node(NodeId(0)) > cx.node(NodeId(1)), "join dominates store");
+        assert!(
+            cx.node(NodeId(0)) > cx.node(NodeId(1)),
+            "join dominates store"
+        );
         let all_nodes: Vec<NodeId> = plan.nodes().iter().map(|n| n.id).collect();
         assert!((cx.of_nodes(&all_nodes) - cx.total()).abs() < 1e-9);
     }
@@ -138,8 +145,12 @@ mod tests {
         let nl_plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
         let ix_plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::TempIndex);
         let params = CostParameters::default();
-        let nl = PlanComplexity::from_extended(&ExtendedPlan::from_plan(&nl_plan, &cat, &params).unwrap());
-        let ix = PlanComplexity::from_extended(&ExtendedPlan::from_plan(&ix_plan, &cat, &params).unwrap());
+        let nl = PlanComplexity::from_extended(
+            &ExtendedPlan::from_plan(&nl_plan, &cat, &params).unwrap(),
+        );
+        let ix = PlanComplexity::from_extended(
+            &ExtendedPlan::from_plan(&ix_plan, &cat, &params).unwrap(),
+        );
         assert!(nl.node(NodeId(0)) > ix.node(NodeId(0)));
     }
 

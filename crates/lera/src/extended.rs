@@ -105,7 +105,10 @@ impl ExtendedPlan {
                 .and_then(|p| by_node.get(&p).map(|&i| &operations[i]));
 
             let op = match &node.kind {
-                OperatorKind::Filter { relation, predicate } => {
+                OperatorKind::Filter {
+                    relation,
+                    predicate,
+                } => {
                     let rel = catalog.get(relation)?;
                     let selectivity = predicate.estimated_selectivity();
                     let instances = rel
@@ -198,7 +201,9 @@ impl ExtendedPlan {
                                         instance: i,
                                         fragment_cardinality: ic,
                                         estimated_activations: share,
-                                        estimated_cost: pipelined_join_cost(share, ic, *algorithm, params),
+                                        estimated_cost: pipelined_join_cost(
+                                            share, ic, *algorithm, params,
+                                        ),
                                     }
                                 })
                                 .collect::<Vec<_>>();
@@ -267,7 +272,10 @@ impl ExtendedPlan {
     /// across the plan — the quantity that grows with the degree of
     /// partitioning and causes the overhead measured in Expt 3.
     pub fn total_instances(&self) -> usize {
-        self.operations.iter().map(ExtendedOperation::instance_count).sum()
+        self.operations
+            .iter()
+            .map(ExtendedOperation::instance_count)
+            .sum()
     }
 }
 
@@ -312,17 +320,24 @@ mod tests {
     fn catalog(degree: usize, skew: f64) -> Catalog {
         let gen = WisconsinGenerator::new();
         let a = gen.generate(&WisconsinConfig::narrow("A", 5000)).unwrap();
-        let b = gen.generate(&WisconsinConfig::narrow("Bprime", 500)).unwrap();
+        let b = gen
+            .generate(&WisconsinConfig::narrow("Bprime", 500))
+            .unwrap();
         let mut cat = Catalog::new();
         let a_part = if skew > 0.0 {
-            PartitionedRelation::from_relation_with_skew(&a, PartitionSpec::on("unique1", degree, 4), skew)
-                .unwrap()
+            PartitionedRelation::from_relation_with_skew(
+                &a,
+                PartitionSpec::on("unique1", degree, 4),
+                skew,
+            )
+            .unwrap()
         } else {
             PartitionedRelation::from_relation(&a, PartitionSpec::on("unique1", degree, 4)).unwrap()
         };
         cat.register(a_part).unwrap();
         cat.register(
-            PartitionedRelation::from_relation(&b, PartitionSpec::on("unique1", degree, 4)).unwrap(),
+            PartitionedRelation::from_relation(&b, PartitionSpec::on("unique1", degree, 4))
+                .unwrap(),
         )
         .unwrap();
         cat
@@ -352,7 +367,11 @@ mod tests {
         assert_eq!(transmit.activation_kind, ActivationKind::Control);
         assert_eq!(join.activation_kind, ActivationKind::Data);
         // The pipelined join receives ~|B'| activations in total.
-        let total_act: f64 = join.instances().iter().map(|i| i.estimated_activations).sum();
+        let total_act: f64 = join
+            .instances()
+            .iter()
+            .map(|i| i.estimated_activations)
+            .sum();
         assert!((total_act - 500.0).abs() < 1.0);
     }
 
@@ -365,9 +384,7 @@ mod tests {
         let order = join.lpt_order();
         // LPT order is by decreasing estimated cost.
         for w in order.windows(2) {
-            assert!(
-                join.instances()[w[0]].estimated_cost >= join.instances()[w[1]].estimated_cost
-            );
+            assert!(join.instances()[w[0]].estimated_cost >= join.instances()[w[1]].estimated_cost);
         }
         // With Zipf=1 skew the most expensive instance is much more expensive
         // than the median one.
@@ -407,7 +424,9 @@ mod tests {
         let cat = catalog(10, 0.0);
         // Mismatched degrees: build catalog with different degree for B.
         let gen = WisconsinGenerator::new();
-        let b = gen.generate(&WisconsinConfig::narrow("Bother", 100)).unwrap();
+        let b = gen
+            .generate(&WisconsinConfig::narrow("Bother", 100))
+            .unwrap();
         let mut cat2 = cat.clone();
         cat2.register(
             PartitionedRelation::from_relation(&b, PartitionSpec::on("unique1", 13, 4)).unwrap(),

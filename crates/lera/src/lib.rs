@@ -35,7 +35,9 @@ pub use builder::PlanBuilder;
 pub use complexity::{CostParameters, PlanComplexity};
 pub use error::PlanError;
 pub use extended::{ExtendedOperation, ExtendedPlan, InstanceInfo};
-pub use ops::{ActivationKind, JoinAlgorithm, OperatorKind, OperatorNode, OuterInput, InputSource, NodeId};
+pub use ops::{
+    ActivationKind, InputSource, JoinAlgorithm, NodeId, OperatorKind, OperatorNode, OuterInput,
+};
 pub use plan::Plan;
 pub use predicate::{CompareOp, JoinCondition, Predicate};
 pub use subquery::{Subquery, SubqueryDecomposition};

@@ -193,7 +193,12 @@ pub struct OperatorNode {
 
 impl OperatorNode {
     /// Creates an operator node.
-    pub fn new(id: NodeId, name: impl Into<String>, kind: OperatorKind, input: InputSource) -> Self {
+    pub fn new(
+        id: NodeId,
+        name: impl Into<String>,
+        kind: OperatorKind,
+        input: InputSource,
+    ) -> Self {
         OperatorNode {
             id,
             name: name.into(),
@@ -294,7 +299,9 @@ mod tests {
             OperatorKind::Store {
                 result_name: "Res".into(),
             },
-            InputSource::Pipeline { producer: NodeId(1) },
+            InputSource::Pipeline {
+                producer: NodeId(1),
+            },
         );
         assert_eq!(n.producer(), Some(NodeId(1)));
     }

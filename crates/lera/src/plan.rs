@@ -199,13 +199,19 @@ impl Plan {
             if node.kind.requires_trigger() && node.producer().is_some() {
                 return Err(PlanError::InputMismatch {
                     node: node.id.0,
-                    reason: format!("{} scans base fragments and must be triggered", node.kind.name()),
+                    reason: format!(
+                        "{} scans base fragments and must be triggered",
+                        node.kind.name()
+                    ),
                 });
             }
             if node.kind.requires_pipeline() && node.producer().is_none() {
                 return Err(PlanError::InputMismatch {
                     node: node.id.0,
-                    reason: format!("{} consumes a pipeline and needs a producer", node.kind.name()),
+                    reason: format!(
+                        "{} consumes a pipeline and needs a producer",
+                        node.kind.name()
+                    ),
                 });
             }
             if self.consumers(node.id).len() > 1 {
@@ -218,13 +224,19 @@ impl Plan {
 
     fn validate_node_against_catalog(&self, node: &OperatorNode, catalog: &Catalog) -> Result<()> {
         match &node.kind {
-            OperatorKind::Filter { relation, predicate } => {
+            OperatorKind::Filter {
+                relation,
+                predicate,
+            } => {
                 let rel = catalog.get(relation)?;
                 // Binding resolves all referenced columns.
                 predicate.bind(relation, rel.schema())?;
                 Ok(())
             }
-            OperatorKind::Transmit { relation, key_column } => {
+            OperatorKind::Transmit {
+                relation,
+                key_column,
+            } => {
                 let rel = catalog.get(relation)?;
                 rel.schema()
                     .column_index(key_column)
@@ -261,13 +273,12 @@ impl Plan {
                     OuterInput::Fragment { relation } => {
                         let outer_rel = catalog.get(relation)?;
                         let outer_col = condition.outer_column.as_str();
-                        outer_rel
-                            .schema()
-                            .column_index(outer_col)
-                            .map_err(|_| PlanError::UnknownColumn {
+                        outer_rel.schema().column_index(outer_col).map_err(|_| {
+                            PlanError::UnknownColumn {
                                 relation: relation.clone(),
                                 column: outer_col.to_string(),
-                            })?;
+                            }
+                        })?;
                         if outer_rel.spec().key_columns != vec![outer_col.to_string()] {
                             return Err(PlanError::NotCoPartitioned {
                                 relation: relation.clone(),
@@ -288,12 +299,12 @@ impl Plan {
                         // join column.
                         let producer = node.producer().expect("validated above");
                         let schema = self.output_schema(producer, catalog)?;
-                        schema
-                            .column_index(&condition.outer_column)
-                            .map_err(|_| PlanError::UnknownColumn {
+                        schema.column_index(&condition.outer_column).map_err(|_| {
+                            PlanError::UnknownColumn {
                                 relation: format!("<output of {}>", producer),
                                 column: condition.outer_column.clone(),
-                            })?;
+                            }
+                        })?;
                     }
                 }
                 Ok(())
@@ -313,14 +324,18 @@ mod tests {
     fn catalog(degree_a: usize, degree_b: usize) -> Catalog {
         let gen = WisconsinGenerator::new();
         let a = gen.generate(&WisconsinConfig::narrow("A", 1000)).unwrap();
-        let b = gen.generate(&WisconsinConfig::narrow("Bprime", 100)).unwrap();
+        let b = gen
+            .generate(&WisconsinConfig::narrow("Bprime", 100))
+            .unwrap();
         let mut cat = Catalog::new();
         cat.register(
-            PartitionedRelation::from_relation(&a, PartitionSpec::on("unique1", degree_a, 4)).unwrap(),
+            PartitionedRelation::from_relation(&a, PartitionSpec::on("unique1", degree_a, 4))
+                .unwrap(),
         )
         .unwrap();
         cat.register(
-            PartitionedRelation::from_relation(&b, PartitionSpec::on("unique1", degree_b, 4)).unwrap(),
+            PartitionedRelation::from_relation(&b, PartitionSpec::on("unique1", degree_b, 4))
+                .unwrap(),
         )
         .unwrap();
         cat
@@ -329,7 +344,12 @@ mod tests {
     #[test]
     fn ideal_join_plan_validates() {
         let cat = catalog(20, 20);
-        let plan = plans::ideal_join("A", "Bprime", "unique1", crate::ops::JoinAlgorithm::NestedLoop);
+        let plan = plans::ideal_join(
+            "A",
+            "Bprime",
+            "unique1",
+            crate::ops::JoinAlgorithm::NestedLoop,
+        );
         plan.validate(&cat).unwrap();
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.triggered_nodes().len(), 1);
@@ -352,7 +372,12 @@ mod tests {
     #[test]
     fn ideal_join_degree_mismatch_detected() {
         let cat = catalog(20, 30);
-        let plan = plans::ideal_join("A", "Bprime", "unique1", crate::ops::JoinAlgorithm::NestedLoop);
+        let plan = plans::ideal_join(
+            "A",
+            "Bprime",
+            "unique1",
+            crate::ops::JoinAlgorithm::NestedLoop,
+        );
         assert!(matches!(
             plan.validate(&cat),
             Err(PlanError::DegreeMismatch { .. })
@@ -363,7 +388,12 @@ mod tests {
     fn not_copartitioned_detected() {
         let cat = catalog(20, 20);
         // Joining on unique2 while relations are partitioned on unique1.
-        let plan = plans::ideal_join("A", "Bprime", "unique2", crate::ops::JoinAlgorithm::NestedLoop);
+        let plan = plans::ideal_join(
+            "A",
+            "Bprime",
+            "unique2",
+            crate::ops::JoinAlgorithm::NestedLoop,
+        );
         assert!(matches!(
             plan.validate(&cat),
             Err(PlanError::NotCoPartitioned { .. })
@@ -373,7 +403,12 @@ mod tests {
     #[test]
     fn unknown_relation_detected() {
         let cat = catalog(10, 10);
-        let plan = plans::ideal_join("A", "Missing", "unique1", crate::ops::JoinAlgorithm::NestedLoop);
+        let plan = plans::ideal_join(
+            "A",
+            "Missing",
+            "unique1",
+            crate::ops::JoinAlgorithm::NestedLoop,
+        );
         assert!(plan.validate(&cat).is_err());
     }
 
@@ -414,6 +449,9 @@ mod tests {
     fn node_lookup_errors() {
         let plan = plans::selection("A", Predicate::True, "Out");
         assert!(plan.node(NodeId(0)).is_ok());
-        assert!(matches!(plan.node(NodeId(9)), Err(PlanError::UnknownNode(9))));
+        assert!(matches!(
+            plan.node(NodeId(9)),
+            Err(PlanError::UnknownNode(9))
+        ));
     }
 }

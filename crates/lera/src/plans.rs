@@ -100,7 +100,12 @@ mod tests {
         assert_eq!(p.name(), "IdealJoin");
         assert_eq!(p.len(), 2);
         match &p.nodes()[0].kind {
-            OperatorKind::Join { outer, inner_relation, condition, .. } => {
+            OperatorKind::Join {
+                outer,
+                inner_relation,
+                condition,
+                ..
+            } => {
                 assert!(matches!(outer, OuterInput::Fragment { relation } if relation == "A"));
                 assert_eq!(inner_relation, "Bprime");
                 assert_eq!(condition.outer_column, "unique1");
@@ -116,7 +121,11 @@ mod tests {
         assert_eq!(p.len(), 3);
         assert!(matches!(p.nodes()[0].kind, OperatorKind::Transmit { .. }));
         match &p.nodes()[1].kind {
-            OperatorKind::Join { outer, inner_relation, .. } => {
+            OperatorKind::Join {
+                outer,
+                inner_relation,
+                ..
+            } => {
                 assert!(matches!(outer, OuterInput::Pipeline));
                 assert_eq!(inner_relation, "A");
             }
@@ -128,7 +137,13 @@ mod tests {
 
     #[test]
     fn filter_join_shape() {
-        let p = filter_join("R", Predicate::one_in("ten", 10), "S", "unique1", JoinAlgorithm::Hash);
+        let p = filter_join(
+            "R",
+            Predicate::one_in("ten", 10),
+            "S",
+            "unique1",
+            JoinAlgorithm::Hash,
+        );
         assert_eq!(p.len(), 3);
         assert_eq!(p.triggered_nodes().len(), 1);
         assert_eq!(p.sinks().len(), 1);

@@ -6,9 +6,9 @@
 //! with `And`/`Or`/`Not` so that richer examples can be written against the
 //! public API.
 
-use dbs3_storage::{Schema, Tuple, Value};
 use crate::error::PlanError;
 use crate::Result;
+use dbs3_storage::{Schema, Tuple, Value};
 
 /// Comparison operators for scalar predicates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

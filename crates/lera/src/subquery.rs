@@ -164,7 +164,10 @@ mod tests {
         );
         let dec = SubqueryDecomposition::decompose(&plan).unwrap();
         assert_eq!(dec.len(), 1);
-        assert_eq!(dec.subqueries()[0].nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            dec.subqueries()[0].nodes,
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl SubqueryNode {
 
     /// Number of subqueries in the subtree.
     pub fn subtree_size(&self) -> usize {
-        1 + self.children.iter().map(SubqueryNode::subtree_size).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(SubqueryNode::subtree_size)
+            .sum::<usize>()
     }
 }
 
@@ -100,7 +104,13 @@ pub fn allocate_subqueries(root: &SubqueryNode, total_threads: usize) -> Subquer
     assert!(total_threads > 0, "at least one thread must be allocated");
     let mut fractional = BTreeMap::new();
     let mut integral = BTreeMap::new();
-    assign_node(root, total_threads as f64, total_threads, &mut fractional, &mut integral);
+    assign_node(
+        root,
+        total_threads as f64,
+        total_threads,
+        &mut fractional,
+        &mut integral,
+    );
     SubqueryPlanAllocation {
         fractional,
         integral,
@@ -140,8 +150,15 @@ fn assign_node(
 /// `chain_threads >= operations.len()` (otherwise the total is the number of
 /// operations, the minimum viable allocation).
 pub fn allocate_chain(chain_threads: usize, operation_complexities: &[f64]) -> Vec<usize> {
-    assert!(!operation_complexities.is_empty(), "a chain has at least one operation");
-    integral_split(chain_threads, operation_complexities, operation_complexities.len())
+    assert!(
+        !operation_complexities.is_empty(),
+        "a chain has at least one operation"
+    );
+    integral_split(
+        chain_threads,
+        operation_complexities,
+        operation_complexities.len(),
+    )
 }
 
 /// Splits `amount` proportionally to `weights` (all-zero weights split
@@ -162,7 +179,10 @@ fn integral_split(amount: usize, weights: &[f64], parts: usize) -> Vec<usize> {
     let amount = amount.max(parts);
     let fractional = proportional_split(amount as f64, weights);
     // Start from the floor but at least 1.
-    let mut shares: Vec<usize> = fractional.iter().map(|f| (f.floor() as usize).max(1)).collect();
+    let mut shares: Vec<usize> = fractional
+        .iter()
+        .map(|f| (f.floor() as usize).max(1))
+        .collect();
     let mut assigned: usize = shares.iter().sum();
     // Largest remainder first for the leftover threads.
     let mut order: Vec<usize> = (0..parts).collect();
@@ -202,7 +222,11 @@ mod tests {
             5,
             t5,
             vec![
-                SubqueryNode::node(3, t3, vec![SubqueryNode::leaf(1, t1), SubqueryNode::leaf(2, t2)]),
+                SubqueryNode::node(
+                    3,
+                    t3,
+                    vec![SubqueryNode::leaf(1, t1), SubqueryNode::leaf(2, t2)],
+                ),
                 SubqueryNode::leaf(4, t4),
             ],
         )

@@ -74,11 +74,7 @@ impl OperationProfile {
 
     /// The overhead bound `v` for this profile (equation 3).
     pub fn overhead_bound(&self) -> f64 {
-        overhead_bound(
-            self.activations,
-            self.skew_factor(),
-            self.threads,
-        )
+        overhead_bound(self.activations, self.skew_factor(), self.threads)
     }
 }
 
@@ -189,7 +185,11 @@ mod tests {
     #[test]
     fn worst_is_consistent_with_bound() {
         // Tworst ≤ (1 + v) · Tideal must hold for the analytic v.
-        for &(a, pmax, n) in &[(200u64, 34.0f64, 10usize), (200, 10.6, 20), (20_000, 34.0, 70)] {
+        for &(a, pmax, n) in &[
+            (200u64, 34.0f64, 10usize),
+            (200, 10.6, 20),
+            (20_000, 34.0, 70),
+        ] {
             let avg = 1.0;
             let t_ideal = ideal_time(a, avg, n);
             let t_worst = worst_time(a, avg, pmax * avg, n);

@@ -66,7 +66,12 @@ impl AllcacheParams {
     /// local cache the data cannot actually stay local, and the cost falls
     /// back to the remote cost (the paper: "Under 5 threads, Tr is equal to
     /// Tl ... the local cache size is too small to contain all the data").
-    pub fn access_us_per_tuple(&self, placement: DataPlacement, tuples: u64, threads: usize) -> f64 {
+    pub fn access_us_per_tuple(
+        &self,
+        placement: DataPlacement,
+        tuples: u64,
+        threads: usize,
+    ) -> f64 {
         let remote = self.local_access_us_per_tuple * self.remote_to_local_ratio;
         match placement {
             DataPlacement::Remote => remote,
@@ -123,7 +128,10 @@ mod tests {
         );
         let below = p.access_us_per_tuple(DataPlacement::Local, 200_000, threshold - 1);
         let above = p.access_us_per_tuple(DataPlacement::Local, 200_000, threshold + 1);
-        assert!(below > above, "below the threshold local behaves like remote");
+        assert!(
+            below > above,
+            "below the threshold local behaves like remote"
+        );
         assert!((below - p.access_us_per_tuple(DataPlacement::Remote, 200_000, 2)).abs() < 1e-9);
     }
 

@@ -132,7 +132,8 @@ mod tests {
         // 200 fragments of 1000 x 100 tuples, nested loop: the paper reports
         // Tseq = 956 s. Accept the right order of magnitude (within 25%).
         let p = SimCostParams::default();
-        let per_fragment = p.triggered_join_activation_us(1000, 100, 100, JoinAlgorithm::NestedLoop);
+        let per_fragment =
+            p.triggered_join_activation_us(1000, 100, 100, JoinAlgorithm::NestedLoop);
         let total_s = 200.0 * per_fragment / 1e6;
         assert!(
             (total_s - 956.0).abs() / 956.0 < 0.25,

@@ -258,8 +258,13 @@ impl<'a> Simulator<'a> {
                         ..
                     }
                 ) {
-                    let produced =
-                        self.build_pipeline_activations(plan, id, consumer_id, &activations, config)?;
+                    let produced = self.build_pipeline_activations(
+                        plan,
+                        id,
+                        consumer_id,
+                        &activations,
+                        config,
+                    )?;
                     pending.insert(consumer_id, produced);
                 }
             }
@@ -308,10 +313,11 @@ impl<'a> Simulator<'a> {
             } => {
                 let rel = self.catalog.get(relation)?;
                 let bound = predicate.bind(relation, rel.schema())?;
-                let access =
-                    config
-                        .allcache
-                        .access_us_per_tuple(config.placement, rel.cardinality() as u64, config.total_threads);
+                let access = config.allcache.access_us_per_tuple(
+                    config.placement,
+                    rel.cardinality() as u64,
+                    config.total_threads,
+                );
                 let per_emitted = if consumer_is_store {
                     costs.store_tuple_us
                 } else {
@@ -378,8 +384,7 @@ impl<'a> Simulator<'a> {
                             let mut remaining = oc;
                             loop {
                                 let chunk = remaining.min(granule).max(if oc == 0 { 0 } else { 1 });
-                                let output = ((chunk as f64 / oc.max(1) as f64)
-                                    * oc.min(ic) as f64)
+                                let output = ((chunk as f64 / oc.max(1) as f64) * oc.min(ic) as f64)
                                     .round() as usize;
                                 activations.push(SimActivation {
                                     instance: i,
@@ -451,13 +456,9 @@ impl<'a> Simulator<'a> {
         };
         let inner = self.catalog.get(inner_relation)?;
         let inner_cards = inner.fragment_cardinalities();
-        let consumer_feeds_store = plan
-            .consumers(consumer_id)
-            .first()
-            .and_then(|c| plan.node(*c).ok())
-            .map(|c| matches!(c.kind, OperatorKind::Store { .. }))
-            .unwrap_or(false);
-        let matches_per_probe = if consumer_feeds_store { 1 } else { 1 };
+        // Wisconsin join keys are unique on the inner side, so every probe
+        // finds exactly one match regardless of what consumes the join.
+        let matches_per_probe = 1;
 
         // Column of the producer's output tuples used for routing.
         let producer_schema = plan.output_schema(producer_id, self.catalog)?;
@@ -497,9 +498,8 @@ impl<'a> Simulator<'a> {
                         t += costs.scan_tuple_us + access;
                         if bound.eval(tuple) {
                             t += costs.move_tuple_us;
-                            let target = (tuple.hash_key(&[route_index])
-                                % inner.degree() as u64)
-                                as usize;
+                            let target =
+                                (tuple.hash_key(&[route_index]) % inner.degree() as u64) as usize;
                             activations.push(SimActivation {
                                 instance: target,
                                 release: t,
@@ -632,7 +632,9 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -641,16 +643,16 @@ mod tests {
     use super::*;
     use dbs3_lera::plans;
     use dbs3_lera::Predicate;
-    use dbs3_storage::{
-        PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
-    };
+    use dbs3_storage::{PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator};
 
     /// Builds an experiment catalog: relation `A` (optionally skewed) and
     /// `Bprime`, both partitioned on `unique1` with the given degree.
     fn catalog(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Catalog {
         let gen = WisconsinGenerator::new();
         let a = gen.generate(&WisconsinConfig::narrow("A", a_card)).unwrap();
-        let b = gen.generate(&WisconsinConfig::narrow("Bprime", b_card)).unwrap();
+        let b = gen
+            .generate(&WisconsinConfig::narrow("Bprime", b_card))
+            .unwrap();
         let spec = PartitionSpec::on("unique1", degree, 8);
         let mut cat = Catalog::new();
         let a_part = if theta > 0.0 {
@@ -659,7 +661,8 @@ mod tests {
             PartitionedRelation::from_relation(&a, spec.clone()).unwrap()
         };
         cat.register(a_part).unwrap();
-        cat.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+        cat.register(PartitionedRelation::from_relation(&b, spec).unwrap())
+            .unwrap();
         cat
     }
 
@@ -668,16 +671,30 @@ mod tests {
         let cat = catalog(10_000, 1_000, 200, 0.0);
         let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
         let sim = Simulator::new(&cat);
-        let r1 = sim.simulate(&plan, &SimConfig::default().with_threads(1)).unwrap();
-        let r10 = sim.simulate(&plan, &SimConfig::default().with_threads(10)).unwrap();
-        let r70 = sim.simulate(&plan, &SimConfig::default().with_threads(70)).unwrap();
+        let r1 = sim
+            .simulate(&plan, &SimConfig::default().with_threads(1))
+            .unwrap();
+        let r10 = sim
+            .simulate(&plan, &SimConfig::default().with_threads(10))
+            .unwrap();
+        let r70 = sim
+            .simulate(&plan, &SimConfig::default().with_threads(70))
+            .unwrap();
         assert!(r10.total_us() < r1.total_us() / 5.0);
         // Start-up (queues + threads) is significant for this deliberately
         // small database, so assess linearity on the execution span.
         // (The small test fragments have noticeable cardinality variance, so
         // the speed-up is good but not perfectly linear.)
-        assert!(r70.execution_speedup() > 45.0, "speedup(70) = {}", r70.execution_speedup());
-        assert!(r10.execution_speedup() > 7.0, "speedup(10) = {}", r10.execution_speedup());
+        assert!(
+            r70.execution_speedup() > 45.0,
+            "speedup(70) = {}",
+            r70.execution_speedup()
+        );
+        assert!(
+            r10.execution_speedup() > 7.0,
+            "speedup(10) = {}",
+            r10.execution_speedup()
+        );
     }
 
     #[test]
@@ -694,7 +711,10 @@ mod tests {
         let s70 = sim.simulate(&plan, &cfg(70)).unwrap().speedup();
         // nmax ≈ 6 for Zipf = 1 with 200 fragments: more threads do not help.
         assert!(s10 < 9.0, "speedup(10) = {s10}");
-        assert!((s70 - s10).abs() < 2.0, "speedup should plateau: {s10} vs {s70}");
+        assert!(
+            (s70 - s10).abs() < 2.0,
+            "speedup should plateau: {s10} vs {s70}"
+        );
     }
 
     #[test]
@@ -725,7 +745,9 @@ mod tests {
         let lpt = sim
             .simulate(
                 &plan,
-                &SimConfig::default().with_threads(10).with_strategy(ConsumptionStrategy::Lpt),
+                &SimConfig::default()
+                    .with_threads(10)
+                    .with_strategy(ConsumptionStrategy::Lpt),
             )
             .unwrap();
         let random = sim
@@ -748,7 +770,10 @@ mod tests {
             .simulate(&plan, &SimConfig::default().with_threads(10))
             .unwrap();
         let baseline = sim
-            .simulate(&plan, &SimConfig::default().with_threads(10).with_static_baseline())
+            .simulate(
+                &plan,
+                &SimConfig::default().with_threads(10).with_static_baseline(),
+            )
             .unwrap();
         assert!(
             baseline.total_us() > adaptive.total_us(),
@@ -770,13 +795,18 @@ mod tests {
         assert!(r_high.startup_us > r_low.startup_us);
         // Roughly 0.45 ms per extra fragment for a triggered join.
         let per_degree_ms = (r_high.startup_us - r_low.startup_us) / 1e3 / 380.0;
-        assert!((per_degree_ms - 0.45).abs() < 0.1, "got {per_degree_ms} ms/degree");
+        assert!(
+            (per_degree_ms - 0.45).abs() < 0.1,
+            "got {per_degree_ms} ms/degree"
+        );
     }
 
     #[test]
     fn remote_placement_slower_by_a_few_percent() {
         let gen = WisconsinGenerator::new();
-        let a = gen.generate(&WisconsinConfig::narrow("DewittA", 20_000)).unwrap();
+        let a = gen
+            .generate(&WisconsinConfig::narrow("DewittA", 20_000))
+            .unwrap();
         let mut cat = Catalog::new();
         cat.register(
             PartitionedRelation::from_relation(&a, PartitionSpec::on("unique1", 64, 8)).unwrap(),
@@ -790,12 +820,17 @@ mod tests {
         let remote = sim
             .simulate(
                 &plan,
-                &SimConfig::default().with_threads(20).with_placement(DataPlacement::Remote),
+                &SimConfig::default()
+                    .with_threads(20)
+                    .with_placement(DataPlacement::Remote),
             )
             .unwrap();
         let overhead = remote.total_us() / local.total_us() - 1.0;
         assert!(overhead > 0.0);
-        assert!(overhead < 0.10, "remote overhead should be a few percent, got {overhead}");
+        assert!(
+            overhead < 0.10,
+            "remote overhead should be a few percent, got {overhead}"
+        );
     }
 
     #[test]
@@ -803,8 +838,12 @@ mod tests {
         let cat = catalog(10_000, 1_000, 200, 0.0);
         let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
         let sim = Simulator::new(&cat);
-        let at_70 = sim.simulate(&plan, &SimConfig::default().with_threads(70)).unwrap();
-        let at_100 = sim.simulate(&plan, &SimConfig::default().with_threads(100)).unwrap();
+        let at_70 = sim
+            .simulate(&plan, &SimConfig::default().with_threads(70))
+            .unwrap();
+        let at_100 = sim
+            .simulate(&plan, &SimConfig::default().with_threads(100))
+            .unwrap();
         assert!(at_100.speedup() <= at_70.speedup() + 1.0);
     }
 
@@ -835,7 +874,10 @@ mod tests {
         let coarse_join = coarse.operation(NodeId(0)).unwrap().activations;
         let fine_join = fine.operation(NodeId(0)).unwrap().activations;
         assert_eq!(coarse_join, 50);
-        assert!(fine_join > 150, "expected many sub-activations, got {fine_join}");
+        assert!(
+            fine_join > 150,
+            "expected many sub-activations, got {fine_join}"
+        );
     }
 
     #[test]
@@ -843,11 +885,15 @@ mod tests {
         let cat = catalog(2_000, 200, 20, 0.0);
         let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
         let sim = Simulator::new(&cat);
-        let plain = sim.simulate(&plan, &SimConfig::default().with_threads(8)).unwrap();
+        let plain = sim
+            .simulate(&plan, &SimConfig::default().with_threads(8))
+            .unwrap();
         let huge = sim
             .simulate(
                 &plan,
-                &SimConfig::default().with_threads(8).with_triggered_granule(1_000_000),
+                &SimConfig::default()
+                    .with_threads(8)
+                    .with_triggered_granule(1_000_000),
             )
             .unwrap();
         assert_eq!(

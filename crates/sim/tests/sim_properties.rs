@@ -28,7 +28,8 @@ fn catalog(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Catalog {
     };
     let mut cat = Catalog::new();
     cat.register(a_part).unwrap();
-    cat.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+    cat.register(PartitionedRelation::from_relation(&b, spec).unwrap())
+        .unwrap();
     cat
 }
 

@@ -41,10 +41,7 @@ impl Catalog {
     }
 
     /// Replaces (or inserts) a relation, returning the previous entry if any.
-    pub fn replace(
-        &mut self,
-        relation: PartitionedRelation,
-    ) -> Option<Arc<PartitionedRelation>> {
+    pub fn replace(&mut self, relation: PartitionedRelation) -> Option<Arc<PartitionedRelation>> {
         let name = relation.name().to_string();
         self.relations.insert(name, Arc::new(relation))
     }
@@ -104,7 +101,10 @@ mod tests {
         cat.register(partitioned("A")).unwrap();
         assert!(cat.contains("A"));
         assert_eq!(cat.get("A").unwrap().cardinality(), 3);
-        assert!(matches!(cat.get("B"), Err(StorageError::UnknownRelation(_))));
+        assert!(matches!(
+            cat.get("B"),
+            Err(StorageError::UnknownRelation(_))
+        ));
     }
 
     #[test]

@@ -43,10 +43,16 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
             StorageError::ColumnIndexOutOfBounds { index, width } => {
-                write!(f, "column index {index} out of bounds for schema of width {width}")
+                write!(
+                    f,
+                    "column index {index} out of bounds for schema of width {width}"
+                )
             }
             StorageError::SchemaMismatch { expected, actual } => {
-                write!(f, "tuple has {actual} values but schema has {expected} columns")
+                write!(
+                    f,
+                    "tuple has {actual} values but schema has {expected} columns"
+                )
             }
             StorageError::TypeMismatch {
                 column,
@@ -100,7 +106,9 @@ mod tests {
 
     #[test]
     fn display_invalid_degree() {
-        assert!(StorageError::InvalidDegree(0).to_string().contains("at least 1"));
+        assert!(StorageError::InvalidDegree(0)
+            .to_string()
+            .contains("at least 1"));
     }
 
     #[test]

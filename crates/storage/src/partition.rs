@@ -400,7 +400,10 @@ mod tests {
                 .unwrap()
                 .observed_skew_factor();
         assert!(high > low, "skew factor should grow with theta");
-        assert!((high - 34.0).abs() < 4.0, "Zipf=1/200 fragments ≈ 34, got {high}");
+        assert!(
+            (high - 34.0).abs() < 4.0,
+            "Zipf=1/200 fragments ≈ 34, got {high}"
+        );
     }
 
     #[test]
@@ -432,7 +435,10 @@ mod tests {
         assert!(p.fragment(3).is_ok());
         assert!(matches!(
             p.fragment(4),
-            Err(StorageError::FragmentOutOfBounds { fragment: 4, degree: 4 })
+            Err(StorageError::FragmentOutOfBounds {
+                fragment: 4,
+                degree: 4
+            })
         ));
     }
 }

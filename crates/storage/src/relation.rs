@@ -97,7 +97,12 @@ impl Relation {
     ///
     /// Joins `self` with `right` on equality of the named columns and returns
     /// concatenated tuples. This is O(n·m) and only meant for validation.
-    pub fn reference_join(&self, right: &Relation, left_col: &str, right_col: &str) -> Result<Vec<Tuple>> {
+    pub fn reference_join(
+        &self,
+        right: &Relation,
+        left_col: &str,
+        right_col: &str,
+    ) -> Result<Vec<Tuple>> {
         let li = self.column_index(left_col)?;
         let ri = right.column_index(right_col)?;
         let mut out = Vec::new();
@@ -116,7 +121,11 @@ impl Relation {
     where
         F: Fn(&Tuple) -> bool,
     {
-        self.tuples.iter().filter(|t| predicate(t)).cloned().collect()
+        self.tuples
+            .iter()
+            .filter(|t| predicate(t))
+            .cloned()
+            .collect()
     }
 
     /// Renames the relation (used when deriving `B'` from `B` in the

@@ -225,7 +225,10 @@ mod tests {
         let values = vec![Value::Int(1)];
         assert!(matches!(
             s.validate_values(&values),
-            Err(StorageError::SchemaMismatch { expected: 3, actual: 1 })
+            Err(StorageError::SchemaMismatch {
+                expected: 3,
+                actual: 1
+            })
         ));
     }
 

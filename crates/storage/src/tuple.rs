@@ -67,7 +67,12 @@ impl Tuple {
     /// Approximate in-memory size in bytes (used by the Allcache model).
     pub fn approximate_size(&self) -> usize {
         let header = 24; // Arc + vec header, rounded
-        header + self.values.iter().map(Value::approximate_size).sum::<usize>()
+        header
+            + self
+                .values
+                .iter()
+                .map(Value::approximate_size)
+                .sum::<usize>()
     }
 }
 

@@ -63,7 +63,12 @@ fn main() {
         print!("  {budget:>2} threads ->");
         for node in plan.nodes() {
             let op = schedule.operation(node.id).unwrap();
-            print!("  {}[{} thr, {}]", node.name, op.threads, op.strategy.name());
+            print!(
+                "  {}[{} thr, {}]",
+                node.name,
+                op.threads,
+                op.strategy.name()
+            );
         }
         println!();
     }
@@ -75,7 +80,9 @@ fn main() {
         &SchedulerOptions::default().with_total_threads(8),
     )
     .expect("schedule");
-    let outcome = Executor::new(&catalog).execute(&plan, &schedule).expect("execute");
+    let outcome = Executor::new(&catalog)
+        .execute(&plan, &schedule)
+        .expect("execute");
 
     println!();
     println!(

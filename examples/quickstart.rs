@@ -34,8 +34,8 @@ fn main() {
 
     // 4. Let the DBS3 scheduler fix the execution parameters (threads per
     //    operation, consumption strategy, queue sizes) for 8 threads total.
-    let extended = ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default())
-        .expect("expand plan");
+    let extended =
+        ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).expect("expand plan");
     let schedule = Scheduler::build(
         &plan,
         &extended,
@@ -60,7 +60,11 @@ fn main() {
         .execute(&plan, &schedule)
         .expect("execute plan");
     let result = &outcome.results["Result"];
-    println!("\njoin produced {} tuples in {:?}", result.len(), outcome.metrics.elapsed);
+    println!(
+        "\njoin produced {} tuples in {:?}",
+        result.len(),
+        outcome.metrics.elapsed
+    );
 
     for op in &outcome.metrics.operations {
         println!(

@@ -37,7 +37,10 @@ fn build_catalog(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Cat
 
 fn main() {
     println!("== Part 1: real engine, IdealJoin, Random vs LPT under skew ==");
-    println!("{:>6} {:>14} {:>14} {:>12}", "zipf", "random (ms)", "lpt (ms)", "skew factor");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "zipf", "random (ms)", "lpt (ms)", "skew factor"
+    );
     for &theta in &[0.0, 0.5, 1.0] {
         let catalog = build_catalog(10_000, 1_000, 40, theta);
         let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
@@ -53,11 +56,16 @@ fn main() {
                     .with_strategy(strategy),
             )
             .expect("schedule");
-            let outcome = Executor::new(&catalog).execute(&plan, &schedule).expect("execute");
+            let outcome = Executor::new(&catalog)
+                .execute(&plan, &schedule)
+                .expect("execute");
             elapsed.push(outcome.metrics.elapsed.as_secs_f64() * 1e3);
         }
         let skew = catalog.get("A").unwrap().observed_skew_factor();
-        println!("{:>6.1} {:>14.1} {:>14.1} {:>12.1}", theta, elapsed[0], elapsed[1], skew);
+        println!(
+            "{:>6.1} {:>14.1} {:>14.1} {:>12.1}",
+            theta, elapsed[0], elapsed[1], skew
+        );
     }
 
     println!();
@@ -82,7 +90,7 @@ fn main() {
         let assoc = simulator
             .simulate(&plan_assoc, &SimConfig::default().with_threads(10))
             .expect("simulate AssocJoin");
-        let bound = overhead_bound(200, zipf_max_to_avg(theta.max(1e-9).min(1.0), 200), 10);
+        let bound = overhead_bound(200, zipf_max_to_avg(theta.clamp(1e-9, 1.0), 200), 10);
         println!(
             "{:>6.1} {:>22.1} {:>22.1} {:>12.3}",
             theta,

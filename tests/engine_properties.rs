@@ -34,7 +34,12 @@ fn catalog_from_rows(
     (catalog, a, b)
 }
 
-fn run(catalog: &Catalog, plan: &Plan, threads: usize, strategy: ConsumptionStrategy) -> Vec<(i64, i64, i64, i64)> {
+fn run(
+    catalog: &Catalog,
+    plan: &Plan,
+    threads: usize,
+    strategy: ConsumptionStrategy,
+) -> Vec<(i64, i64, i64, i64)> {
     let extended = ExtendedPlan::from_plan(plan, catalog, &CostParameters::default()).unwrap();
     let schedule = Scheduler::build(
         plan,

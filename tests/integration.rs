@@ -51,11 +51,23 @@ fn run_engine(catalog: &Catalog, plan: &Plan, threads: usize) -> usize {
 fn ideal_and_assoc_join_agree_with_each_other_and_the_reference() {
     let catalog = build_catalog(2_000, 200, 16, 0.0);
     let expected = reference_join_size(&catalog);
-    for algorithm in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash, JoinAlgorithm::TempIndex] {
+    for algorithm in [
+        JoinAlgorithm::NestedLoop,
+        JoinAlgorithm::Hash,
+        JoinAlgorithm::TempIndex,
+    ] {
         let ideal = plans::ideal_join("A", "Bprime", "unique1", algorithm);
         let assoc = plans::assoc_join("Bprime", "A", "unique1", algorithm);
-        assert_eq!(run_engine(&catalog, &ideal, 4), expected, "IdealJoin {algorithm:?}");
-        assert_eq!(run_engine(&catalog, &assoc, 4), expected, "AssocJoin {algorithm:?}");
+        assert_eq!(
+            run_engine(&catalog, &ideal, 4),
+            expected,
+            "IdealJoin {algorithm:?}"
+        );
+        assert_eq!(
+            run_engine(&catalog, &assoc, 4),
+            expected,
+            "AssocJoin {algorithm:?}"
+        );
     }
 }
 
@@ -97,7 +109,10 @@ fn filter_join_pipeline_matches_reference_selection_plus_join() {
         (0..500).contains(&v)
     });
     let filtered = Relation::new("Af", a.schema().clone(), selected).unwrap();
-    let expected = filtered.reference_join(&b, "unique1", "unique1").unwrap().len();
+    let expected = filtered
+        .reference_join(&b, "unique1", "unique1")
+        .unwrap()
+        .len();
     assert_eq!(outcome.results["Result"].len(), expected);
 }
 
@@ -175,11 +190,23 @@ fn simulator_speedup_ceiling_matches_analytic_nmax() {
             .with_threads(n)
             .with_strategy(ConsumptionStrategy::Lpt)
     };
-    let s40 = sim.simulate(&plan, &config(40)).unwrap().execution_speedup();
-    let s70 = sim.simulate(&plan, &config(70)).unwrap().execution_speedup();
+    let s40 = sim
+        .simulate(&plan, &config(40))
+        .unwrap()
+        .execution_speedup();
+    let s70 = sim
+        .simulate(&plan, &config(70))
+        .unwrap()
+        .execution_speedup();
     let nmax = n_max(degree as u64, zipf_max_to_avg(1.0, degree));
-    assert!(s40 <= nmax * 1.6, "speed-up {s40} far above the analytic ceiling {nmax}");
-    assert!((s70 - s40).abs() < nmax * 0.5, "speed-up should plateau: {s40} vs {s70}");
+    assert!(
+        s40 <= nmax * 1.6,
+        "speed-up {s40} far above the analytic ceiling {nmax}"
+    );
+    assert!(
+        (s70 - s40).abs() < nmax * 0.5,
+        "speed-up should plateau: {s40} vs {s70}"
+    );
 }
 
 #[test]

@@ -1,0 +1,274 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the DBS3 benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with plain wall-clock timing. No statistical analysis, plots or HTML
+//! reports: each benchmark prints `min / mean / max` over `sample_size`
+//! timed samples. `cargo bench -- <filter>` substring filtering and the
+//! `--test` smoke mode (one iteration per bench) are honoured so the
+//! targets behave sensibly under both `cargo bench` and `cargo test`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to the functions registered with `criterion_group!`.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses the benchmark binary's CLI arguments (the subset cargo
+    /// passes: `--bench`, `--test`, and an optional substring filter).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                "--test" => self.test_mode = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
+                        self.default_sample_size = n;
+                    }
+                }
+                // Upstream-criterion/libtest flags that take a separate
+                // value: consume the value too, so it is not mistaken for
+                // a benchmark name filter.
+                "--warm-up-time"
+                | "--measurement-time"
+                | "--profile-time"
+                | "--skip"
+                | "--save-baseline"
+                | "--baseline"
+                | "--baseline-lenient"
+                | "--load-baseline"
+                | "--significance-level"
+                | "--noise-threshold"
+                | "--confidence-level"
+                | "--color"
+                | "--colour"
+                | "--output-format"
+                | "--plotting-backend"
+                | "--logfile"
+                | "--format"
+                | "-Z" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {
+                    // Remaining boolean/`--flag=value` flags: ignore.
+                }
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Overrides the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.test_mode {
+            1
+        } else {
+            sample_size.max(1)
+        };
+        let mut bencher = Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        report(&id, &bencher.durations);
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(full_id, sample_size, f);
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly — one warm-up call, then `sample_size`
+    /// timed calls — recording one duration per timed call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let min = durations.iter().min().unwrap();
+    let max = durations.iter().max().unwrap();
+    let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+    println!(
+        "{id:<50} [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        durations.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 3,
+            durations: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.durations.len(), 3);
+        assert_eq!(count, 4, "one warm-up plus three timed calls");
+    }
+
+    #[test]
+    fn group_runs_and_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(2);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3, "warm-up + 2 samples");
+    }
+
+    #[test]
+    fn fmt_duration_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).ends_with('s'));
+    }
+}

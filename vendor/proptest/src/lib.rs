@@ -1,0 +1,548 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the DBS3 test suite uses:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(n))] ... }`
+//!   blocks containing `#[test] fn name(arg in strategy, ...) { body }`;
+//! * strategies: integer/float [`Range`](std::ops::Range)s, `any::<T>()`,
+//!   tuples of strategies (arity 2–6), and [`collection::vec`];
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`.
+//!
+//! Differences from upstream: cases are sampled uniformly (no edge-case
+//! biasing) and failing cases are **not shrunk** — the failing inputs are
+//! printed verbatim instead. Sampling is fully deterministic: the RNG seed
+//! is derived from the test function's name, so a failure always reproduces.
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Maximum number of `prop_assume!` rejections tolerated before the
+        /// property errors out (mirrors upstream's `max_global_rejects`).
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config::with_cases(256)
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — skip it, try another.
+        Reject(String),
+        /// The case genuinely failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Constructs a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Constructs a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result type the generated property bodies return.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic RNG driving case generation (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator. The `proptest!` macro derives the seed from
+        /// the test name so every test has its own reproducible stream.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5DEE_CE66_D1CE_B00C,
+            }
+        }
+
+        /// Derives a seed from a test name (FNV-1a).
+        pub fn seed_from_name(name: &str) -> u64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `u64` in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Lemire multiply-shift with rejection of the biased fringe.
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128).wrapping_mul(bound as u128);
+                if (m as u64) >= bound.wrapping_neg() % bound {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy is just a sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    // `&S` is a strategy wherever `S` is, so strategies can be reused.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    // Work in i128 so mixed-sign i64 spans cannot overflow.
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = if span <= u64::MAX as u128 {
+                        rng.below(span as u64) as u128
+                    } else {
+                        // Span of the full u64/i64 range: take raw bits.
+                        rng.next_u64() as u128
+                    };
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(!self.is_empty(), "empty inclusive range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let off = if span <= u64::MAX as u128 {
+                        rng.below(span as u64) as u128
+                    } else {
+                        rng.next_u64() as u128
+                    };
+                    (*self.start() as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            let x = self.start + rng.unit_f64() * (self.end - self.start);
+            // Guard against rounding up to the excluded endpoint.
+            if x >= self.end {
+                self.start
+            } else {
+                x
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            (Range {
+                start: self.start as f64,
+                end: self.end as f64,
+            })
+            .sample(rng) as f32
+        }
+    }
+
+    /// Strategy that always yields a clone of one value (upstream `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ ))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, spanning several orders of magnitude.
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = (rng.below(61) as i32 - 30) as f64;
+            mantissa * exp.exp2()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::collection;
+    pub use super::strategy::{Just, Strategy};
+    pub use super::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. See the crate docs for the supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let seed = $crate::test_runner::TestRng::seed_from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                let mut rejects: u32 = 0;
+                let mut case: u32 = 0;
+                while case < config.cases {
+                    // The RNG is deterministic, so a checkpoint lets the
+                    // failure paths re-draw (and only then Debug-format) the
+                    // inputs of this exact case — passing cases pay nothing.
+                    let rng_checkpoint = rng.clone();
+                    let describe_case = |mut replay: $crate::test_runner::TestRng| {
+                        let mut parts: ::std::vec::Vec<::std::string::String> =
+                            ::std::vec::Vec::new();
+                        $(parts.push(format!(
+                            "{} = {:?}",
+                            stringify!($arg),
+                            $crate::strategy::Strategy::sample(&($strat), &mut replay)
+                        ));)+
+                        parts.join(", ")
+                    };
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let result: $crate::test_runner::TestCaseResult = (|| {
+                                $body
+                                Ok(())
+                            })();
+                            result
+                        })
+                    );
+                    match outcome {
+                        Ok(Ok(())) => case += 1,
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(why))) => {
+                            rejects += 1;
+                            if rejects > config.max_global_rejects {
+                                panic!(
+                                    "proptest {}: too many prop_assume! rejections ({}): {}",
+                                    stringify!($name), rejects, why
+                                );
+                            }
+                        }
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(why))) => {
+                            panic!(
+                                "proptest {} failed at case #{}: {}\n  inputs: {}",
+                                stringify!($name), case, why,
+                                describe_case(rng_checkpoint)
+                            );
+                        }
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest {} panicked at case #{}\n  inputs: {}",
+                                stringify!($name), case,
+                                describe_case(rng_checkpoint)
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($config) $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case, printing
+/// the generated inputs, instead of panicking outright).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format_args!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right),
+                format_args!($($fmt)+), left, right
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (a precondition does not hold) and draws a
+/// replacement, up to `max_global_rejects` times.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in -1000i64..1000, n in 1usize..6, f in 0.0f64..10.0) {
+            prop_assert!((-1000..1000).contains(&x));
+            prop_assert!((1..6).contains(&n));
+            prop_assert!((0.0..10.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_of_tuples(rows in collection::vec((-50i64..50, any::<i64>()), 0..30)) {
+            prop_assert!(rows.len() < 30);
+            for (k, _v) in &rows {
+                prop_assert!(*k >= -50 && *k < 50, "key {} out of range", k);
+            }
+        }
+
+        #[test]
+        fn assume_retries(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let seed = crate::test_runner::TestRng::seed_from_name("fixed");
+        let mut a = crate::test_runner::TestRng::new(seed);
+        let mut b = crate::test_runner::TestRng::new(seed);
+        let s = 0i64..1_000_000;
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0i64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
