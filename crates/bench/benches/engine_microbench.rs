@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbs3_bench::JoinDatabase;
-use dbs3_engine::{Activation, ActivationQueue, Executor, Scheduler, SchedulerOptions};
-use dbs3_lera::{plans, CostParameters, ExtendedPlan, JoinAlgorithm};
+use dbs3_engine::{Activation, ActivationQueue, Executor};
+use dbs3_lera::{plans, JoinAlgorithm};
 use dbs3_storage::tuple::int_tuple;
 use std::hint::black_box;
 
@@ -29,21 +29,20 @@ fn queue_throughput(c: &mut Criterion) {
 
 fn end_to_end_join(c: &mut Criterion) {
     let db = JoinDatabase::generate(4_000, 400);
-    let catalog = db.catalog(20, 0.0);
+    let session = db.session(20, 0.0);
     let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
-    let extended = ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).unwrap();
-    let schedule = Scheduler::build(
-        &plan,
-        &extended,
-        &SchedulerOptions::default().with_total_threads(4),
-    )
-    .unwrap();
+    // Schedule once through the facade; time only the engine execution so
+    // the measurement isolates the executor (expansion and scheduling are
+    // plan-sized, not data-sized).
+    let schedule = session.query(&plan).threads(4).schedule().unwrap();
 
     let mut group = c.benchmark_group("engine_end_to_end");
     group.sample_size(10);
     group.bench_function("ideal_join_4k_threads4", |b| {
         b.iter(|| {
-            let outcome = Executor::new(&catalog).execute(&plan, &schedule).unwrap();
+            let outcome = Executor::new(session.catalog())
+                .execute(&plan, &schedule)
+                .unwrap();
             black_box(outcome.results["Result"].len())
         })
     });

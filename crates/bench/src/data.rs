@@ -92,6 +92,12 @@ impl JoinDatabase {
         cat.register(b_part).expect("fresh catalog");
         cat
     }
+
+    /// Like [`Self::catalog`], wrapped in a query [`dbs3::Session`] — the
+    /// form every experiment harness function consumes.
+    pub fn session(&self, degree: usize, theta: f64) -> dbs3::Session {
+        dbs3::Session::from_catalog(self.catalog(degree, theta))
+    }
 }
 
 /// Builds the single-relation database of the Allcache experiment
@@ -106,6 +112,11 @@ pub fn selection_catalog(cardinality: usize, degree: usize) -> Catalog {
     let mut cat = Catalog::new();
     cat.register(part).expect("fresh catalog");
     cat
+}
+
+/// [`selection_catalog`] wrapped in a query [`dbs3::Session`].
+pub fn selection_session(cardinality: usize, degree: usize) -> dbs3::Session {
+    dbs3::Session::from_catalog(selection_catalog(cardinality, degree))
 }
 
 #[cfg(test)]

@@ -9,11 +9,12 @@
 //! (the substitution for the 72-processor KSR1 documented in DESIGN.md); the
 //! affinity ablation runs the real multi-threaded engine.
 
-use crate::data::{selection_catalog, ExperimentScale, JoinDatabase};
-use dbs3_engine::{ConsumptionStrategy, Executor, Scheduler, SchedulerOptions};
-use dbs3_lera::{plans, CostParameters, ExtendedPlan, JoinAlgorithm, NodeId, Predicate};
+use crate::data::{selection_session, ExperimentScale, JoinDatabase};
+use dbs3::{Backend, Session};
+use dbs3_engine::ConsumptionStrategy;
+use dbs3_lera::{plans, JoinAlgorithm, NodeId, Plan, Predicate};
 use dbs3_model as model;
-use dbs3_sim::{DataPlacement, SimConfig, Simulator};
+use dbs3_sim::{DataPlacement, SimConfig, SimReport};
 
 /// The degrees of parallelism the paper sweeps in Figures 14–15.
 pub fn thread_sweep(scale: ExperimentScale) -> Vec<usize> {
@@ -39,8 +40,24 @@ pub fn skew_sweep(scale: ExperimentScale) -> Vec<f64> {
     }
 }
 
+/// The KSR1 simulator configuration with `threads` total threads.
 fn sim_threads(threads: usize) -> SimConfig {
-    SimConfig::default().with_threads(threads)
+    SimConfig::ksr1().with_threads(threads)
+}
+
+/// Runs `plan` on the session's simulated-KSR1 backend and returns the
+/// virtual-time report. Every figure harness funnels through this one
+/// facade call; the Criterion benches and the `experiments` binary differ
+/// only in scale.
+fn simulate(session: &Session, plan: &Plan, config: SimConfig) -> SimReport {
+    session
+        .query(plan)
+        .on(Backend::Simulated(config))
+        .run()
+        .expect("valid simulated query")
+        .sim_report()
+        .expect("simulated outcome carries a report")
+        .clone()
 }
 
 // ---------------------------------------------------------------------------
@@ -68,14 +85,13 @@ impl RemoteAccessRow {
 pub fn fig08_remote_access(scale: ExperimentScale) -> Vec<RemoteAccessRow> {
     let cardinality = scale.cardinality(200_000);
     let degree = scale.degree(200);
-    let catalog = selection_catalog(cardinality, degree);
+    let session = selection_session(cardinality, degree);
     // Select roughly half of the relation, as a representative selection.
     let plan = plans::selection(
         "DewittA",
         Predicate::range("unique1", 0, cardinality as i64 / 2),
         "Out",
     );
-    let sim = Simulator::new(&catalog);
     let threads: Vec<usize> = match scale {
         ExperimentScale::Paper => (5..=30).step_by(5).collect(),
         ExperimentScale::Smoke => vec![5, 15, 30],
@@ -83,12 +99,16 @@ pub fn fig08_remote_access(scale: ExperimentScale) -> Vec<RemoteAccessRow> {
     threads
         .into_iter()
         .map(|n| {
-            let local = sim
-                .simulate(&plan, &sim_threads(n).with_placement(DataPlacement::Local))
-                .expect("valid plan");
-            let remote = sim
-                .simulate(&plan, &sim_threads(n).with_placement(DataPlacement::Remote))
-                .expect("valid plan");
+            let local = simulate(
+                &session,
+                &plan,
+                sim_threads(n).with_placement(DataPlacement::Local),
+            );
+            let remote = simulate(
+                &session,
+                &plan,
+                sim_threads(n).with_placement(DataPlacement::Remote),
+            );
             RemoteAccessRow {
                 threads: n,
                 local_s: local.total_seconds(),
@@ -142,14 +162,12 @@ pub fn fig12_assocjoin_skew(scale: ExperimentScale) -> Vec<AssocSkewRow> {
     skew_sweep(scale)
         .into_iter()
         .map(|theta| {
-            let catalog = db.catalog(degree, theta);
-            let sim = Simulator::new(&catalog);
-            let report = sim
-                .simulate(
-                    &plan,
-                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Random),
-                )
-                .expect("valid plan");
+            let session = db.session(degree, theta);
+            let report = simulate(
+                &session,
+                &plan,
+                sim_threads(threads).with_strategy(ConsumptionStrategy::Random),
+            );
             // Tworst from the analytic model, over the pipelined join's
             // activation profile and the threads its pool actually received.
             let join = report.operation(NodeId(1)).expect("join is simulated");
@@ -204,20 +222,17 @@ pub fn fig13_idealjoin_skew(scale: ExperimentScale) -> Vec<IdealSkewRow> {
     skew_sweep(scale)
         .into_iter()
         .map(|theta| {
-            let catalog = db.catalog(degree, theta);
-            let sim = Simulator::new(&catalog);
-            let random = sim
-                .simulate(
-                    &plan,
-                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Random),
-                )
-                .expect("valid plan");
-            let lpt = sim
-                .simulate(
-                    &plan,
-                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
-                )
-                .expect("valid plan");
+            let session = db.session(degree, theta);
+            let random = simulate(
+                &session,
+                &plan,
+                sim_threads(threads).with_strategy(ConsumptionStrategy::Random),
+            );
+            let lpt = simulate(
+                &session,
+                &plan,
+                sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+            );
             let join = random.operation(NodeId(0)).expect("join is simulated");
             let tworst_us = random.startup_us
                 + model::worst_time(
@@ -270,19 +285,15 @@ pub fn fig14_assocjoin_speedup(scale: ExperimentScale) -> Vec<AssocSpeedupRow> {
     let db = JoinDatabase::generate(scale.cardinality(200_000), scale.cardinality(20_000));
     let degree = scale.degree(200);
     let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
-    let unskewed_cat = db.catalog(degree, 0.0);
-    let skewed_cat = db.catalog(degree, 1.0);
+    let unskewed_session = db.session(degree, 0.0);
+    let skewed_session = db.session(degree, 1.0);
     let activations = db.b_cardinality() as u64;
 
     thread_sweep(scale)
         .into_iter()
         .map(|n| {
-            let unskewed = Simulator::new(&unskewed_cat)
-                .simulate(&plan, &sim_threads(n))
-                .expect("valid plan");
-            let skewed = Simulator::new(&skewed_cat)
-                .simulate(&plan, &sim_threads(n))
-                .expect("valid plan");
+            let unskewed = simulate(&unskewed_session, &plan, sim_threads(n));
+            let skewed = simulate(&skewed_session, &plan, sim_threads(n));
             AssocSpeedupRow {
                 threads: n,
                 unskewed: unskewed.speedup(),
@@ -325,22 +336,21 @@ pub fn fig15_idealjoin_speedup(scale: ExperimentScale) -> Vec<IdealSpeedupRow> {
     let db = JoinDatabase::generate(scale.cardinality(200_000), scale.cardinality(20_000));
     let degree = scale.degree(200);
     let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
-    let catalogs: Vec<(f64, _)> = [0.0, 0.4, 0.6, 1.0]
+    let sessions: Vec<(f64, Session)> = [0.0, 0.4, 0.6, 1.0]
         .into_iter()
-        .map(|theta| (theta, db.catalog(degree, theta)))
+        .map(|theta| (theta, db.session(degree, theta)))
         .collect();
 
     thread_sweep(scale)
         .into_iter()
         .map(|n| {
             let speedup_at = |idx: usize| {
-                Simulator::new(&catalogs[idx].1)
-                    .simulate(
-                        &plan,
-                        &sim_threads(n).with_strategy(ConsumptionStrategy::Lpt),
-                    )
-                    .expect("valid plan")
-                    .speedup()
+                simulate(
+                    &sessions[idx].1,
+                    &plan,
+                    sim_threads(n).with_strategy(ConsumptionStrategy::Lpt),
+                )
+                .speedup()
             };
             IdealSpeedupRow {
                 threads: n,
@@ -400,12 +410,9 @@ pub fn fig16_partitioning_overhead(scale: ExperimentScale) -> Vec<PartitioningOv
     let degrees = degree_sweep(scale);
     let base_degree = degrees[0];
 
-    let run = |plan: &dbs3_lera::Plan, degree: usize| -> f64 {
-        let catalog = db.catalog(degree, 0.0);
-        Simulator::new(&catalog)
-            .simulate(plan, &sim_threads(threads))
-            .expect("valid plan")
-            .total_seconds()
+    let run = |plan: &Plan, degree: usize| -> f64 {
+        let session = db.session(degree, 0.0);
+        simulate(&session, plan, sim_threads(threads)).total_seconds()
     };
     let ideal_base = run(&ideal, base_degree);
     let assoc_base = run(&assoc, base_degree);
@@ -470,18 +477,11 @@ pub fn fig17_index_partitioning(scale: ExperimentScale) -> Vec<IndexPartitioning
     degree_sweep(scale)
         .into_iter()
         .map(|d| {
-            let catalog = db.catalog(d, 0.0);
-            let sim = Simulator::new(&catalog);
+            let session = db.session(d, 0.0);
             IndexPartitioningRow {
                 degree: d,
-                ideal_s: sim
-                    .simulate(&ideal, &sim_threads(threads))
-                    .expect("valid plan")
-                    .total_seconds(),
-                assoc_s: sim
-                    .simulate(&assoc, &sim_threads(threads))
-                    .expect("valid plan")
-                    .total_seconds(),
+                ideal_s: simulate(&session, &ideal, sim_threads(threads)).total_seconds(),
+                assoc_s: simulate(&session, &assoc, sim_threads(threads)).total_seconds(),
             }
         })
         .collect()
@@ -521,15 +521,14 @@ pub fn fig18_skew_vs_partitioning(scale: ExperimentScale) -> Vec<SkewVsPartition
     let nl_plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
     let ix_plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::TempIndex);
 
-    let run = |db: &JoinDatabase, plan: &dbs3_lera::Plan, degree: usize, theta: f64| -> f64 {
-        let catalog = db.catalog(degree, theta);
-        Simulator::new(&catalog)
-            .simulate(
-                plan,
-                &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
-            )
-            .expect("valid plan")
-            .total_seconds()
+    let run = |db: &JoinDatabase, plan: &Plan, degree: usize, theta: f64| -> f64 {
+        let session = db.session(degree, theta);
+        simulate(
+            &session,
+            plan,
+            sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+        )
+        .total_seconds()
     };
 
     degree_sweep(scale)
@@ -584,14 +583,13 @@ pub fn fig19_saved_time(scale: ExperimentScale) -> Vec<SavedTimeRow> {
     let times: Vec<f64> = degrees
         .iter()
         .map(|&d| {
-            let catalog = db.catalog(d, 0.6);
-            Simulator::new(&catalog)
-                .simulate(
-                    &plan,
-                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
-                )
-                .expect("valid plan")
-                .total_seconds()
+            let session = db.session(d, 0.6);
+            simulate(
+                &session,
+                &plan,
+                sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+            )
+            .total_seconds()
         })
         .collect();
     let baseline = times[0];
@@ -621,11 +619,8 @@ pub fn print_fig19(rows: &[SavedTimeRow], t0_reference_s: f64) {
 pub fn fig19_t0_reference(scale: ExperimentScale) -> f64 {
     let db = JoinDatabase::generate(scale.cardinality(500_000), scale.cardinality(50_000));
     let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::TempIndex);
-    let catalog = db.catalog(scale.degree(250), 0.0);
-    Simulator::new(&catalog)
-        .simulate(&plan, &sim_threads(20))
-        .expect("valid plan")
-        .total_seconds()
+    let session = db.session(scale.degree(250), 0.0);
+    simulate(&session, &plan, sim_threads(20)).total_seconds()
 }
 
 // ---------------------------------------------------------------------------
@@ -649,22 +644,19 @@ pub fn ablation_static_baseline(scale: ExperimentScale) -> Vec<StaticBaselineRow
     skew_sweep(scale)
         .into_iter()
         .map(|theta| {
-            let catalog = db.catalog(degree, theta);
-            let sim = Simulator::new(&catalog);
-            let adaptive = sim
-                .simulate(
-                    &plan,
-                    &sim_threads(10).with_strategy(ConsumptionStrategy::Lpt),
-                )
-                .expect("valid plan");
-            let fixed = sim
-                .simulate(
-                    &plan,
-                    &sim_threads(10)
-                        .with_strategy(ConsumptionStrategy::Lpt)
-                        .with_static_baseline(),
-                )
-                .expect("valid plan");
+            let session = db.session(degree, theta);
+            let adaptive = simulate(
+                &session,
+                &plan,
+                sim_threads(10).with_strategy(ConsumptionStrategy::Lpt),
+            );
+            let fixed = simulate(
+                &session,
+                &plan,
+                sim_threads(10)
+                    .with_strategy(ConsumptionStrategy::Lpt)
+                    .with_static_baseline(),
+            );
             StaticBaselineRow {
                 theta,
                 adaptive_s: adaptive.total_seconds(),
@@ -719,29 +711,24 @@ pub fn ablation_affinity(scale: ExperimentScale) -> Vec<AffinityRow> {
         ExperimentScale::Smoke => (4_000, 400),
     };
     let db = JoinDatabase::generate(a_card, b_card);
-    let catalog = db.catalog(40, 0.0);
+    let session = db.session(40, 0.0);
     let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
-    let extended =
-        ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).expect("valid plan");
 
     [1usize, 8, 32, 128]
         .into_iter()
         .map(|cache_size| {
             let threads = 4;
-            let options = SchedulerOptions {
-                cache_size,
-                ..SchedulerOptions::default().with_total_threads(threads)
-            };
-            let schedule = Scheduler::build(&plan, &extended, &options).expect("valid schedule");
-            let outcome = Executor::new(&catalog)
-                .execute(&plan, &schedule)
+            let outcome = session
+                .query(&plan)
+                .threads(threads)
+                .cache_size(cache_size)
+                .run()
                 .expect("execution succeeds");
-            let join = outcome
-                .metrics
-                .operation(NodeId(1))
-                .expect("join metrics present");
-            let flushes: u64 = outcome
-                .metrics
+            let metrics = outcome
+                .execution_metrics()
+                .expect("threaded outcome carries engine metrics");
+            let join = metrics.operation(NodeId(1)).expect("join metrics present");
+            let flushes: u64 = metrics
                 .operations
                 .iter()
                 .flat_map(|op| op.threads.iter())
@@ -750,7 +737,7 @@ pub fn ablation_affinity(scale: ExperimentScale) -> Vec<AffinityRow> {
             AffinityRow {
                 cache_size,
                 threads,
-                elapsed_ms: outcome.metrics.elapsed.as_secs_f64() * 1e3,
+                elapsed_ms: metrics.elapsed.as_secs_f64() * 1e3,
                 secondary_ratio: join.secondary_consumption_ratio(),
                 cache_flushes: flushes,
             }
@@ -809,8 +796,8 @@ pub fn ablation_granule(scale: ExperimentScale) -> Vec<GranuleRow> {
     let degree = scale.degree(200);
     let threads = 20;
     let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
-    let skewed = db.catalog(degree, 1.0);
-    let unskewed = db.catalog(degree, 0.0);
+    let skewed = db.session(degree, 1.0);
+    let unskewed = db.session(degree, 0.0);
     let granules: Vec<Option<usize>> = match scale {
         ExperimentScale::Paper => vec![None, Some(2_000), Some(500), Some(125), Some(25)],
         ExperimentScale::Smoke => vec![None, Some(100), Some(25)],
@@ -819,21 +806,15 @@ pub fn ablation_granule(scale: ExperimentScale) -> Vec<GranuleRow> {
     granules
         .into_iter()
         .map(|granule| {
-            let config = |catalog_threads: usize| {
-                let mut c = SimConfig::default()
-                    .with_threads(catalog_threads)
-                    .with_strategy(ConsumptionStrategy::Lpt);
+            let config = |pool_threads: usize| {
+                let mut c = sim_threads(pool_threads).with_strategy(ConsumptionStrategy::Lpt);
                 if let Some(g) = granule {
                     c = c.with_triggered_granule(g);
                 }
                 c
             };
-            let skewed_report = Simulator::new(&skewed)
-                .simulate(&plan, &config(threads))
-                .expect("valid plan");
-            let unskewed_report = Simulator::new(&unskewed)
-                .simulate(&plan, &config(threads))
-                .expect("valid plan");
+            let skewed_report = simulate(&skewed, &plan, config(threads));
+            let unskewed_report = simulate(&unskewed, &plan, config(threads));
             GranuleRow {
                 granule,
                 activations: skewed_report
@@ -896,23 +877,21 @@ pub fn ablation_bound(scale: ExperimentScale) -> Vec<BoundRow> {
 
     let mut rows = Vec::new();
     for &theta in &thetas {
-        let skewed = db.catalog(degree, theta);
-        let unskewed = db.catalog(degree, 0.0);
+        let skewed = db.session(degree, theta);
+        let unskewed = db.session(degree, 0.0);
         for &threads in &thread_counts {
-            let t_skewed = Simulator::new(&skewed)
-                .simulate(
-                    &plan,
-                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
-                )
-                .expect("valid plan")
-                .execution_us;
-            let t_ideal = Simulator::new(&unskewed)
-                .simulate(
-                    &plan,
-                    &sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
-                )
-                .expect("valid plan")
-                .execution_us;
+            let t_skewed = simulate(
+                &skewed,
+                &plan,
+                sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+            )
+            .execution_us;
+            let t_ideal = simulate(
+                &unskewed,
+                &plan,
+                sim_threads(threads).with_strategy(ConsumptionStrategy::Lpt),
+            )
+            .execution_us;
             rows.push(BoundRow {
                 theta,
                 threads,

@@ -13,6 +13,9 @@ pub enum EngineError {
     IncompleteSchedule { node: usize },
     /// A schedule parameter is invalid (zero threads, zero queue capacity,...).
     InvalidSchedule(String),
+    /// The scheduler options themselves are invalid (zero total threads,
+    /// zero cache size, ...). Rejected up front instead of silently clamping.
+    InvalidOptions(String),
     /// A worker thread panicked during execution.
     WorkerPanicked { operation: String },
     /// The executor was asked to run a plan with no store operator, so there
@@ -29,6 +32,7 @@ impl fmt::Display for EngineError {
                 write!(f, "schedule is missing operation for plan node {node}")
             }
             EngineError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+            EngineError::InvalidOptions(msg) => write!(f, "invalid scheduler options: {msg}"),
             EngineError::WorkerPanicked { operation } => {
                 write!(f, "a worker thread of operation `{operation}` panicked")
             }

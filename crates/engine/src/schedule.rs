@@ -146,8 +146,11 @@ impl Default for SchedulerOptions {
 
 impl SchedulerOptions {
     /// Fixes the total thread count, as the paper's experiments do.
+    ///
+    /// A zero thread count is kept as-is and rejected by [`Self::validate`]
+    /// when the schedule is built — no silent clamping.
     pub fn with_total_threads(mut self, threads: usize) -> Self {
-        self.total_threads = Some(threads.max(1));
+        self.total_threads = Some(threads);
         self
     }
 
@@ -155,6 +158,36 @@ impl SchedulerOptions {
     pub fn with_strategy(mut self, strategy: ConsumptionStrategy) -> Self {
         self.strategy_override = Some(strategy);
         self
+    }
+
+    /// Checks the options are executable before any scheduling work starts.
+    ///
+    /// Rejected configurations (each would otherwise dead-lock or crash the
+    /// engine at run time): an explicit total thread count of zero, a zero
+    /// activation-queue capacity, a zero internal cache size, and a zero
+    /// `max_threads` ceiling for the derived thread count.
+    pub fn validate(&self) -> Result<()> {
+        if self.total_threads == Some(0) {
+            return Err(EngineError::InvalidOptions(
+                "total_threads must be at least 1".to_string(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(EngineError::InvalidOptions(
+                "queue_capacity must be at least 1".to_string(),
+            ));
+        }
+        if self.cache_size == 0 {
+            return Err(EngineError::InvalidOptions(
+                "cache_size must be at least 1".to_string(),
+            ));
+        }
+        if self.max_threads == 0 {
+            return Err(EngineError::InvalidOptions(
+                "max_threads must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -169,15 +202,16 @@ impl Scheduler {
         extended: &ExtendedPlan,
         options: &SchedulerOptions,
     ) -> Result<ExecutionSchedule> {
+        options.validate()?;
         let complexity = PlanComplexity::from_extended(extended);
         let decomposition = SubqueryDecomposition::decompose(plan)?;
 
         // Step 1: total thread count.
         let total_threads = match options.total_threads {
-            Some(n) => n.max(1),
+            Some(n) => n,
             None => {
                 let derived = (complexity.total() / options.work_per_thread).ceil() as usize;
-                derived.clamp(1, options.max_threads.max(1))
+                derived.clamp(1, options.max_threads)
             }
         };
 
@@ -409,6 +443,60 @@ mod tests {
             Err(EngineError::InvalidSchedule(_))
         ));
         let _ = cat;
+    }
+
+    #[test]
+    fn build_rejects_zero_total_threads() {
+        let cat = catalog(0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let ext = extended(&cat, &plan);
+        let err = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(0),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::InvalidOptions(msg) if msg.contains("total_threads")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn build_rejects_zero_cache_size() {
+        let cat = catalog(0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let ext = extended(&cat, &plan);
+        let options = SchedulerOptions {
+            cache_size: 0,
+            ..SchedulerOptions::default().with_total_threads(4)
+        };
+        let err = Scheduler::build(&plan, &ext, &options).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::InvalidOptions(msg) if msg.contains("cache_size")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_queue_capacity_and_max_threads() {
+        let zero_capacity = SchedulerOptions {
+            queue_capacity: 0,
+            ..SchedulerOptions::default()
+        };
+        assert!(matches!(
+            zero_capacity.validate(),
+            Err(EngineError::InvalidOptions(_))
+        ));
+        let zero_max = SchedulerOptions {
+            max_threads: 0,
+            ..SchedulerOptions::default()
+        };
+        assert!(matches!(
+            zero_max.validate(),
+            Err(EngineError::InvalidOptions(_))
+        ));
+        assert!(SchedulerOptions::default().validate().is_ok());
     }
 
     #[test]

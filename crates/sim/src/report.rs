@@ -13,6 +13,10 @@ pub struct OperationReport {
     pub threads: usize,
     /// Number of activations processed.
     pub activations: usize,
+    /// Exact number of output tuples the operation produces (counted over
+    /// the actual stored tuples, not estimated), so simulated and threaded
+    /// executions report identical result cardinalities.
+    pub tuples_out: usize,
     /// Sum of activation costs (virtual µs, undilated).
     pub total_work_us: f64,
     /// Cost of the most expensive activation (virtual µs).
@@ -20,6 +24,10 @@ pub struct OperationReport {
     /// Virtual time at which the operation's last activation completed,
     /// measured from the end of start-up.
     pub completion_us: f64,
+    /// Virtual busy time accumulated by each worker of the pool (dilated
+    /// µs) — the simulator's counterpart of the engine's per-thread busy
+    /// metrics.
+    pub busy_us: Vec<f64>,
 }
 
 impl OperationReport {
@@ -29,6 +37,30 @@ impl OperationReport {
             return 1.0;
         }
         self.max_activation_us / (self.total_work_us / self.activations as f64)
+    }
+
+    /// Busy time of the busiest worker of the pool (virtual µs).
+    pub fn max_busy_us(&self) -> f64 {
+        self.busy_us.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Average busy time across the pool's workers (virtual µs).
+    pub fn avg_busy_us(&self) -> f64 {
+        if self.busy_us.is_empty() {
+            return 0.0;
+        }
+        self.busy_us.iter().sum::<f64>() / self.busy_us.len() as f64
+    }
+
+    /// Load imbalance `max_busy / avg_busy` (1.0 = perfectly balanced) —
+    /// the same definition as the engine's per-operation busy imbalance.
+    pub fn busy_imbalance(&self) -> f64 {
+        let avg = self.avg_busy_us();
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_busy_us() / avg
+        }
     }
 }
 
@@ -91,6 +123,20 @@ impl SimReport {
     pub fn operation(&self, node: NodeId) -> Option<&OperationReport> {
         self.operations.iter().find(|o| o.node == node)
     }
+
+    /// Total activations processed across all simulated operations.
+    pub fn total_activations(&self) -> u64 {
+        self.operations.iter().map(|o| o.activations as u64).sum()
+    }
+
+    /// The largest per-operation busy imbalance (1.0 = balanced) — the
+    /// simulated counterpart of the engine's `worst_imbalance`.
+    pub fn worst_imbalance(&self) -> f64 {
+        self.operations
+            .iter()
+            .map(OperationReport::busy_imbalance)
+            .fold(1.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -108,9 +154,11 @@ mod tests {
                 name: "join".into(),
                 threads: 10,
                 activations: 100,
+                tuples_out: 1_000,
                 total_work_us: 900_000.0,
                 max_activation_us: 90_000.0,
                 completion_us: 99_000.0,
+                busy_us: vec![99_000.0, 89_000.0, 82_000.0],
             }],
         }
     }
@@ -139,10 +187,25 @@ mod tests {
             name: "store".into(),
             threads: 1,
             activations: 0,
+            tuples_out: 0,
             total_work_us: 0.0,
             max_activation_us: 0.0,
             completion_us: 0.0,
+            busy_us: Vec::new(),
         };
         assert_eq!(op.skew_factor(), 1.0);
+        assert_eq!(op.busy_imbalance(), 1.0);
+        assert_eq!(op.avg_busy_us(), 0.0);
+    }
+
+    #[test]
+    fn busy_imbalance_and_aggregates() {
+        let r = report();
+        let op = r.operation(NodeId(0)).unwrap();
+        assert!((op.max_busy_us() - 99_000.0).abs() < 1e-9);
+        assert!((op.avg_busy_us() - 90_000.0).abs() < 1e-9);
+        assert!((op.busy_imbalance() - 1.1).abs() < 1e-9);
+        assert_eq!(r.total_activations(), 100);
+        assert!((r.worst_imbalance() - 1.1).abs() < 1e-9);
     }
 }

@@ -102,6 +102,15 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// The calibrated KSR1 configuration of the paper's evaluation: 70 of
+    /// the 72 processors reserved, local data placement, shared queues and
+    /// the default cost model calibrated against the paper's sequential
+    /// times. This is the configuration every experiment starts from, named
+    /// so call sites read as "simulate the paper's machine".
+    pub fn ksr1() -> Self {
+        Self::default()
+    }
+
     /// Sets the total thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.total_threads = threads;
@@ -151,6 +160,9 @@ struct SimActivation {
 #[derive(Debug, Default)]
 struct PendingPipeline {
     activations: Vec<SimActivation>,
+    /// Exact number of join matches the consumer will produce (counted over
+    /// the actual tuples; used for reporting only, never for costs).
+    tuples_out: usize,
 }
 
 /// The virtual-time simulator.
@@ -165,15 +177,30 @@ impl<'a> Simulator<'a> {
         Simulator { catalog }
     }
 
-    /// Simulates the execution of `plan` under `config`.
+    /// Simulates the execution of `plan` under `config`, with default
+    /// scheduler tunables.
     pub fn simulate(&self, plan: &Plan, config: &SimConfig) -> Result<SimReport> {
+        self.simulate_with_options(plan, config, &SchedulerOptions::default())
+    }
+
+    /// Simulates the execution of `plan` under `config`, scheduling with
+    /// the given tunables (queue/cache sizing, `lpt_skew_threshold`,
+    /// `work_per_thread`, ...). The machine configuration wins where the two
+    /// overlap: `config.total_threads` and `config.strategy_override`
+    /// replace the options' thread count and strategy override.
+    pub fn simulate_with_options(
+        &self,
+        plan: &Plan,
+        config: &SimConfig,
+        scheduler_options: &SchedulerOptions,
+    ) -> Result<SimReport> {
         if config.total_threads == 0 || config.processors == 0 {
             return Err(SimError::InvalidConfig(
                 "total_threads and processors must be at least 1".to_string(),
             ));
         }
         let extended = ExtendedPlan::from_plan(plan, self.catalog, &CostParameters::default())?;
-        let mut options = SchedulerOptions::default().with_total_threads(config.total_threads);
+        let mut options = scheduler_options.with_total_threads(config.total_threads);
         if let Some(s) = config.strategy_override {
             options = options.with_strategy(s);
         }
@@ -231,12 +258,13 @@ impl<'a> Simulator<'a> {
                 (op_schedule.threads + store_threads).min(config.total_threads.max(1));
             let strategy = config.strategy_override.unwrap_or(op_schedule.strategy);
 
-            let mut activations = self.build_activations(plan, id, config, &mut pending)?;
+            let (mut activations, tuples_out) =
+                self.build_activations(plan, id, config, &mut pending)?;
             let total_work: f64 = activations.iter().map(|a| a.cost).sum();
             let max_activation = activations.iter().map(|a| a.cost).fold(0.0, f64::max);
             sequential_work_us += total_work;
 
-            let completion = simulate_pool(
+            let (completion, busy_us) = simulate_pool(
                 &mut activations,
                 pool_threads,
                 strategy,
@@ -274,9 +302,11 @@ impl<'a> Simulator<'a> {
                 name: node.name.clone(),
                 threads: pool_threads,
                 activations: activations.len(),
+                tuples_out,
                 total_work_us: total_work,
                 max_activation_us: max_activation,
                 completion_us: completion,
+                busy_us,
             });
         }
 
@@ -289,14 +319,18 @@ impl<'a> Simulator<'a> {
         })
     }
 
-    /// Builds the activation list of one operation.
+    /// Builds the activation list of one operation, together with the exact
+    /// number of output tuples the operation produces. The output count is
+    /// computed over the actual stored tuples and feeds reporting only —
+    /// activation *costs* still use the estimates the scheduler sees, so
+    /// virtual times are unchanged.
     fn build_activations(
         &self,
         plan: &Plan,
         id: NodeId,
         config: &SimConfig,
         pending: &mut HashMap<NodeId, PendingPipeline>,
-    ) -> Result<Vec<SimActivation>> {
+    ) -> Result<(Vec<SimActivation>, usize)> {
         let node = plan.node(id)?;
         let consumer_is_store = plan
             .consumers(id)
@@ -323,21 +357,21 @@ impl<'a> Simulator<'a> {
                 } else {
                     costs.move_tuple_us
                 };
-                Ok(rel
-                    .fragments()
-                    .iter()
-                    .map(|frag| {
-                        let selected = frag.tuples().iter().filter(|t| bound.eval(t)).count();
-                        SimActivation {
-                            instance: frag.id(),
-                            release: 0.0,
-                            cost: costs.activation_overhead_us
-                                + frag.cardinality() as f64 * (costs.scan_tuple_us + access)
-                                + selected as f64 * per_emitted,
-                            start: 0.0,
-                        }
-                    })
-                    .collect())
+                let mut activations = Vec::new();
+                let mut tuples_out = 0usize;
+                for frag in rel.fragments() {
+                    let selected = frag.tuples().iter().filter(|t| bound.eval(t)).count();
+                    tuples_out += selected;
+                    activations.push(SimActivation {
+                        instance: frag.id(),
+                        release: 0.0,
+                        cost: costs.activation_overhead_us
+                            + frag.cardinality() as f64 * (costs.scan_tuple_us + access)
+                            + selected as f64 * per_emitted,
+                        start: 0.0,
+                    });
+                }
+                Ok((activations, tuples_out))
             }
             OperatorKind::Transmit { relation, .. } => {
                 let rel = self.catalog.get(relation)?;
@@ -346,7 +380,7 @@ impl<'a> Simulator<'a> {
                     rel.cardinality() as u64,
                     config.total_threads,
                 );
-                Ok(rel
+                let activations = rel
                     .fragments()
                     .iter()
                     .map(|frag| SimActivation {
@@ -357,13 +391,14 @@ impl<'a> Simulator<'a> {
                                 * (costs.scan_tuple_us + access + costs.move_tuple_us),
                         start: 0.0,
                     })
-                    .collect())
+                    .collect();
+                Ok((activations, rel.cardinality()))
             }
             OperatorKind::Join {
                 outer,
                 inner_relation,
+                condition,
                 algorithm,
-                ..
             } => {
                 let inner = self.catalog.get(inner_relation)?;
                 match outer {
@@ -400,17 +435,21 @@ impl<'a> Simulator<'a> {
                                 remaining -= granule;
                             }
                         }
-                        Ok(activations)
+                        let tuples_out = exact_cofragment_matches(
+                            &outer_rel,
+                            &inner,
+                            &condition.outer_column,
+                            &condition.inner_column,
+                        )?;
+                        Ok((activations, tuples_out))
                     }
                     OuterInput::Pipeline => {
-                        let mut activations = pending
-                            .remove(&id)
-                            .ok_or_else(|| {
-                                SimError::Plan(format!(
-                                    "pipelined operation {id} has no pending activations"
-                                ))
-                            })?
-                            .activations;
+                        let produced = pending.remove(&id).ok_or_else(|| {
+                            SimError::Plan(format!(
+                                "pipelined operation {id} has no pending activations"
+                            ))
+                        })?;
+                        let mut activations = produced.activations;
                         // Index / hash-table builds happen once per instance,
                         // at operation start.
                         if !matches!(algorithm, JoinAlgorithm::NestedLoop) {
@@ -423,11 +462,11 @@ impl<'a> Simulator<'a> {
                                 });
                             }
                         }
-                        Ok(activations)
+                        Ok((activations, produced.tuples_out))
                     }
                 }
             }
-            OperatorKind::Store { .. } => Ok(Vec::new()),
+            OperatorKind::Store { .. } => Ok((Vec::new(), 0)),
         }
     }
 
@@ -448,6 +487,7 @@ impl<'a> Simulator<'a> {
 
         let OperatorKind::Join {
             inner_relation,
+            condition,
             algorithm,
             ..
         } = &consumer.kind
@@ -457,8 +497,23 @@ impl<'a> Simulator<'a> {
         let inner = self.catalog.get(inner_relation)?;
         let inner_cards = inner.fragment_cardinalities();
         // Wisconsin join keys are unique on the inner side, so every probe
-        // finds exactly one match regardless of what consumes the join.
+        // finds exactly one match regardless of what consumes the join; the
+        // *cost* model keeps that calibrated assumption, while the reported
+        // output cardinality below is counted exactly.
         let matches_per_probe = 1;
+        let inner_col = inner.schema().column_index(&condition.inner_column)?;
+        let match_counts: Vec<HashMap<&dbs3_storage::Value, usize>> = inner
+            .fragments()
+            .iter()
+            .map(|frag| {
+                let mut counts = HashMap::new();
+                for t in frag.tuples() {
+                    *counts.entry(t.value(inner_col)).or_insert(0) += 1;
+                }
+                counts
+            })
+            .collect();
+        let mut tuples_out = 0usize;
 
         // Column of the producer's output tuples used for routing.
         let producer_schema = plan.output_schema(producer_id, self.catalog)?;
@@ -500,6 +555,10 @@ impl<'a> Simulator<'a> {
                             t += costs.move_tuple_us;
                             let target =
                                 (tuple.hash_key(&[route_index]) % inner.degree() as u64) as usize;
+                            tuples_out += match_counts[target]
+                                .get(tuple.value(route_index))
+                                .copied()
+                                .unwrap_or(0);
                             activations.push(SimActivation {
                                 instance: target,
                                 release: t,
@@ -527,6 +586,10 @@ impl<'a> Simulator<'a> {
                         t += costs.scan_tuple_us + access + costs.move_tuple_us;
                         let target =
                             (tuple.hash_key(&[route_index]) % inner.degree() as u64) as usize;
+                        tuples_out += match_counts[target]
+                            .get(tuple.value(route_index))
+                            .copied()
+                            .unwrap_or(0);
                         activations.push(SimActivation {
                             instance: target,
                             release: t,
@@ -546,12 +609,40 @@ impl<'a> Simulator<'a> {
                 ))
             }
         }
-        Ok(PendingPipeline { activations })
+        Ok(PendingPipeline {
+            activations,
+            tuples_out,
+        })
     }
 }
 
+/// Exact number of join matches between co-partitioned fragments, counted
+/// over the actual stored tuples (one hash pass per fragment pair). Used for
+/// reporting only — activation costs keep the scheduler's estimates.
+fn exact_cofragment_matches(
+    outer: &dbs3_storage::PartitionedRelation,
+    inner: &dbs3_storage::PartitionedRelation,
+    outer_column: &str,
+    inner_column: &str,
+) -> Result<usize> {
+    let outer_col = outer.schema().column_index(outer_column)?;
+    let inner_col = inner.schema().column_index(inner_column)?;
+    let mut matches = 0usize;
+    for (of, inf) in outer.fragments().iter().zip(inner.fragments()) {
+        let mut counts: HashMap<&dbs3_storage::Value, usize> = HashMap::new();
+        for t in inf.tuples() {
+            *counts.entry(t.value(inner_col)).or_insert(0) += 1;
+        }
+        for t in of.tuples() {
+            matches += counts.get(t.value(outer_col)).copied().unwrap_or(0);
+        }
+    }
+    Ok(matches)
+}
+
 /// Simulates one operation pool: assigns every activation a start time and
-/// returns the completion time of the pool.
+/// returns the completion time of the pool together with the virtual busy
+/// time each worker accumulated (dilated µs).
 fn simulate_pool(
     activations: &mut [SimActivation],
     threads: usize,
@@ -559,11 +650,11 @@ fn simulate_pool(
     assignment: WorkerAssignment,
     dilation: f64,
     rng: &mut StdRng,
-) -> f64 {
-    if activations.is_empty() {
-        return 0.0;
-    }
+) -> (f64, Vec<f64>) {
     let threads = threads.max(1);
+    if activations.is_empty() {
+        return (0.0, vec![0.0; threads]);
+    }
 
     // Decide the consumption order.
     let mut order: Vec<usize> = (0..activations.len()).collect();
@@ -588,18 +679,23 @@ fn simulate_pool(
     }
 
     let mut completion: f64 = 0.0;
+    let mut busy = vec![0.0f64; threads];
     match assignment {
         WorkerAssignment::SharedQueues => {
-            // Min-heap of worker free times, keyed on bit-ordered f64.
-            let mut heap: BinaryHeap<Reverse<OrderedF64>> =
-                (0..threads).map(|_| Reverse(OrderedF64(0.0))).collect();
+            // Min-heap of (worker free time, worker id), keyed on bit-ordered
+            // f64 so the earliest-free worker takes the next activation.
+            let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..threads)
+                .map(|w| Reverse((OrderedF64(0.0), w)))
+                .collect();
             for idx in order {
-                let Reverse(OrderedF64(free)) = heap.pop().expect("heap holds `threads` entries");
+                let Reverse((OrderedF64(free), worker)) =
+                    heap.pop().expect("heap holds `threads` entries");
                 let start = free.max(activations[idx].release);
                 let end = start + activations[idx].cost * dilation;
                 activations[idx].start = start;
+                busy[worker] += activations[idx].cost * dilation;
                 completion = completion.max(end);
-                heap.push(Reverse(OrderedF64(end)));
+                heap.push(Reverse((OrderedF64(end), worker)));
             }
         }
         WorkerAssignment::StaticPerInstance => {
@@ -609,12 +705,13 @@ fn simulate_pool(
                 let start = free[worker].max(activations[idx].release);
                 let end = start + activations[idx].cost * dilation;
                 activations[idx].start = start;
+                busy[worker] += activations[idx].cost * dilation;
                 free[worker] = end;
                 completion = completion.max(end);
             }
         }
     }
-    completion
+    (completion, busy)
 }
 
 /// `f64` wrapper with a total order for use in the worker heap (all values
@@ -912,6 +1009,53 @@ mod tests {
             sim.simulate(&plan, &SimConfig::default().with_threads(0)),
             Err(SimError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn reported_output_counts_match_reference_join_even_under_skew() {
+        for theta in [0.0, 1.0] {
+            let cat = catalog(2_000, 200, 20, theta);
+            let a = cat.get("A").unwrap().reassemble();
+            let b = cat.get("Bprime").unwrap().reassemble();
+            let expected = a.reference_join(&b, "unique1", "unique1").unwrap().len();
+
+            let ideal = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+            let r = Simulator::new(&cat)
+                .simulate(&ideal, &SimConfig::ksr1().with_threads(8))
+                .unwrap();
+            assert_eq!(
+                r.operation(NodeId(0)).unwrap().tuples_out,
+                expected,
+                "triggered join, theta={theta}"
+            );
+
+            let assoc = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
+            let r = Simulator::new(&cat)
+                .simulate(&assoc, &SimConfig::ksr1().with_threads(8))
+                .unwrap();
+            assert_eq!(
+                r.operation(NodeId(1)).unwrap().tuples_out,
+                expected,
+                "pipelined join, theta={theta}"
+            );
+            // The transmit emits every B' tuple.
+            assert_eq!(r.operation(NodeId(0)).unwrap().tuples_out, 200);
+        }
+    }
+
+    #[test]
+    fn pool_busy_times_are_reported_and_roughly_balanced_when_unskewed() {
+        let cat = catalog(10_000, 1_000, 200, 0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let report = Simulator::new(&cat)
+            .simulate(&plan, &SimConfig::ksr1().with_threads(10))
+            .unwrap();
+        let join = report.operation(NodeId(0)).unwrap();
+        assert_eq!(join.busy_us.len(), join.threads);
+        let total_busy: f64 = join.busy_us.iter().sum();
+        assert!((total_busy - join.total_work_us).abs() / join.total_work_us < 1e-9);
+        assert!(join.busy_imbalance() < 1.5, "got {}", join.busy_imbalance());
+        assert!(report.worst_imbalance() >= 1.0);
     }
 
     #[test]

@@ -15,26 +15,13 @@
 use dbs3::prelude::*;
 use dbs3_lera::JoinCondition;
 
-fn main() {
+fn main() -> Result<()> {
     // A 50K-tuple orders-like relation and a 5K-tuple reference relation,
     // partitioned on the join attribute with a *skewed* distribution for R.
-    let generator = WisconsinGenerator::new();
-    let r = generator
-        .generate(&WisconsinConfig::narrow("R", 50_000))
-        .expect("generate R");
-    let s = generator
-        .generate(&WisconsinConfig::narrow("S", 5_000))
-        .expect("generate S");
+    let mut session = Session::new();
     let spec = PartitionSpec::on("unique1", 64, 8);
-    let mut catalog = Catalog::new();
-    catalog
-        .register(
-            PartitionedRelation::from_relation_with_skew(&r, spec.clone(), 0.8).expect("skew R"),
-        )
-        .expect("register R");
-    catalog
-        .register(PartitionedRelation::from_relation(&s, spec).expect("partition S"))
-        .expect("register S");
+    session.load_wisconsin_skewed(&WisconsinConfig::narrow("R", 50_000), spec.clone(), 0.8)?;
+    session.load_wisconsin(&WisconsinConfig::narrow("S", 5_000), spec)?;
 
     // Build the Figure 1 pipeline by hand with the PlanBuilder: a selective
     // filter over R pipelined into a join with S, materialised into `Out`.
@@ -49,20 +36,12 @@ fn main() {
     builder.store(join, "Out");
     let plan = builder.build();
 
-    let extended =
-        ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).expect("expand plan");
-
     println!("four-step scheduling for `{}`:", plan.name());
     for budget in [4usize, 8, 16] {
-        let schedule = Scheduler::build(
-            &plan,
-            &extended,
-            &SchedulerOptions::default().with_total_threads(budget),
-        )
-        .expect("schedule");
+        let schedule = session.query(&plan).threads(budget).schedule()?;
         print!("  {budget:>2} threads ->");
         for node in plan.nodes() {
-            let op = schedule.operation(node.id).unwrap();
+            let op = schedule.operation(node.id)?;
             print!(
                 "  {}[{} thr, {}]",
                 node.name,
@@ -74,23 +53,16 @@ fn main() {
     }
 
     // Execute with 8 threads and report the observed balance.
-    let schedule = Scheduler::build(
-        &plan,
-        &extended,
-        &SchedulerOptions::default().with_total_threads(8),
-    )
-    .expect("schedule");
-    let outcome = Executor::new(&catalog)
-        .execute(&plan, &schedule)
-        .expect("execute");
+    let outcome = session.query(&plan).threads(8).run()?;
 
     println!();
     println!(
         "executed in {:?}, result cardinality {}",
-        outcome.metrics.elapsed,
-        outcome.results["Out"].len()
+        outcome.elapsed(),
+        outcome.result_cardinality("Out").unwrap_or(0)
     );
-    for op in &outcome.metrics.operations {
+    let metrics = outcome.execution_metrics().expect("threaded run");
+    for op in &metrics.operations {
         println!(
             "  {:<22} activations={:<7} busy(max/avg)={:.2} secondary-queue-ratio={:.2}",
             op.name,
@@ -105,4 +77,5 @@ fn main() {
          has work, so the busy-time imbalance stays close to 1 even though R's fragments are \
          heavily skewed."
     );
+    Ok(())
 }

@@ -14,29 +14,15 @@
 
 use dbs3::prelude::*;
 
-fn build_catalog(degree: usize, theta: f64) -> Catalog {
-    let generator = WisconsinGenerator::new();
-    let a = generator
-        .generate(&WisconsinConfig::narrow("A", 100_000))
-        .expect("generate A");
-    let b = generator
-        .generate(&WisconsinConfig::narrow("Bprime", 10_000))
-        .expect("generate Bprime");
+fn build_session(degree: usize, theta: f64) -> Result<Session> {
+    let mut session = Session::new();
     let spec = PartitionSpec::on("unique1", degree, 8);
-    let a_part = if theta > 0.0 {
-        PartitionedRelation::from_relation_with_skew(&a, spec.clone(), theta).expect("skew A")
-    } else {
-        PartitionedRelation::from_relation(&a, spec.clone()).expect("partition A")
-    };
-    let mut catalog = Catalog::new();
-    catalog.register(a_part).expect("register A");
-    catalog
-        .register(PartitionedRelation::from_relation(&b, spec).expect("partition B"))
-        .expect("register B");
-    catalog
+    session.load_wisconsin_skewed(&WisconsinConfig::narrow("A", 100_000), spec.clone(), theta)?;
+    session.load_wisconsin(&WisconsinConfig::narrow("Bprime", 10_000), spec)?;
+    Ok(session)
 }
 
-fn main() {
+fn main() -> Result<()> {
     let threads = 20;
     let theta = 0.6;
     let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::TempIndex);
@@ -48,18 +34,21 @@ fn main() {
     );
 
     for degree in [20usize, 100, 250, 500, 1000, 1500] {
-        let skewed = build_catalog(degree, theta);
-        let unskewed = build_catalog(degree, 0.0);
-        let config = SimConfig::default()
-            .with_threads(threads)
-            .with_strategy(ConsumptionStrategy::Lpt);
-
-        let skewed_report = Simulator::new(&skewed)
-            .simulate(&plan, &config)
-            .expect("simulate skewed");
-        let unskewed_report = Simulator::new(&unskewed)
-            .simulate(&plan, &config)
-            .expect("simulate unskewed");
+        let run = |theta: f64| -> Result<_> {
+            let session = build_session(degree, theta)?;
+            let outcome = session
+                .query(&plan)
+                .threads(threads)
+                .strategy(ConsumptionStrategy::Lpt)
+                .on(Backend::Simulated(SimConfig::ksr1()))
+                .run()?;
+            Ok(outcome
+                .sim_report()
+                .expect("simulated run has a report")
+                .clone())
+        };
+        let skewed_report = run(theta)?;
+        let unskewed_report = run(0.0)?;
 
         let v = skewed_report.total_seconds() / unskewed_report.total_seconds() - 1.0;
         let vworst = overhead_bound(degree as u64, zipf_max_to_avg(theta, degree), threads);
@@ -81,4 +70,5 @@ fn main() {
          queue-creation overhead starts to win back the gains — the same trade-off as \
          Figures 17–19 of the paper."
     );
+    Ok(())
 }

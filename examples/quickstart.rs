@@ -1,5 +1,6 @@
 //! Quickstart: load a small Wisconsin database, run an IdealJoin on the
-//! adaptive parallel engine, and inspect the execution metrics.
+//! adaptive parallel engine through the `Session`/`Query` facade, and
+//! inspect the execution metrics.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,45 +8,28 @@
 
 use dbs3::prelude::*;
 
-fn main() {
-    // 1. Generate two Wisconsin relations: A (20K tuples) and B' (2K tuples).
-    let generator = WisconsinGenerator::new();
-    let a = generator
-        .generate(&WisconsinConfig::narrow("A", 20_000))
-        .expect("generate A");
-    let b = generator
-        .generate(&WisconsinConfig::narrow("Bprime", 2_000))
-        .expect("generate Bprime");
-
-    // 2. Statically partition both on the join attribute `unique1` into 40
-    //    fragments spread over 4 (virtual) disks, and register them.
+fn main() -> Result<()> {
+    // 1. Load two Wisconsin relations — A (20K tuples) and B' (2K tuples) —
+    //    statically partitioned on the join attribute `unique1` into 40
+    //    fragments spread over 4 (virtual) disks.
+    let mut session = Session::new();
     let spec = PartitionSpec::on("unique1", 40, 4);
-    let mut catalog = Catalog::new();
-    catalog
-        .register(PartitionedRelation::from_relation(&a, spec.clone()).expect("partition A"))
-        .expect("register A");
-    catalog
-        .register(PartitionedRelation::from_relation(&b, spec).expect("partition Bprime"))
-        .expect("register Bprime");
+    session.load_wisconsin(&WisconsinConfig::narrow("A", 20_000), spec.clone())?;
+    session.load_wisconsin(&WisconsinConfig::narrow("Bprime", 2_000), spec)?;
 
-    // 3. Build the IdealJoin plan of the paper (Figure 10): a triggered,
+    // 2. Build the IdealJoin plan of the paper (Figure 10): a triggered,
     //    co-partitioned join followed by a store.
     let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
 
-    // 4. Let the DBS3 scheduler fix the execution parameters (threads per
-    //    operation, consumption strategy, queue sizes) for 8 threads total.
-    let extended =
-        ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).expect("expand plan");
-    let schedule = Scheduler::build(
-        &plan,
-        &extended,
-        &SchedulerOptions::default().with_total_threads(8),
-    )
-    .expect("schedule plan");
-
+    // 3. Let the DBS3 scheduler fix the execution parameters (threads per
+    //    operation, consumption strategy, queue sizes) for 8 threads total,
+    //    and print its decisions before executing.
+    let query = session.query(&plan).threads(8);
+    let schedule = query.schedule()?;
+    let extended = query.extended_plan()?;
     println!("plan: {}", plan.name());
     for node in plan.nodes() {
-        let op = schedule.operation(node.id).unwrap();
+        let op = schedule.operation(node.id)?;
         println!(
             "  {:<24} threads={:<2} strategy={:<6} queues={}",
             node.name,
@@ -55,18 +39,17 @@ fn main() {
         );
     }
 
-    // 5. Execute on the parallel engine and report.
-    let outcome = Executor::new(&catalog)
-        .execute(&plan, &schedule)
-        .expect("execute plan");
-    let result = &outcome.results["Result"];
+    // 4. Execute on the parallel engine and report.
+    let outcome = query.run()?;
     println!(
-        "\njoin produced {} tuples in {:?}",
-        result.len(),
-        outcome.metrics.elapsed
+        "\njoin produced {} tuples in {:?} on the `{}` backend",
+        outcome.result_cardinality("Result").unwrap_or(0),
+        outcome.elapsed(),
+        outcome.metrics.backend_name(),
     );
 
-    for op in &outcome.metrics.operations {
+    let metrics = outcome.execution_metrics().expect("threaded run");
+    for op in &metrics.operations {
         println!(
             "  {:<24} activations={:<6} tuples-out={:<7} imbalance={:.2} secondary-queue-ratio={:.2}",
             op.name,
@@ -76,4 +59,20 @@ fn main() {
             op.secondary_consumption_ratio()
         );
     }
+
+    // 5. The same query on the simulated KSR1 — only `.on(...)` changes.
+    let simulated = session
+        .query(&plan)
+        .threads(8)
+        .on(Backend::Simulated(SimConfig::ksr1()))
+        .run()?;
+    println!(
+        "\nsimulated on the KSR1: same cardinality {}, virtual response time {:.2} s",
+        simulated.result_cardinality("Result").unwrap_or(0),
+        simulated
+            .sim_report()
+            .expect("simulated run")
+            .total_seconds(),
+    );
+    Ok(())
 }

@@ -1,6 +1,6 @@
 //! Skew handling: how the adaptive execution model reacts to Zipf-skewed
 //! fragment cardinalities, on both the real engine and the KSR1-scale
-//! simulator.
+//! simulator — the same `Query`, pointed at a different backend.
 //!
 //! The example reproduces, at a reduced scale, the core claim of Section 4:
 //! pipelined operations are naturally insensitive to skew, and triggered
@@ -13,55 +13,29 @@
 
 use dbs3::prelude::*;
 
-fn build_catalog(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Catalog {
-    let generator = WisconsinGenerator::new();
-    let a = generator
-        .generate(&WisconsinConfig::narrow("A", a_card))
-        .expect("generate A");
-    let b = generator
-        .generate(&WisconsinConfig::narrow("Bprime", b_card))
-        .expect("generate Bprime");
+fn build_session(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Result<Session> {
+    let mut session = Session::new();
     let spec = PartitionSpec::on("unique1", degree, 4);
-    let a_part = if theta > 0.0 {
-        PartitionedRelation::from_relation_with_skew(&a, spec.clone(), theta).expect("skewed A")
-    } else {
-        PartitionedRelation::from_relation(&a, spec.clone()).expect("partition A")
-    };
-    let mut catalog = Catalog::new();
-    catalog.register(a_part).expect("register A");
-    catalog
-        .register(PartitionedRelation::from_relation(&b, spec).expect("partition B"))
-        .expect("register B");
-    catalog
+    session.load_wisconsin_skewed(&WisconsinConfig::narrow("A", a_card), spec.clone(), theta)?;
+    session.load_wisconsin(&WisconsinConfig::narrow("Bprime", b_card), spec)?;
+    Ok(session)
 }
 
-fn main() {
+fn main() -> Result<()> {
     println!("== Part 1: real engine, IdealJoin, Random vs LPT under skew ==");
     println!(
         "{:>6} {:>14} {:>14} {:>12}",
         "zipf", "random (ms)", "lpt (ms)", "skew factor"
     );
     for &theta in &[0.0, 0.5, 1.0] {
-        let catalog = build_catalog(10_000, 1_000, 40, theta);
+        let session = build_session(10_000, 1_000, 40, theta)?;
         let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
-        let extended =
-            ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).expect("expand");
         let mut elapsed = Vec::new();
         for strategy in [ConsumptionStrategy::Random, ConsumptionStrategy::Lpt] {
-            let schedule = Scheduler::build(
-                &plan,
-                &extended,
-                &SchedulerOptions::default()
-                    .with_total_threads(4)
-                    .with_strategy(strategy),
-            )
-            .expect("schedule");
-            let outcome = Executor::new(&catalog)
-                .execute(&plan, &schedule)
-                .expect("execute");
-            elapsed.push(outcome.metrics.elapsed.as_secs_f64() * 1e3);
+            let outcome = session.query(&plan).threads(4).strategy(strategy).run()?;
+            elapsed.push(outcome.elapsed().as_secs_f64() * 1e3);
         }
-        let skew = catalog.get("A").unwrap().observed_skew_factor();
+        let skew = session.catalog().get("A")?.observed_skew_factor();
         println!(
             "{:>6.1} {:>14.1} {:>14.1} {:>12.1}",
             theta, elapsed[0], elapsed[1], skew
@@ -77,25 +51,24 @@ fn main() {
     let plan_ideal = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
     let plan_assoc = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
     for &theta in &[0.0, 0.4, 0.8, 1.0] {
-        let catalog = build_catalog(100_000, 10_000, 200, theta);
-        let simulator = Simulator::new(&catalog);
-        let ideal = simulator
-            .simulate(
-                &plan_ideal,
-                &SimConfig::default()
-                    .with_threads(10)
-                    .with_strategy(ConsumptionStrategy::Lpt),
-            )
-            .expect("simulate IdealJoin");
-        let assoc = simulator
-            .simulate(&plan_assoc, &SimConfig::default().with_threads(10))
-            .expect("simulate AssocJoin");
+        let session = build_session(100_000, 10_000, 200, theta)?;
+        let ideal = session
+            .query(&plan_ideal)
+            .threads(10)
+            .strategy(ConsumptionStrategy::Lpt)
+            .on(Backend::Simulated(SimConfig::ksr1()))
+            .run()?;
+        let assoc = session
+            .query(&plan_assoc)
+            .threads(10)
+            .on(Backend::Simulated(SimConfig::ksr1()))
+            .run()?;
         let bound = overhead_bound(200, zipf_max_to_avg(theta.clamp(1e-9, 1.0), 200), 10);
         println!(
             "{:>6.1} {:>22.1} {:>22.1} {:>12.3}",
             theta,
-            ideal.total_seconds(),
-            assoc.total_seconds(),
+            ideal.sim_report().expect("simulated").total_seconds(),
+            assoc.sim_report().expect("simulated").total_seconds(),
             bound
         );
     }
@@ -104,4 +77,5 @@ fn main() {
         "AssocJoin (pipelined, ~10K activations) stays flat; IdealJoin (triggered, 200 \
          activations) degrades only once the longest activation exceeds the ideal time."
     );
+    Ok(())
 }

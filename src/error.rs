@@ -1,0 +1,102 @@
+//! The workspace-wide error type.
+//!
+//! Every crate of the workspace has its own focused error enum
+//! ([`StorageError`], [`PlanError`], [`EngineError`], [`SimError`]); the
+//! facade methods of [`crate::Session`] and [`crate::Query`] cross all of
+//! those layers in one call, so they return this single wrapper instead of
+//! forcing callers to juggle four `Result` aliases.
+
+use dbs3_engine::EngineError;
+use dbs3_lera::PlanError;
+use dbs3_sim::SimError;
+use dbs3_storage::StorageError;
+use std::fmt;
+
+/// Convenient `Result` alias for facade operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any error a [`crate::Session`] or [`crate::Query`] operation can produce,
+/// wrapping the per-crate error types with `From` conversions so `?` works
+/// across layer boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// An error from the storage layer (generation, partitioning, catalog).
+    Storage(StorageError),
+    /// An error from plan construction, validation or expansion.
+    Plan(PlanError),
+    /// An error from scheduling or threaded execution.
+    Engine(EngineError),
+    /// An error from the virtual-time simulator.
+    Sim(SimError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage: {e}"),
+            Error::Plan(e) => write!(f, "plan: {e}"),
+            Error::Engine(e) => write!(f, "engine: {e}"),
+            Error::Sim(e) => write!(f, "simulator: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            Error::Plan(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer_with_from() {
+        let e: Error = StorageError::UnknownRelation("X".into()).into();
+        assert!(matches!(e, Error::Storage(_)));
+        let e: Error = PlanError::EmptyPlan.into();
+        assert!(matches!(e, Error::Plan(_)));
+        let e: Error = EngineError::NoStoreOperator.into();
+        assert!(matches!(e, Error::Engine(_)));
+        let e: Error = SimError::InvalidConfig("zero".into()).into();
+        assert!(matches!(e, Error::Sim(_)));
+    }
+
+    #[test]
+    fn display_and_source_delegate_to_the_wrapped_error() {
+        use std::error::Error as _;
+        let e: Error = EngineError::NoStoreOperator.into();
+        assert!(e.to_string().contains("store"));
+        assert!(e.source().is_some());
+    }
+}

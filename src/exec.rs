@@ -1,0 +1,348 @@
+//! Pluggable execution backends behind one [`ExecutionBackend`] trait.
+//!
+//! The paper's central claim is that one plan can be executed under many
+//! regimes — different thread counts, consumption strategies, cache sizes,
+//! real OS threads or the simulated 72-processor KSR1. This module makes the
+//! *regime* a value: a [`Query`](crate::Query) carries backend-neutral knobs
+//! ([`SchedulerOptions`]) and hands them to whichever backend it is pointed
+//! at, so swapping real threads for virtual time is a one-line change:
+//!
+//! ```
+//! use dbs3::prelude::*;
+//!
+//! let mut session = Session::new();
+//! let spec = PartitionSpec::on("unique1", 8, 2);
+//! session.load_wisconsin(&WisconsinConfig::narrow("A", 1_000), spec.clone())?;
+//! session.load_wisconsin(&WisconsinConfig::narrow("Bprime", 100), spec)?;
+//! let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+//!
+//! // Real OS threads...
+//! let threaded = session.query(&plan).threads(4).run()?;
+//! // ...or the KSR1-scale simulator: only the `.on(...)` call changes.
+//! let simulated = session
+//!     .query(&plan)
+//!     .threads(4)
+//!     .on(Backend::Simulated(SimConfig::ksr1()))
+//!     .run()?;
+//!
+//! assert_eq!(
+//!     threaded.result_cardinality("Result"),
+//!     simulated.result_cardinality("Result"),
+//! );
+//! # Ok::<(), dbs3::Error>(())
+//! ```
+//!
+//! Custom backends implement [`ExecutionBackend`] directly and run through
+//! [`Query::run_on`](crate::Query::run_on); the two built-in implementations
+//! are [`ThreadedBackend`] (today's [`Executor`]) and [`SimBackend`]
+//! (virtual time via [`Simulator::simulate`]).
+
+use crate::error::Result;
+use dbs3_engine::{ExecutionMetrics, ExecutionOutcome, Executor, Scheduler, SchedulerOptions};
+use dbs3_lera::{CostParameters, ExtendedPlan, NodeId, OperatorKind, Plan};
+use dbs3_sim::{SimConfig, SimReport, Simulator};
+use dbs3_storage::{Catalog, Tuple};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A strategy for turning a plan plus backend-neutral execution knobs into a
+/// [`QueryOutcome`].
+///
+/// Implementations receive the full [`SchedulerOptions`] a
+/// [`Query`](crate::Query) accumulated; they honour the knobs that make
+/// sense for them (the simulator, for instance, has no real producer-side
+/// cache to size) and must fill [`QueryOutcome::cardinalities`] so results
+/// can be compared across backends.
+pub trait ExecutionBackend {
+    /// Short backend name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes `plan` against `catalog` under `options`.
+    fn execute(
+        &self,
+        catalog: &Catalog,
+        plan: &Plan,
+        options: &SchedulerOptions,
+    ) -> Result<QueryOutcome>;
+}
+
+/// The built-in backend selector used by [`Query::on`](crate::Query::on).
+#[derive(Debug, Clone, Default)]
+pub enum Backend {
+    /// Execute with real OS threads on the in-process engine.
+    #[default]
+    Threaded,
+    /// Replay the same schedule on the virtual-time simulator configured by
+    /// the given [`SimConfig`] (e.g. [`SimConfig::ksr1`]).
+    Simulated(SimConfig),
+}
+
+impl Backend {
+    /// Resolves the selector to a boxed backend implementation.
+    pub fn resolve(&self) -> Box<dyn ExecutionBackend> {
+        match self {
+            Backend::Threaded => Box::new(ThreadedBackend::new()),
+            Backend::Simulated(config) => Box::new(SimBackend::new(config.clone())),
+        }
+    }
+}
+
+/// Executes queries with real OS threads, wrapping the engine's
+/// expand → schedule → execute pipeline in one call.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedBackend {
+    cost_params: CostParameters,
+}
+
+impl ThreadedBackend {
+    /// Creates a threaded backend with default cost parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the cost parameters used for plan expansion (they drive the
+    /// scheduler's complexity estimates and the LPT queue order).
+    pub fn with_cost_parameters(mut self, params: CostParameters) -> Self {
+        self.cost_params = params;
+        self
+    }
+}
+
+impl ExecutionBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn execute(
+        &self,
+        catalog: &Catalog,
+        plan: &Plan,
+        options: &SchedulerOptions,
+    ) -> Result<QueryOutcome> {
+        let extended = ExtendedPlan::from_plan(plan, catalog, &self.cost_params)?;
+        let schedule = Scheduler::build(plan, &extended, options)?;
+        let outcome = Executor::new(catalog)
+            .with_cost_parameters(self.cost_params)
+            .execute(plan, &schedule)?;
+        Ok(QueryOutcome::from_execution(outcome))
+    }
+}
+
+/// Executes queries in virtual time on the KSR1-scale simulator.
+///
+/// The backend's own [`SimConfig`] supplies the machine model (processors,
+/// data placement, cost calibration, worker assignment); the query-level
+/// knobs win where they overlap — an explicit `.threads(n)` or
+/// `.strategy(..)` on the [`Query`](crate::Query) overrides the config's
+/// `total_threads` / `strategy_override`.
+#[derive(Debug, Clone, Default)]
+pub struct SimBackend {
+    config: SimConfig,
+}
+
+impl SimBackend {
+    /// Creates a simulator backend from a machine configuration.
+    pub fn new(config: SimConfig) -> Self {
+        SimBackend { config }
+    }
+
+    /// The paper's KSR1 machine (70 reserved processors, calibrated costs).
+    pub fn ksr1() -> Self {
+        SimBackend::new(SimConfig::ksr1())
+    }
+
+    /// The backend's machine configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+}
+
+impl ExecutionBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "simulated"
+    }
+
+    fn execute(
+        &self,
+        catalog: &Catalog,
+        plan: &Plan,
+        options: &SchedulerOptions,
+    ) -> Result<QueryOutcome> {
+        options.validate()?;
+        let mut config = self.config.clone();
+        if let Some(threads) = options.total_threads {
+            config.total_threads = threads;
+        }
+        if let Some(strategy) = options.strategy_override {
+            config.strategy_override = Some(strategy);
+        }
+        // All remaining scheduler tunables (queue/cache sizing, skew
+        // threshold, work per thread) are forwarded so the simulated
+        // schedule matches what the threaded backend would build.
+        let report = Simulator::new(catalog).simulate_with_options(plan, &config, options)?;
+        Ok(QueryOutcome::from_sim_report(plan, report))
+    }
+}
+
+/// Execution metrics of either backend, with shared accessors for the
+/// quantities the paper's experiments compare: elapsed time, activation
+/// counts and busy-time balance.
+#[derive(Debug, Clone)]
+pub enum BackendMetrics {
+    /// Wall-clock metrics from the threaded engine.
+    Threaded(ExecutionMetrics),
+    /// Virtual-time report from the simulator.
+    Simulated(SimReport),
+}
+
+impl BackendMetrics {
+    /// Name of the backend that produced the metrics.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            BackendMetrics::Threaded(_) => "threaded",
+            BackendMetrics::Simulated(_) => "simulated",
+        }
+    }
+
+    /// Response time of the query: wall-clock for the threaded engine,
+    /// virtual (KSR1-scale) time including start-up for the simulator.
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            BackendMetrics::Threaded(m) => m.elapsed,
+            BackendMetrics::Simulated(r) => Duration::from_secs_f64(r.total_seconds()),
+        }
+    }
+
+    /// Total activations consumed across all operations.
+    pub fn total_activations(&self) -> u64 {
+        match self {
+            BackendMetrics::Threaded(m) => m.total_activations(),
+            BackendMetrics::Simulated(r) => r.total_activations(),
+        }
+    }
+
+    /// Activations consumed by one operation, if it was executed. (The
+    /// simulator folds `Store` operations into their producers, so store
+    /// nodes report `None` there.)
+    pub fn activations(&self, node: NodeId) -> Option<u64> {
+        match self {
+            BackendMetrics::Threaded(m) => m.operation(node).map(|o| o.total_activations()),
+            BackendMetrics::Simulated(r) => r.operation(node).map(|o| o.activations as u64),
+        }
+    }
+
+    /// The largest per-operation `max_busy / avg_busy` ratio across the
+    /// query's pools (1.0 = perfectly balanced) — the paper's load-balancing
+    /// yardstick, defined identically for both backends.
+    pub fn worst_imbalance(&self) -> f64 {
+        match self {
+            BackendMetrics::Threaded(m) => m.worst_imbalance(),
+            BackendMetrics::Simulated(r) => r.worst_imbalance(),
+        }
+    }
+
+    /// Total threads (real or virtual) the execution used.
+    pub fn total_threads(&self) -> usize {
+        match self {
+            BackendMetrics::Threaded(m) => m.total_threads,
+            BackendMetrics::Simulated(r) => r.threads,
+        }
+    }
+
+    /// The threaded engine's metrics, if this execution used real threads.
+    pub fn as_threaded(&self) -> Option<&ExecutionMetrics> {
+        match self {
+            BackendMetrics::Threaded(m) => Some(m),
+            BackendMetrics::Simulated(_) => None,
+        }
+    }
+
+    /// The simulator's report, if this execution ran in virtual time.
+    pub fn as_simulated(&self) -> Option<&SimReport> {
+        match self {
+            BackendMetrics::Threaded(_) => None,
+            BackendMetrics::Simulated(r) => Some(r),
+        }
+    }
+}
+
+/// The unified result of running a [`Query`](crate::Query) on any backend.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Materialised result tuples, keyed by store name. Only the threaded
+    /// backend materialises tuples; the simulator leaves this empty and
+    /// reports cardinalities instead.
+    pub results: BTreeMap<String, Vec<Tuple>>,
+    /// Exact result cardinality per store name, filled by every backend —
+    /// the basis of cross-backend equivalence checks.
+    pub cardinalities: BTreeMap<String, usize>,
+    /// Execution metrics of the backend that ran the query.
+    pub metrics: BackendMetrics,
+}
+
+impl QueryOutcome {
+    /// Builds an outcome from a threaded-engine execution.
+    pub fn from_execution(outcome: ExecutionOutcome) -> Self {
+        let cardinalities = outcome
+            .results
+            .iter()
+            .map(|(name, tuples)| (name.clone(), tuples.len()))
+            .collect();
+        QueryOutcome {
+            results: outcome.results,
+            cardinalities,
+            metrics: BackendMetrics::Threaded(outcome.metrics),
+        }
+    }
+
+    /// Builds an outcome from a simulation report, deriving each store's
+    /// cardinality from the exact output count of the operation feeding it.
+    pub fn from_sim_report(plan: &Plan, report: SimReport) -> Self {
+        let mut cardinalities = BTreeMap::new();
+        for node in plan.nodes() {
+            if let OperatorKind::Store { result_name } = &node.kind {
+                let produced = node
+                    .producer()
+                    .and_then(|p| report.operation(p))
+                    .map(|op| op.tuples_out)
+                    .unwrap_or(0);
+                cardinalities.insert(result_name.clone(), produced);
+            }
+        }
+        QueryOutcome {
+            results: BTreeMap::new(),
+            cardinalities,
+            metrics: BackendMetrics::Simulated(report),
+        }
+    }
+
+    /// Cardinality of the named result, if the plan stored it.
+    pub fn result_cardinality(&self, name: &str) -> Option<usize> {
+        self.cardinalities.get(name).copied()
+    }
+
+    /// The materialised tuples of a plan with exactly one store operator
+    /// (threaded backend only).
+    pub fn result(&self) -> Option<&Vec<Tuple>> {
+        if self.results.len() == 1 {
+            self.results.values().next()
+        } else {
+            None
+        }
+    }
+
+    /// Shorthand for `metrics.elapsed()`.
+    pub fn elapsed(&self) -> Duration {
+        self.metrics.elapsed()
+    }
+
+    /// Shorthand for `metrics.as_simulated()`.
+    pub fn sim_report(&self) -> Option<&SimReport> {
+        self.metrics.as_simulated()
+    }
+
+    /// Shorthand for `metrics.as_threaded()`.
+    pub fn execution_metrics(&self) -> Option<&ExecutionMetrics> {
+        self.metrics.as_threaded()
+    }
+}

@@ -1,7 +1,12 @@
 //! # dbs3 — Adaptive Parallel Query Execution in DBS3, reproduced in Rust
 //!
-//! This umbrella crate re-exports the whole workspace so that applications
-//! (and the examples under `examples/`) can depend on a single crate:
+//! The public entry point is the [`Session`]/[`Query`] facade: a session
+//! owns a catalog of partitioned relations, a query chains execution knobs
+//! and runs on a pluggable [`exec::ExecutionBackend`] — real OS threads
+//! ([`exec::ThreadedBackend`]) or the virtual-time KSR1 simulator
+//! ([`exec::SimBackend`]) — returning a unified [`exec::QueryOutcome`].
+//!
+//! The underlying crates stay public for low-level control:
 //!
 //! * [`storage`] ([`dbs3_storage`]) — partitioned storage, the Wisconsin
 //!   benchmark generator, Zipf skew, temporary indexes;
@@ -20,27 +25,29 @@
 //! ```
 //! use dbs3::prelude::*;
 //!
-//! // 1. Generate and partition two small Wisconsin relations.
-//! let gen = WisconsinGenerator::new();
-//! let a = gen.generate(&WisconsinConfig::narrow("A", 2_000)).unwrap();
-//! let b = gen.generate(&WisconsinConfig::narrow("Bprime", 200)).unwrap();
+//! // 1. Load two small Wisconsin relations, co-partitioned on `unique1`.
+//! let mut session = Session::new();
 //! let spec = PartitionSpec::on("unique1", 16, 4);
-//! let mut catalog = Catalog::new();
-//! catalog.register(PartitionedRelation::from_relation(&a, spec.clone()).unwrap()).unwrap();
-//! catalog.register(PartitionedRelation::from_relation(&b, spec).unwrap()).unwrap();
+//! session.load_wisconsin(&WisconsinConfig::narrow("A", 2_000), spec.clone())?;
+//! session.load_wisconsin(&WisconsinConfig::narrow("Bprime", 200), spec)?;
 //!
 //! // 2. Build the IdealJoin plan (both operands co-partitioned on unique1).
 //! let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
 //!
-//! // 3. Schedule it with 4 threads and execute it on the parallel engine.
-//! let extended = ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).unwrap();
-//! let schedule = Scheduler::build(
-//!     &plan,
-//!     &extended,
-//!     &SchedulerOptions::default().with_total_threads(4),
-//! ).unwrap();
-//! let outcome = Executor::new(&catalog).execute(&plan, &schedule).unwrap();
-//! assert_eq!(outcome.results["Result"].len(), 200);
+//! // 3. Run it on the parallel engine with 4 threads.
+//! let outcome = session.query(&plan).threads(4).run()?;
+//! assert_eq!(outcome.result_cardinality("Result"), Some(200));
+//!
+//! // 4. Same query, same knobs, on the simulated KSR1 — one line changed.
+//! let simulated = session
+//!     .query(&plan)
+//!     .threads(4)
+//!     .strategy(ConsumptionStrategy::Lpt)
+//!     .on(Backend::Simulated(SimConfig::ksr1()))
+//!     .run()?;
+//! assert_eq!(simulated.result_cardinality("Result"), Some(200));
+//! assert!(simulated.metrics.worst_imbalance() >= 1.0);
+//! # Ok::<(), dbs3::Error>(())
 //! ```
 
 pub use dbs3_engine as engine;
@@ -49,8 +56,23 @@ pub use dbs3_model as model;
 pub use dbs3_sim as sim;
 pub use dbs3_storage as storage;
 
+mod error;
+pub mod exec;
+mod session;
+
+pub use error::{Error, Result};
+pub use exec::{
+    Backend, BackendMetrics, ExecutionBackend, QueryOutcome, SimBackend, ThreadedBackend,
+};
+pub use session::{Query, Session};
+
 /// The most commonly used items of every crate, for `use dbs3::prelude::*`.
 pub mod prelude {
+    pub use crate::exec::{
+        Backend, BackendMetrics, ExecutionBackend, QueryOutcome, SimBackend, ThreadedBackend,
+    };
+    pub use crate::session::{Query, Session};
+    pub use crate::{Error, Result};
     pub use dbs3_engine::{
         ConsumptionStrategy, ExecutionSchedule, Executor, Scheduler, SchedulerOptions,
     };
@@ -73,6 +95,8 @@ mod tests {
         let _ = JoinAlgorithm::NestedLoop;
         let _ = ConsumptionStrategy::Lpt;
         let _ = DataPlacement::Local;
+        let _ = Backend::Threaded;
+        let _ = Session::new();
         assert!(zipf_max_to_avg(1.0, 200) > 30.0);
     }
 }

@@ -1,0 +1,346 @@
+//! The `Session`/`Query` facade: the one-stop entry point of the workspace.
+//!
+//! The low-level API is a five-step ritual — generate, partition/register,
+//! [`ExtendedPlan::from_plan`](dbs3_lera::ExtendedPlan::from_plan),
+//! [`Scheduler::build`](dbs3_engine::Scheduler::build),
+//! [`Executor::execute`](dbs3_engine::Executor::execute) — repeated at every
+//! call site. A [`Session`] owns the catalog and a [`Query`] chains the
+//! execution knobs, so running the paper's experiments under a different
+//! regime (thread count, consumption strategy, cache size, real threads vs.
+//! the simulated KSR1) changes one line instead of five.
+
+use crate::error::Result;
+use crate::exec::{Backend, ExecutionBackend, QueryOutcome};
+use dbs3_engine::{ConsumptionStrategy, ExecutionSchedule, Scheduler, SchedulerOptions};
+use dbs3_lera::{CostParameters, ExtendedPlan, Plan};
+use dbs3_storage::{
+    Catalog, PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
+};
+use std::sync::Arc;
+
+/// An execution session: a catalog of partitioned relations plus the entry
+/// point for running queries against it on any [`ExecutionBackend`].
+///
+/// See the crate-level quick start for the full flow.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    catalog: Catalog,
+}
+
+impl Session {
+    /// Creates a session with an empty catalog.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Wraps an already-populated catalog in a session.
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Session { catalog }
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (for `replace`/`remove`).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Registers an already-partitioned relation.
+    pub fn register(&mut self, relation: PartitionedRelation) -> Result<Arc<PartitionedRelation>> {
+        Ok(self.catalog.register(relation)?)
+    }
+
+    /// Generates a Wisconsin benchmark relation, hash-partitions it under
+    /// `spec` and registers it — the three set-up steps of every experiment
+    /// in one call.
+    pub fn load_wisconsin(
+        &mut self,
+        config: &WisconsinConfig,
+        spec: PartitionSpec,
+    ) -> Result<Arc<PartitionedRelation>> {
+        let relation = WisconsinGenerator::new().generate(config)?;
+        Ok(self
+            .catalog
+            .register(PartitionedRelation::from_relation(&relation, spec)?)?)
+    }
+
+    /// Like [`Self::load_wisconsin`], but re-keys the relation so its
+    /// fragment cardinalities follow a Zipf(θ) distribution (the paper's
+    /// Section 5.4 skewed databases). `theta == 0.0` is plain hash
+    /// partitioning.
+    pub fn load_wisconsin_skewed(
+        &mut self,
+        config: &WisconsinConfig,
+        spec: PartitionSpec,
+        theta: f64,
+    ) -> Result<Arc<PartitionedRelation>> {
+        let relation = WisconsinGenerator::new().generate(config)?;
+        let partitioned = if theta > 0.0 {
+            PartitionedRelation::from_relation_with_skew(&relation, spec, theta)?
+        } else {
+            PartitionedRelation::from_relation(&relation, spec)?
+        };
+        Ok(self.catalog.register(partitioned)?)
+    }
+
+    /// Starts a query over a plan. The returned builder chains execution
+    /// knobs and runs on the threaded engine unless pointed elsewhere with
+    /// [`Query::on`].
+    pub fn query<'a>(&'a self, plan: &'a Plan) -> Query<'a> {
+        Query {
+            session: self,
+            plan,
+            options: SchedulerOptions::default(),
+            backend: Backend::Threaded,
+        }
+    }
+}
+
+/// A chainable query: a plan, backend-neutral execution knobs, and the
+/// backend to run on.
+///
+/// Knobs not set explicitly are decided by the four-step scheduler (thread
+/// count from estimated complexity, LPT for skewed triggered operations,
+/// default queue and cache sizes).
+#[derive(Debug, Clone)]
+pub struct Query<'a> {
+    session: &'a Session,
+    plan: &'a Plan,
+    options: SchedulerOptions,
+    backend: Backend,
+}
+
+impl<'a> Query<'a> {
+    /// Fixes the total thread budget (the paper's x-axis). Zero is rejected
+    /// with a typed error when the query runs.
+    pub fn threads(mut self, total: usize) -> Self {
+        self.options.total_threads = Some(total);
+        self
+    }
+
+    /// Forces one consumption strategy for every operation instead of
+    /// letting scheduling step 4 pick per operation.
+    pub fn strategy(mut self, strategy: ConsumptionStrategy) -> Self {
+        self.options.strategy_override = Some(strategy);
+        self
+    }
+
+    /// Sets the producer-side internal activation cache size.
+    pub fn cache_size(mut self, size: usize) -> Self {
+        self.options.cache_size = size;
+        self
+    }
+
+    /// Sets the capacity of every activation queue.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.options.queue_capacity = capacity;
+        self
+    }
+
+    /// Replaces all scheduler options at once (for knobs without a dedicated
+    /// chain method, e.g. `work_per_thread` or `lpt_skew_threshold`).
+    pub fn scheduler_options(mut self, options: SchedulerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Selects the backend: [`Backend::Threaded`] (default) or
+    /// [`Backend::Simulated`] — the one-line regime swap.
+    pub fn on(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The scheduler options accumulated so far.
+    pub fn options(&self) -> &SchedulerOptions {
+        &self.options
+    }
+
+    /// Builds the execution schedule (steps 1–4 of Figure 5) without
+    /// executing — for inspecting thread allocation and strategy choices.
+    pub fn schedule(&self) -> Result<ExecutionSchedule> {
+        let extended = self.extended_plan()?;
+        Ok(Scheduler::build(self.plan, &extended, &self.options)?)
+    }
+
+    /// The per-fragment extended view of the plan over the session catalog.
+    pub fn extended_plan(&self) -> Result<ExtendedPlan> {
+        Ok(ExtendedPlan::from_plan(
+            self.plan,
+            self.session.catalog(),
+            &CostParameters::default(),
+        )?)
+    }
+
+    /// Runs the query on the selected built-in backend.
+    pub fn run(self) -> Result<QueryOutcome> {
+        let backend = self.backend.resolve();
+        backend.execute(self.session.catalog(), self.plan, &self.options)
+    }
+
+    /// Runs the query on a caller-provided backend implementation.
+    pub fn run_on(&self, backend: &dyn ExecutionBackend) -> Result<QueryOutcome> {
+        backend.execute(self.session.catalog(), self.plan, &self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Error;
+    use crate::exec::SimBackend;
+    use dbs3_engine::EngineError;
+    use dbs3_lera::{plans, JoinAlgorithm};
+
+    fn session() -> Session {
+        let mut session = Session::new();
+        let spec = PartitionSpec::on("unique1", 8, 2);
+        session
+            .load_wisconsin(&WisconsinConfig::narrow("A", 800), spec.clone())
+            .unwrap();
+        session
+            .load_wisconsin(&WisconsinConfig::narrow("Bprime", 80), spec)
+            .unwrap();
+        session
+    }
+
+    #[test]
+    fn threaded_query_runs_end_to_end() {
+        let session = session();
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let outcome = session.query(&plan).threads(4).run().unwrap();
+        assert_eq!(outcome.result_cardinality("Result"), Some(80));
+        assert_eq!(outcome.results["Result"].len(), 80);
+        assert_eq!(outcome.metrics.backend_name(), "threaded");
+        assert!(outcome.metrics.total_activations() > 0);
+    }
+
+    #[test]
+    fn simulated_query_reports_the_same_cardinality() {
+        let session = session();
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let outcome = session
+            .query(&plan)
+            .threads(4)
+            .on(Backend::Simulated(SimConfig::ksr1()))
+            .run()
+            .unwrap();
+        assert_eq!(outcome.result_cardinality("Result"), Some(80));
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.metrics.backend_name(), "simulated");
+        assert!(outcome.sim_report().unwrap().total_us() > 0.0);
+    }
+
+    use dbs3_sim::SimConfig;
+
+    #[test]
+    fn zero_threads_is_a_typed_error_on_both_backends() {
+        let session = session();
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let err = session.query(&plan).threads(0).run().unwrap_err();
+        assert!(matches!(err, Error::Engine(EngineError::InvalidOptions(_))));
+        let err = session
+            .query(&plan)
+            .threads(0)
+            .on(Backend::Simulated(SimConfig::ksr1()))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Engine(EngineError::InvalidOptions(_))));
+    }
+
+    #[test]
+    fn schedule_inspection_respects_knobs() {
+        let session = session();
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = session
+            .query(&plan)
+            .threads(6)
+            .strategy(ConsumptionStrategy::Lpt)
+            .cache_size(16)
+            .schedule()
+            .unwrap();
+        assert_eq!(schedule.total_threads(), 6);
+        for op in schedule.per_node().values() {
+            assert_eq!(op.strategy, ConsumptionStrategy::Lpt);
+            assert_eq!(op.cache_size, 16);
+        }
+    }
+
+    #[test]
+    fn scheduler_knobs_reach_the_simulated_backend() {
+        // A strongly skewed triggered join: the default lpt_skew_threshold
+        // (3.0) makes scheduling step 4 pick LPT, while an unreachable
+        // threshold forces Random — observable as different virtual times.
+        let mut session = Session::new();
+        let spec = PartitionSpec::on("unique1", 40, 4);
+        session
+            .load_wisconsin_skewed(&WisconsinConfig::narrow("A", 5_000), spec.clone(), 1.0)
+            .unwrap();
+        session
+            .load_wisconsin(&WisconsinConfig::narrow("Bprime", 500), spec)
+            .unwrap();
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let run = |options: SchedulerOptions| {
+            session
+                .query(&plan)
+                .scheduler_options(options)
+                .threads(10)
+                .on(Backend::Simulated(SimConfig::ksr1()))
+                .run()
+                .unwrap()
+                .sim_report()
+                .unwrap()
+                .total_us()
+        };
+        let lpt = run(SchedulerOptions::default());
+        let random = run(SchedulerOptions {
+            lpt_skew_threshold: f64::INFINITY,
+            ..SchedulerOptions::default()
+        });
+        assert_ne!(
+            lpt, random,
+            "lpt_skew_threshold must influence the simulated schedule"
+        );
+        assert!(lpt <= random * 1.02, "LPT should not lose to Random");
+    }
+
+    #[test]
+    fn run_on_accepts_custom_backend_values() {
+        let session = session();
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
+        let outcome = session
+            .query(&plan)
+            .threads(3)
+            .run_on(&SimBackend::ksr1())
+            .unwrap();
+        assert_eq!(outcome.result_cardinality("Result"), Some(80));
+    }
+
+    #[test]
+    fn duplicate_relation_surfaces_as_storage_error() {
+        let mut session = session();
+        let err = session
+            .load_wisconsin(
+                &WisconsinConfig::narrow("A", 100),
+                PartitionSpec::on("unique1", 4, 2),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Storage(_)));
+    }
+
+    #[test]
+    fn skewed_loading_skews_fragments() {
+        let mut session = Session::new();
+        let rel = session
+            .load_wisconsin_skewed(
+                &WisconsinConfig::narrow("S", 5_000),
+                PartitionSpec::on("unique1", 40, 4),
+                1.0,
+            )
+            .unwrap();
+        assert!(rel.observed_skew_factor() > 5.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-backend equivalence: the same query run on the threaded engine and
+//! on the virtual-time simulator must agree on everything that is not a
+//! clock — result cardinalities and per-operation activation counts.
+//!
+//! This is the contract that makes the simulator a valid stand-in for the
+//! KSR1: both backends replay the same extended plans with the same
+//! activation granularity, so swapping `Backend::Threaded` for
+//! `Backend::Simulated(..)` changes *when* work happens, never *what* work
+//! happens.
+
+use dbs3::prelude::*;
+use dbs3_lera::OperatorKind;
+
+fn session(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Session {
+    let mut session = Session::new();
+    let spec = PartitionSpec::on("unique1", degree, 4);
+    session
+        .load_wisconsin_skewed(&WisconsinConfig::narrow("A", a_card), spec.clone(), theta)
+        .unwrap();
+    session
+        .load_wisconsin(&WisconsinConfig::narrow("Bprime", b_card), spec)
+        .unwrap();
+    session
+}
+
+/// Runs `plan` on both backends and checks cardinalities and per-operation
+/// activation counts match. Store operations are skipped: the simulator
+/// folds them into their producers.
+fn assert_backends_agree(session: &Session, plan: &Plan, threads: usize) {
+    let threaded = session.query(plan).threads(threads).run().unwrap();
+    // The backend swap is this single `.on(...)` line.
+    let simulated = session
+        .query(plan)
+        .threads(threads)
+        .on(Backend::Simulated(SimConfig::ksr1()))
+        .run()
+        .unwrap();
+
+    assert_eq!(
+        threaded.cardinalities,
+        simulated.cardinalities,
+        "result cardinalities diverge on {}",
+        plan.name()
+    );
+    for node in plan.nodes() {
+        if matches!(node.kind, OperatorKind::Store { .. }) {
+            continue;
+        }
+        assert_eq!(
+            threaded.metrics.activations(node.id),
+            simulated.metrics.activations(node.id),
+            "activation counts diverge at {} of {}",
+            node.name,
+            plan.name()
+        );
+    }
+}
+
+#[test]
+fn ideal_join_is_backend_equivalent() {
+    let session = session(2_000, 200, 16, 0.0);
+    let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+    assert_backends_agree(&session, &plan, 4);
+}
+
+#[test]
+fn assoc_join_is_backend_equivalent() {
+    let session = session(2_000, 200, 16, 0.0);
+    let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
+    assert_backends_agree(&session, &plan, 4);
+}
+
+#[test]
+fn skewed_joins_are_backend_equivalent() {
+    let session = session(3_000, 300, 20, 1.0);
+    for plan in [
+        plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop),
+        plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop),
+    ] {
+        assert_backends_agree(&session, &plan, 6);
+    }
+}
+
+#[test]
+fn selection_is_backend_equivalent_on_cardinality() {
+    let session = session(2_000, 200, 10, 0.0);
+    let plan = plans::selection("A", Predicate::one_in("ten", 10), "Selected");
+    let threaded = session.query(&plan).threads(3).run().unwrap();
+    let simulated = session
+        .query(&plan)
+        .threads(3)
+        .on(Backend::Simulated(SimConfig::ksr1()))
+        .run()
+        .unwrap();
+    assert_eq!(threaded.cardinalities, simulated.cardinalities);
+    assert_eq!(threaded.result_cardinality("Selected"), Some(200));
+}
+
+#[test]
+fn shared_metric_accessors_are_populated_on_both_backends() {
+    let session = session(2_000, 200, 16, 0.0);
+    let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+    for backend in [Backend::Threaded, Backend::Simulated(SimConfig::ksr1())] {
+        let outcome = session.query(&plan).threads(4).on(backend).run().unwrap();
+        assert!(outcome.elapsed() > std::time::Duration::ZERO);
+        assert!(outcome.metrics.total_activations() > 0);
+        assert!(outcome.metrics.worst_imbalance() >= 1.0);
+        assert!(outcome.metrics.total_threads() >= 4);
+    }
+}

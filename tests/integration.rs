@@ -1,56 +1,45 @@
 //! Cross-crate integration tests: storage → plans → scheduler → engine →
 //! simulator, checked against reference implementations and against the
-//! analytical model.
+//! analytical model. Everything runs through the `Session`/`Query` facade —
+//! the same API the examples and the experiment harness use.
 
 use dbs3::prelude::*;
 use dbs3_lera::NodeId;
 
-/// Builds a catalog with relation `A` (optionally Zipf-skewed on its
+/// Builds a session with relation `A` (optionally Zipf-skewed on its
 /// fragment cardinalities) and `Bprime`, both partitioned on `unique1`.
-fn build_catalog(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Catalog {
-    let generator = WisconsinGenerator::new();
-    let a = generator
-        .generate(&WisconsinConfig::narrow("A", a_card))
-        .unwrap();
-    let b = generator
-        .generate(&WisconsinConfig::narrow("Bprime", b_card))
-        .unwrap();
+fn build_session(a_card: usize, b_card: usize, degree: usize, theta: f64) -> Session {
+    let mut session = Session::new();
     let spec = PartitionSpec::on("unique1", degree, 4);
-    let a_part = if theta > 0.0 {
-        PartitionedRelation::from_relation_with_skew(&a, spec.clone(), theta).unwrap()
-    } else {
-        PartitionedRelation::from_relation(&a, spec.clone()).unwrap()
-    };
-    let mut catalog = Catalog::new();
-    catalog.register(a_part).unwrap();
-    catalog
-        .register(PartitionedRelation::from_relation(&b, spec).unwrap())
+    session
+        .load_wisconsin_skewed(&WisconsinConfig::narrow("A", a_card), spec.clone(), theta)
         .unwrap();
-    catalog
+    session
+        .load_wisconsin(&WisconsinConfig::narrow("Bprime", b_card), spec)
+        .unwrap();
+    session
 }
 
-fn reference_join_size(catalog: &Catalog) -> usize {
-    let a = catalog.get("A").unwrap().reassemble();
-    let b = catalog.get("Bprime").unwrap().reassemble();
+fn reference_join_size(session: &Session) -> usize {
+    let a = session.catalog().get("A").unwrap().reassemble();
+    let b = session.catalog().get("Bprime").unwrap().reassemble();
     a.reference_join(&b, "unique1", "unique1").unwrap().len()
 }
 
-fn run_engine(catalog: &Catalog, plan: &Plan, threads: usize) -> usize {
-    let extended = ExtendedPlan::from_plan(plan, catalog, &CostParameters::default()).unwrap();
-    let schedule = Scheduler::build(
-        plan,
-        &extended,
-        &SchedulerOptions::default().with_total_threads(threads),
-    )
-    .unwrap();
-    let outcome = Executor::new(catalog).execute(plan, &schedule).unwrap();
-    outcome.results["Result"].len()
+fn run_threaded(session: &Session, plan: &Plan, threads: usize) -> usize {
+    session
+        .query(plan)
+        .threads(threads)
+        .run()
+        .unwrap()
+        .result_cardinality("Result")
+        .unwrap()
 }
 
 #[test]
 fn ideal_and_assoc_join_agree_with_each_other_and_the_reference() {
-    let catalog = build_catalog(2_000, 200, 16, 0.0);
-    let expected = reference_join_size(&catalog);
+    let session = build_session(2_000, 200, 16, 0.0);
+    let expected = reference_join_size(&session);
     for algorithm in [
         JoinAlgorithm::NestedLoop,
         JoinAlgorithm::Hash,
@@ -59,12 +48,12 @@ fn ideal_and_assoc_join_agree_with_each_other_and_the_reference() {
         let ideal = plans::ideal_join("A", "Bprime", "unique1", algorithm);
         let assoc = plans::assoc_join("Bprime", "A", "unique1", algorithm);
         assert_eq!(
-            run_engine(&catalog, &ideal, 4),
+            run_threaded(&session, &ideal, 4),
             expected,
             "IdealJoin {algorithm:?}"
         );
         assert_eq!(
-            run_engine(&catalog, &assoc, 4),
+            run_threaded(&session, &assoc, 4),
             expected,
             "AssocJoin {algorithm:?}"
         );
@@ -73,21 +62,21 @@ fn ideal_and_assoc_join_agree_with_each_other_and_the_reference() {
 
 #[test]
 fn skewed_execution_still_produces_correct_results() {
-    let catalog = build_catalog(3_000, 300, 25, 1.0);
-    let expected = reference_join_size(&catalog);
+    let session = build_session(3_000, 300, 25, 1.0);
+    let expected = reference_join_size(&session);
     let ideal = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
     let assoc = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
     for threads in [1usize, 3, 8] {
-        assert_eq!(run_engine(&catalog, &ideal, threads), expected);
-        assert_eq!(run_engine(&catalog, &assoc, threads), expected);
+        assert_eq!(run_threaded(&session, &ideal, threads), expected);
+        assert_eq!(run_threaded(&session, &assoc, threads), expected);
     }
 }
 
 #[test]
 fn filter_join_pipeline_matches_reference_selection_plus_join() {
-    let catalog = build_catalog(2_000, 2_000, 10, 0.0);
-    let a = catalog.get("A").unwrap().reassemble();
-    let b = catalog.get("Bprime").unwrap().reassemble();
+    let session = build_session(2_000, 2_000, 10, 0.0);
+    let a = session.catalog().get("A").unwrap().reassemble();
+    let b = session.catalog().get("Bprime").unwrap().reassemble();
     let plan = plans::filter_join(
         "A",
         Predicate::range("unique1", 0, 500),
@@ -95,14 +84,7 @@ fn filter_join_pipeline_matches_reference_selection_plus_join() {
         "unique1",
         JoinAlgorithm::Hash,
     );
-    let extended = ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).unwrap();
-    let schedule = Scheduler::build(
-        &plan,
-        &extended,
-        &SchedulerOptions::default().with_total_threads(4),
-    )
-    .unwrap();
-    let outcome = Executor::new(&catalog).execute(&plan, &schedule).unwrap();
+    let outcome = session.query(&plan).threads(4).run().unwrap();
 
     let selected = a.reference_select(|t| {
         let v = t.value(0).as_int().unwrap();
@@ -113,39 +95,26 @@ fn filter_join_pipeline_matches_reference_selection_plus_join() {
         .reference_join(&b, "unique1", "unique1")
         .unwrap()
         .len();
-    assert_eq!(outcome.results["Result"].len(), expected);
+    assert_eq!(outcome.result_cardinality("Result"), Some(expected));
 }
 
 #[test]
 fn engine_and_simulator_agree_on_activation_counts() {
-    let catalog = build_catalog(2_000, 200, 20, 0.0);
+    let session = build_session(2_000, 200, 20, 0.0);
     let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop);
 
-    // Real engine.
-    let extended = ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).unwrap();
-    let schedule = Scheduler::build(
-        &plan,
-        &extended,
-        &SchedulerOptions::default().with_total_threads(4),
-    )
-    .unwrap();
-    let outcome = Executor::new(&catalog).execute(&plan, &schedule).unwrap();
-    let engine_join_activations = outcome
-        .metrics
-        .operation(NodeId(1))
-        .unwrap()
-        .total_activations();
-
-    // Simulator.
-    let report = Simulator::new(&catalog)
-        .simulate(&plan, &SimConfig::default().with_threads(4))
+    let threaded = session.query(&plan).threads(4).run().unwrap();
+    let simulated = session
+        .query(&plan)
+        .threads(4)
+        .on(Backend::Simulated(SimConfig::ksr1()))
+        .run()
         .unwrap();
-    let sim_join_activations = report.operation(NodeId(1)).unwrap().activations;
 
     // One data activation per transmitted B' tuple in both systems (the
     // nested-loop pipelined join has no extra build activations).
-    assert_eq!(engine_join_activations, 200);
-    assert_eq!(sim_join_activations, 200);
+    assert_eq!(threaded.metrics.activations(NodeId(1)), Some(200));
+    assert_eq!(simulated.metrics.activations(NodeId(1)), Some(200));
 }
 
 #[test]
@@ -158,22 +127,21 @@ fn pipelined_join_is_insensitive_to_skew_end_to_end() {
     // others are even scheduled.)
     let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
     for theta in [0.0, 1.0] {
-        let catalog = build_catalog(4_000, 400, 20, theta);
-        let expected = reference_join_size(&catalog);
-        let extended =
-            ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).unwrap();
-        let schedule = Scheduler::build(
-            &plan,
-            &extended,
-            &SchedulerOptions::default().with_total_threads(4),
-        )
-        .unwrap();
-        let outcome = Executor::new(&catalog).execute(&plan, &schedule).unwrap();
-        let join = outcome.metrics.operation(NodeId(1)).unwrap();
+        let session = build_session(4_000, 400, 20, theta);
+        let expected = reference_join_size(&session);
+        let outcome = session.query(&plan).threads(4).run().unwrap();
         // One data activation per transmitted B' tuple, none lost or
         // duplicated, and a correct join result.
-        assert_eq!(join.total_activations(), 400, "theta={theta}");
-        assert_eq!(outcome.results["Result"].len(), expected, "theta={theta}");
+        assert_eq!(
+            outcome.metrics.activations(NodeId(1)),
+            Some(400),
+            "theta={theta}"
+        );
+        assert_eq!(
+            outcome.result_cardinality("Result"),
+            Some(expected),
+            "theta={theta}"
+        );
     }
 }
 
@@ -182,22 +150,22 @@ fn simulator_speedup_ceiling_matches_analytic_nmax() {
     // Figure 15's ceilings: the simulated speed-up of a skewed triggered
     // join saturates near n_max = a / (Pmax/P).
     let degree = 100usize;
-    let catalog = build_catalog(20_000, 2_000, degree, 1.0);
+    let session = build_session(20_000, 2_000, degree, 1.0);
     let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
-    let sim = Simulator::new(&catalog);
-    let config = |n: usize| {
-        SimConfig::default()
-            .with_threads(n)
-            .with_strategy(ConsumptionStrategy::Lpt)
+    let speedup = |threads: usize| {
+        session
+            .query(&plan)
+            .threads(threads)
+            .strategy(ConsumptionStrategy::Lpt)
+            .on(Backend::Simulated(SimConfig::ksr1()))
+            .run()
+            .unwrap()
+            .sim_report()
+            .unwrap()
+            .execution_speedup()
     };
-    let s40 = sim
-        .simulate(&plan, &config(40))
-        .unwrap()
-        .execution_speedup();
-    let s70 = sim
-        .simulate(&plan, &config(70))
-        .unwrap()
-        .execution_speedup();
+    let s40 = speedup(40);
+    let s70 = speedup(70);
     let nmax = n_max(degree as u64, zipf_max_to_avg(1.0, degree));
     assert!(
         s40 <= nmax * 1.6,
@@ -211,21 +179,14 @@ fn simulator_speedup_ceiling_matches_analytic_nmax() {
 
 #[test]
 fn scheduler_respects_thread_budget_across_plans() {
-    let catalog = build_catalog(2_000, 200, 10, 0.0);
+    let session = build_session(2_000, 200, 10, 0.0);
     for plan in [
         plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash),
         plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
         plans::selection("A", Predicate::one_in("ten", 10), "Out"),
     ] {
-        let extended =
-            ExtendedPlan::from_plan(&plan, &catalog, &CostParameters::default()).unwrap();
         for budget in [2usize, 5, 12] {
-            let schedule = Scheduler::build(
-                &plan,
-                &extended,
-                &SchedulerOptions::default().with_total_threads(budget),
-            )
-            .unwrap();
+            let schedule = session.query(&plan).threads(budget).schedule().unwrap();
             assert_eq!(
                 schedule.total_threads(),
                 budget.max(plan.len()),
