@@ -1,9 +1,11 @@
 //! Micro-benchmarks of the real execution engine: activation queue
-//! throughput and a small end-to-end IdealJoin.
+//! throughput (per-tuple vs batched transport), a small end-to-end
+//! IdealJoin, and the pipelined-join hot path at 8 threads — the number the
+//! committed `BENCH_engine.json` baseline tracks across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbs3_bench::JoinDatabase;
-use dbs3_engine::{Activation, ActivationQueue, Executor};
+use dbs3_engine::{Activation, ActivationQueue, Executor, TupleBatch};
 use dbs3_lera::{plans, JoinAlgorithm};
 use dbs3_storage::tuple::int_tuple;
 use std::hint::black_box;
@@ -11,15 +13,43 @@ use std::hint::black_box;
 fn queue_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_queue");
     group.sample_size(20);
-    group.bench_function("push_pop_1k", |b| {
+    // One push per tuple: the paper's per-tuple transport (CacheSize = 1).
+    group.bench_function("push_pop_1k_singles", |b| {
         b.iter(|| {
             let q = ActivationQueue::new(0, 2048, 0.0);
             for i in 0..1000 {
-                q.push(Activation::Data(int_tuple(&[i])));
+                q.push(Activation::single(int_tuple(&[i])));
             }
             let mut popped = 0usize;
             while popped < 1000 {
-                popped += q.try_pop_batch(64).len();
+                popped += q
+                    .try_pop_batch(64)
+                    .iter()
+                    .map(Activation::logical_len)
+                    .sum::<usize>();
+            }
+            black_box(popped)
+        })
+    });
+    // One push per 64-tuple batch: the batched transport (CacheSize = 64).
+    group.bench_function("push_pop_1k_batch64", |b| {
+        b.iter(|| {
+            let q = ActivationQueue::new(0, 2048, 0.0);
+            for chunk in 0..1000 / 64 + 1 {
+                let tuples: Vec<_> = (chunk * 64..((chunk + 1) * 64).min(1000))
+                    .map(|i| int_tuple(&[i as i64]))
+                    .collect();
+                if !tuples.is_empty() {
+                    q.push(Activation::Data(TupleBatch::from(tuples)));
+                }
+            }
+            let mut popped = 0usize;
+            while popped < 1000 {
+                popped += q
+                    .try_pop_batch(64)
+                    .iter()
+                    .map(Activation::logical_len)
+                    .sum::<usize>();
             }
             black_box(popped)
         })
@@ -30,18 +60,34 @@ fn queue_throughput(c: &mut Criterion) {
 fn end_to_end_join(c: &mut Criterion) {
     let db = JoinDatabase::generate(4_000, 400);
     let session = db.session(20, 0.0);
-    let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
-    // Schedule once through the facade; time only the engine execution so
-    // the measurement isolates the executor (expansion and scheduling are
-    // plan-sized, not data-sized).
-    let schedule = session.query(&plan).threads(4).schedule().unwrap();
 
     let mut group = c.benchmark_group("engine_end_to_end");
     group.sample_size(10);
+
+    // Triggered co-partitioned join (fig15 shape, 4 threads).
+    let ideal = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+    // Schedule once through the facade; time only the engine execution so
+    // the measurement isolates the executor (expansion and scheduling are
+    // plan-sized, not data-sized).
+    let ideal_schedule = session.query(&ideal).threads(4).schedule().unwrap();
     group.bench_function("ideal_join_4k_threads4", |b| {
         b.iter(|| {
             let outcome = Executor::new(session.catalog())
-                .execute(&plan, &schedule)
+                .execute(&ideal, &ideal_schedule)
+                .unwrap();
+            black_box(outcome.results["Result"].len())
+        })
+    });
+
+    // Pipelined join (fig14 AssocJoin shape) at 8 threads: the hottest data
+    // path — transmit scatters B' over the join instances, every tuple
+    // crosses a shared queue. This is the acceptance metric of perf PRs.
+    let assoc = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+    let assoc_schedule = session.query(&assoc).threads(8).schedule().unwrap();
+    group.bench_function("pipelined_join_4k_threads8", |b| {
+        b.iter(|| {
+            let outcome = Executor::new(session.catalog())
+                .execute(&assoc, &assoc_schedule)
                 .unwrap();
             black_box(outcome.results["Result"].len())
         })

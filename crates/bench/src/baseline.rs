@@ -1,0 +1,231 @@
+//! Benchmark-baseline emitter: the perf trajectory of the repository.
+//!
+//! Every perf-oriented PR needs a number to beat. This module runs the two
+//! join shapes of the paper's speed-up experiments — the AssocJoin of
+//! Figure 14 (transmit → pipelined join, the engine's hottest data path) and
+//! the IdealJoin of Figure 15 (co-partitioned triggered join) — on the *real
+//! threaded engine* at 1/4/8 threads and serialises elapsed time and
+//! throughput to `BENCH_engine.json`, so future PRs can diff performance
+//! against the committed baseline (`cargo run -p dbs3-bench --release --bin
+//! baseline`).
+//!
+//! The hash-join variant is measured (not the paper's nested loop) because it
+//! makes per-tuple *engine* overhead — routing, queue locking, activation
+//! dispatch — the dominant cost, which is exactly what the baseline is meant
+//! to track; algorithmic join cost would only dilute the signal.
+
+use crate::{ExperimentScale, JoinDatabase};
+use dbs3::Session;
+use dbs3_lera::{plans, JoinAlgorithm, Plan};
+
+/// Thread counts every baseline shape is measured at.
+pub const BASELINE_THREADS: [usize; 3] = [1, 4, 8];
+
+/// Measurement repetitions per configuration (the best run is recorded, which
+/// is the conventional way to suppress scheduling noise in short benches).
+const REPETITIONS: usize = 3;
+
+/// One measured configuration of the baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Shape identifier (`fig14_assoc_join` or `fig15_ideal_join`).
+    pub shape: &'static str,
+    /// Total threads the scheduler distributed over the pools.
+    pub threads: usize,
+    /// Best-of-N wall-clock execution time in seconds.
+    pub elapsed_s: f64,
+    /// Cardinality of the materialised join result.
+    pub result_tuples: usize,
+    /// Logical activations consumed across all operations.
+    pub logical_activations: u64,
+    /// Logical activations per second ([`dbs3::QueryOutcome::tuples_per_second`]).
+    pub tuples_per_second: f64,
+}
+
+/// The two measured shapes: (identifier, plan).
+fn shapes() -> [(&'static str, Plan); 2] {
+    [
+        (
+            "fig14_assoc_join",
+            plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
+        ),
+        (
+            "fig15_ideal_join",
+            plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash),
+        ),
+    ]
+}
+
+/// Runs every baseline configuration at `scale` and returns the rows in
+/// deterministic (shape, threads) order.
+pub fn run_baseline(scale: ExperimentScale) -> Vec<BaselineRun> {
+    let db = JoinDatabase::generate(scale.cardinality(200_000), scale.cardinality(20_000));
+    let session = db.session(scale.degree(200), 0.0);
+    let mut runs = Vec::new();
+    for (shape, plan) in shapes() {
+        for &threads in &BASELINE_THREADS {
+            runs.push(measure(&session, &plan, shape, threads));
+        }
+    }
+    runs
+}
+
+/// Measures one (plan, threads) configuration, keeping the best repetition.
+fn measure(session: &Session, plan: &Plan, shape: &'static str, threads: usize) -> BaselineRun {
+    let mut best: Option<BaselineRun> = None;
+    for _ in 0..REPETITIONS {
+        let outcome = session
+            .query(plan)
+            .threads(threads)
+            .run()
+            .expect("baseline plans execute on any thread count");
+        let run = BaselineRun {
+            shape,
+            threads,
+            elapsed_s: outcome.elapsed().as_secs_f64(),
+            result_tuples: outcome.result_cardinality("Result").unwrap_or(0),
+            logical_activations: outcome.metrics.total_activations(),
+            tuples_per_second: outcome.tuples_per_second(),
+        };
+        if best.as_ref().is_none_or(|b| run.elapsed_s < b.elapsed_s) {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one repetition ran")
+}
+
+/// Strips the trailing `"reference"` section (if any) from a document this
+/// module emitted, returning a self-contained baseline document.
+///
+/// Used when regenerating `BENCH_engine.json` in place: the previous
+/// emission becomes the new file's `reference` (the before/after record of a
+/// perf PR), but its *own* nested reference is dropped so the file never
+/// grows a chain of historical baselines — git history holds those.
+pub fn without_reference(doc: &str) -> String {
+    match doc.find(",\n  \"reference\":") {
+        Some(i) => format!("{}\n}}\n", &doc[..i]),
+        None => doc.to_string(),
+    }
+}
+
+/// Serialises baseline rows as the `BENCH_engine.json` document.
+///
+/// The format is intentionally flat so future PRs can diff it textually:
+/// one object per configuration under `"runs"`, plus the scale it was
+/// measured at. `reference` optionally carries the previous baseline forward
+/// (the before/after record of a perf PR).
+pub fn to_json(scale: ExperimentScale, runs: &[BaselineRun], reference: Option<&str>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(
+        "  \"bench\": \"dbs3 engine baseline (threaded backend, hash join); \
+         tuples_per_second counts logical activations across all pipeline \
+         hops per second of execution\",\n",
+    );
+    let scale_name = match scale {
+        ExperimentScale::Paper => "paper",
+        ExperimentScale::Smoke => "smoke",
+    };
+    out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"threads\": {}, \"elapsed_s\": {:.6}, \
+             \"result_tuples\": {}, \"logical_activations\": {}, \
+             \"tuples_per_second\": {:.1}}}{}\n",
+            r.shape,
+            r.threads,
+            r.elapsed_s,
+            r.result_tuples,
+            r.logical_activations,
+            r.tuples_per_second,
+            if i + 1 < runs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(reference) = reference {
+        out.push_str(",\n  \"reference\": ");
+        out.push_str(reference.trim_end());
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_runs() -> Vec<BaselineRun> {
+        vec![
+            BaselineRun {
+                shape: "fig14_assoc_join",
+                threads: 1,
+                elapsed_s: 0.25,
+                result_tuples: 1_000,
+                logical_activations: 2_020,
+                tuples_per_second: 8_080.0,
+            },
+            BaselineRun {
+                shape: "fig15_ideal_join",
+                threads: 8,
+                elapsed_s: 0.125,
+                result_tuples: 1_000,
+                logical_activations: 1_020,
+                tuples_per_second: 8_160.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_has_one_object_per_run_and_balanced_braces() {
+        let json = to_json(ExperimentScale::Smoke, &sample_runs(), None);
+        assert_eq!(json.matches("\"shape\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"tuples_per_second\": 8080.0"));
+        assert!(!json.contains("reference"));
+    }
+
+    #[test]
+    fn json_embeds_reference_document() {
+        let runs = sample_runs();
+        let previous = to_json(ExperimentScale::Paper, &runs[..1], None);
+        let json = to_json(ExperimentScale::Paper, &runs, Some(&previous));
+        assert!(json.contains("\"reference\": {"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("\"schema_version\"").count(), 2);
+    }
+
+    #[test]
+    fn without_reference_round_trips() {
+        let runs = sample_runs();
+        let bare = to_json(ExperimentScale::Paper, &runs, None);
+        // A document without a reference passes through untouched.
+        assert_eq!(without_reference(&bare), bare);
+        // Regenerating drops exactly the old nested reference, so chaining
+        // emissions never accumulates history.
+        let older = to_json(ExperimentScale::Paper, &runs[..1], None);
+        let with_ref = to_json(ExperimentScale::Paper, &runs, Some(&older));
+        assert_eq!(without_reference(&with_ref), bare);
+        let chained = to_json(
+            ExperimentScale::Paper,
+            &runs,
+            Some(&without_reference(&with_ref)),
+        );
+        assert_eq!(chained.matches("\"schema_version\"").count(), 2);
+        assert_eq!(chained.matches('{').count(), chained.matches('}').count());
+    }
+
+    #[test]
+    fn smoke_baseline_measures_every_configuration() {
+        let runs = run_baseline(ExperimentScale::Smoke);
+        assert_eq!(runs.len(), 2 * BASELINE_THREADS.len());
+        for r in &runs {
+            assert!(r.elapsed_s > 0.0, "{:?}", r);
+            assert!(r.tuples_per_second > 0.0, "{:?}", r);
+            // Both shapes join the full Bprime against A on the unique key.
+            assert_eq!(r.result_tuples, 1_000);
+        }
+    }
+}

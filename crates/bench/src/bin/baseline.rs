@@ -1,0 +1,78 @@
+//! Writes the engine benchmark baseline (`BENCH_engine.json`).
+//!
+//! ```text
+//! cargo run -p dbs3-bench --release --bin baseline              # paper scale
+//! cargo run -p dbs3-bench --release --bin baseline -- --smoke  # CI smoke
+//! cargo run -p dbs3-bench --release --bin baseline -- --out /tmp/b.json
+//! ```
+//!
+//! Measures the fig14 (AssocJoin, pipelined) and fig15 (IdealJoin, triggered)
+//! hash-join shapes on the threaded engine at 1/4/8 threads and writes one
+//! JSON document, so perf PRs have a recorded before/after: when the output
+//! file already exists, its measurement is carried forward under
+//! `"reference"` (with any older nested reference dropped). The emitted file
+//! is re-read and sanity-checked so a truncated write fails loudly (the CI
+//! smoke step relies on a non-zero exit here).
+
+use dbs3_bench::baseline::{run_baseline, to_json, without_reference, BASELINE_THREADS};
+use dbs3_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::Smoke
+    } else {
+        ExperimentScale::Paper
+    };
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("error: --out requires a path argument");
+                eprintln!("usage: baseline [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_engine.json".to_string(),
+    };
+
+    // The previous emission (if one exists) becomes the new reference — the
+    // "before" of a before/after perf record. If the existing file was
+    // reformatted by hand so its reference section can no longer be
+    // stripped, skip the carry-forward rather than emit a nested document.
+    let reference = std::fs::read_to_string(&out_path)
+        .ok()
+        .filter(|doc| doc.contains("\"runs\""))
+        .map(|doc| without_reference(&doc))
+        .filter(|doc| !doc.contains("\"reference\""));
+
+    eprintln!("# measuring engine baseline ({scale:?} scale, threads {BASELINE_THREADS:?})...");
+    let runs = run_baseline(scale);
+    for r in &runs {
+        eprintln!(
+            "#   {:<18} threads={} elapsed={:.4}s tuples/s={:.0}",
+            r.shape, r.threads, r.elapsed_s, r.tuples_per_second
+        );
+    }
+    let json = to_json(scale, &runs, reference.as_deref());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+
+    // Fail loudly on a truncated or malformed emission. The document holds
+    // one run object per configuration, plus one more set per embedded
+    // reference generation.
+    let written = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let expected_runs = 2 * BASELINE_THREADS.len();
+    let shapes = written.matches("\"shape\"").count();
+    if shapes == 0
+        || shapes % expected_runs != 0
+        || written.matches('{').count() != written.matches('}').count()
+        || !written.trim_end().ends_with('}')
+    {
+        eprintln!("error: {out_path} is malformed");
+        std::process::exit(1);
+    }
+    eprintln!("# wrote {out_path} ({expected_runs} runs)");
+}

@@ -16,6 +16,7 @@
 //! See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! comparison of every figure.
 
+pub mod baseline;
 pub mod data;
 pub mod experiments;
 

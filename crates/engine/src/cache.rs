@@ -4,38 +4,47 @@
 //! interference between activation producers and consumers, and to increase
 //! locality of access" (Section 3, Figure 4). Instead of taking the consumer
 //! queue's lock for every produced tuple, a producing thread buffers outgoing
-//! data activations per destination queue and flushes whole batches.
+//! tuples per destination queue and flushes each buffer as **one** batch
+//! activation ([`crate::activation::TupleBatch`]): the paper's `CacheSize`
+//! is therefore both the flush threshold and the transport batch
+//! granularity. One flush is one lock acquisition and one condvar wakeup,
+//! regardless of how many tuples it moves.
 
-use crate::activation::Activation;
+use crate::activation::{Activation, TupleBatch};
 use crate::queue::ActivationQueue;
+use dbs3_storage::Tuple;
 use std::sync::Arc;
 
-/// A per-thread cache of outgoing activations, one buffer per destination
-/// queue of the consumer operation.
+/// A per-thread cache of outgoing tuples, one buffer per destination queue
+/// of the consumer operation.
 #[derive(Debug)]
 pub struct OutputCache {
     /// Destination queues (the consumer operation's queues, indexed by
     /// instance).
     destinations: Vec<Arc<ActivationQueue>>,
-    /// Buffered activations per destination.
-    buffers: Vec<Vec<Activation>>,
-    /// Flush threshold (the paper's `CacheSize`).
+    /// Buffered tuples per destination.
+    buffers: Vec<Vec<Tuple>>,
+    /// Flush threshold in tuples (the paper's `CacheSize`).
     cache_size: usize,
     /// Number of flushes performed (metrics: how much lock traffic the cache
     /// saved).
     flushes: u64,
-    /// Number of activations that went through the cache.
+    /// Number of tuples that went through the cache.
     produced: u64,
 }
 
 impl OutputCache {
     /// Creates a cache in front of the given destination queues.
     pub fn new(destinations: Vec<Arc<ActivationQueue>>, cache_size: usize) -> Self {
-        let buffers = destinations.iter().map(|_| Vec::new()).collect();
+        let cache_size = cache_size.max(1);
+        let buffers = destinations
+            .iter()
+            .map(|_| Vec::with_capacity(cache_size.min(1024)))
+            .collect();
         OutputCache {
             destinations,
             buffers,
-            cache_size: cache_size.max(1),
+            cache_size,
             flushes: 0,
             produced: 0,
         }
@@ -46,28 +55,76 @@ impl OutputCache {
         self.destinations.len()
     }
 
-    /// Buffers one activation for `destination`, flushing that buffer if it
-    /// reached the cache size.
-    pub fn produce(&mut self, destination: usize, activation: Activation) {
+    /// Buffers one tuple for `destination`, flushing that buffer as a single
+    /// batch activation if it reached the cache size.
+    #[inline]
+    pub fn produce(&mut self, destination: usize, tuple: Tuple) {
         self.produced += 1;
-        self.buffers[destination].push(activation);
+        self.buffers[destination].push(tuple);
         if self.buffers[destination].len() >= self.cache_size {
             self.flush_one(destination);
         }
     }
 
-    /// Flushes a single destination buffer.
+    /// Buffers a whole output batch for `destination` in one pass (the
+    /// router's no-rehash path when producer and consumer instances are
+    /// co-located).
+    ///
+    /// Every emitted batch still holds at most `CacheSize` tuples — the
+    /// batch-granularity contract `CacheSize` promises (and the queue's
+    /// capacity accounting relies on) must hold on this path too. All full
+    /// batches are handed to the queue in a single `push_batch` call, so a
+    /// large output still costs one lock acquisition; the sub-`CacheSize`
+    /// remainder stays buffered.
+    pub fn produce_all(&mut self, destination: usize, tuples: Vec<Tuple>) {
+        self.produced += tuples.len() as u64;
+        if self.buffers[destination].is_empty() && tuples.len() == self.cache_size {
+            // Exactly one full batch: ship the producer's output vector
+            // as-is, without copying it through the buffer.
+            self.flushes += 1;
+            self.destinations[destination].push(Activation::Data(TupleBatch::new(tuples)));
+            return;
+        }
+        let mut iter = tuples.into_iter();
+        // Top up the partially filled buffer first.
+        let room = self.cache_size - self.buffers[destination].len();
+        self.buffers[destination].extend(iter.by_ref().take(room));
+        if self.buffers[destination].len() < self.cache_size {
+            return; // everything fit below the flush threshold
+        }
+        let first = std::mem::replace(
+            &mut self.buffers[destination],
+            Vec::with_capacity(self.cache_size.min(1024)),
+        );
+        let mut full_batches = vec![Activation::Data(TupleBatch::new(first))];
+        loop {
+            let chunk: Vec<Tuple> = iter.by_ref().take(self.cache_size).collect();
+            if chunk.len() == self.cache_size {
+                full_batches.push(Activation::Data(TupleBatch::new(chunk)));
+            } else {
+                self.buffers[destination] = chunk; // remainder stays buffered
+                break;
+            }
+        }
+        self.flushes += full_batches.len() as u64;
+        self.destinations[destination].push_batch(full_batches);
+    }
+
+    /// Flushes a single destination buffer as one batch activation.
     fn flush_one(&mut self, destination: usize) {
         if self.buffers[destination].is_empty() {
             return;
         }
-        let batch = std::mem::take(&mut self.buffers[destination]);
-        self.destinations[destination].push_batch(batch);
+        let batch = std::mem::replace(
+            &mut self.buffers[destination],
+            Vec::with_capacity(self.cache_size.min(1024)),
+        );
+        self.destinations[destination].push(Activation::Data(TupleBatch::new(batch)));
         self.flushes += 1;
     }
 
     /// Flushes every non-empty buffer (called when a thread finishes
-    /// processing, so no activation is ever stranded in the cache).
+    /// processing, so no tuple is ever stranded in the cache).
     pub fn flush_all(&mut self) {
         for d in 0..self.buffers.len() {
             self.flush_one(d);
@@ -79,13 +136,12 @@ impl OutputCache {
         self.flushes
     }
 
-    /// Number of activations produced through this cache.
+    /// Number of tuples produced through this cache.
     pub fn produced(&self) -> u64 {
         self.produced
     }
 
-    /// Number of activations currently buffered (not yet visible to
-    /// consumers).
+    /// Number of tuples currently buffered (not yet visible to consumers).
     pub fn buffered(&self) -> usize {
         self.buffers.iter().map(Vec::len).sum()
     }
@@ -103,26 +159,30 @@ mod tests {
     }
 
     #[test]
-    fn flushes_when_cache_size_reached() {
+    fn flushes_one_batch_when_cache_size_reached() {
         let qs = queues(2, 64);
         let mut cache = OutputCache::new(qs.clone(), 4);
         for i in 0..3 {
-            cache.produce(0, Activation::Data(int_tuple(&[i])));
+            cache.produce(0, int_tuple(&[i]));
         }
         assert_eq!(qs[0].len(), 0, "below threshold: nothing flushed yet");
         assert_eq!(cache.buffered(), 3);
-        cache.produce(0, Activation::Data(int_tuple(&[3])));
+        cache.produce(0, int_tuple(&[3]));
         assert_eq!(qs[0].len(), 4, "threshold reached: batch flushed");
         assert_eq!(cache.flushes(), 1);
+        // The four tuples left as ONE transport activation.
+        let popped = qs[0].try_pop_batch(64);
+        assert_eq!(popped.len(), 1);
+        assert_eq!(popped[0].logical_len(), 4);
     }
 
     #[test]
     fn flush_all_empties_every_buffer() {
         let qs = queues(3, 64);
         let mut cache = OutputCache::new(qs.clone(), 100);
-        cache.produce(0, Activation::Trigger);
-        cache.produce(1, Activation::Trigger);
-        cache.produce(2, Activation::Trigger);
+        cache.produce(0, int_tuple(&[0]));
+        cache.produce(1, int_tuple(&[1]));
+        cache.produce(2, int_tuple(&[2]));
         cache.flush_all();
         assert_eq!(cache.buffered(), 0);
         assert!(qs.iter().all(|q| q.len() == 1));
@@ -138,13 +198,60 @@ mod tests {
     }
 
     #[test]
-    fn cache_size_one_degenerates_to_direct_push() {
+    fn cache_size_one_degenerates_to_per_tuple_transport() {
         let qs = queues(1, 8);
         let mut cache = OutputCache::new(qs.clone(), 1);
-        cache.produce(0, Activation::Trigger);
-        cache.produce(0, Activation::Trigger);
+        cache.produce(0, int_tuple(&[1]));
+        cache.produce(0, int_tuple(&[2]));
         assert_eq!(qs[0].len(), 2);
         assert_eq!(cache.flushes(), 2);
         assert_eq!(cache.destination_count(), 1);
+        let popped = qs[0].try_pop_batch(64);
+        assert_eq!(popped.len(), 2, "two singleton activations");
+        assert!(popped.iter().all(|a| a.logical_len() == 1));
+    }
+
+    #[test]
+    fn produce_all_respects_the_cache_size_granularity() {
+        let qs = queues(2, 1024);
+        let mut cache = OutputCache::new(qs.clone(), 8);
+        // A large output is cut into full cache_size batches; the remainder
+        // stays buffered. No transport batch may exceed cache_size.
+        cache.produce_all(0, (0..20).map(|i| int_tuple(&[i])).collect());
+        assert_eq!(qs[0].len(), 16, "two full batches of 8 flushed");
+        assert_eq!(cache.flushes(), 2);
+        for a in qs[0].try_pop_batch(usize::MAX) {
+            assert_eq!(a.logical_len(), 8);
+        }
+        // Partial buffer: topped up first, then chunked the same way.
+        cache.produce(1, int_tuple(&[100]));
+        cache.produce_all(1, (0..18).map(|i| int_tuple(&[i])).collect());
+        assert_eq!(qs[1].len(), 16, "two full batches of 8 flushed");
+        assert_eq!(cache.buffered(), 4 + 3);
+        assert_eq!(cache.produced(), 39);
+        cache.flush_all();
+        assert_eq!(qs[1].len(), 19);
+    }
+
+    #[test]
+    fn produce_all_exact_fit_ships_the_vector_as_one_batch() {
+        let qs = queues(1, 64);
+        let mut cache = OutputCache::new(qs.clone(), 8);
+        cache.produce_all(0, (0..8).map(|i| int_tuple(&[i])).collect());
+        assert_eq!(cache.flushes(), 1);
+        assert_eq!(cache.buffered(), 0);
+        let popped = qs[0].try_pop_batch(usize::MAX);
+        assert_eq!(popped.len(), 1);
+        assert_eq!(popped[0].logical_len(), 8);
+    }
+
+    #[test]
+    fn produce_all_below_threshold_only_buffers() {
+        let qs = queues(1, 64);
+        let mut cache = OutputCache::new(qs.clone(), 8);
+        cache.produce_all(0, (0..5).map(|i| int_tuple(&[i])).collect());
+        assert_eq!(cache.flushes(), 0);
+        assert_eq!(cache.buffered(), 5);
+        assert!(qs[0].is_empty());
     }
 }

@@ -10,9 +10,11 @@
 //!    queues are closed immediately (no more activations will ever arrive);
 //! 3. every pool's threads repeatedly select a queue (main queues first,
 //!    then secondary, ordered by the pool's consumption strategy), pop a
-//!    batch of activations, execute the operator's database function, and
-//!    route the produced tuples to the consumer operation's queues through a
-//!    producer-side internal cache;
+//!    batch of activations, execute the operator's database function on each
+//!    whole tuple batch, and scatter the produced output batch to the
+//!    consumer operation's queues through a producer-side internal cache
+//!    that flushes `CacheSize`-tuple transport batches (metrics still count
+//!    the paper's logical per-tuple activations, see [`crate::activation`]);
 //! 4. when the last thread of a producer pool terminates it closes the
 //!    consumer's queues, which lets the consumer's threads terminate once
 //!    they have drained them — termination cascades down the pipeline.
@@ -50,12 +52,21 @@ enum Router {
 }
 
 impl Router {
-    fn route(&self, producing_instance: usize, tuple: &Tuple) -> usize {
+    /// Scatters a whole output batch into the per-destination buffers of the
+    /// producer's internal cache in one pass. `HashColumn` hashes each tuple
+    /// to its consumer instance (the dynamic redistribution); `SameInstance`
+    /// moves the entire batch to the co-located instance without touching a
+    /// single tuple.
+    fn scatter(&self, producing_instance: usize, batch: Vec<Tuple>, cache: &mut OutputCache) {
         match self {
             Router::HashColumn { column, degree } => {
-                (tuple.hash_key(&[*column]) % *degree as u64) as usize
+                let key = [*column];
+                for tuple in batch {
+                    let target = (tuple.hash_key(&key) % *degree as u64) as usize;
+                    cache.produce(target, tuple);
+                }
             }
-            Router::SameInstance => producing_instance,
+            Router::SameInstance => cache.produce_all(producing_instance, batch),
         }
     }
 }
@@ -392,25 +403,29 @@ fn run_worker(
         thread: thread_index,
         ..ThreadMetrics::default()
     };
+    // Consecutive empty polls in the current idle streak (drives backoff).
+    let mut idle_streak = 0u32;
 
     loop {
         match selector.select_and_pop(schedule.cache_size) {
             Some((queue_index, batch)) => {
+                idle_streak = 0;
+                let logical: u64 = batch.iter().map(|a| a.logical_len() as u64).sum();
                 if main_set.contains(&queue_index) {
-                    metrics.main_queue_hits += batch.len() as u64;
+                    metrics.main_queue_hits += logical;
                 } else {
-                    metrics.secondary_queue_hits += batch.len() as u64;
+                    metrics.secondary_queue_hits += logical;
                 }
                 let started = Instant::now();
                 for activation in batch {
+                    // Metrics stay in the paper's per-tuple model: a data
+                    // activation counts one logical activation per batched
+                    // tuple, independent of the transport granularity.
+                    metrics.activations += activation.logical_len() as u64;
                     let out = operator.process(queue_index, activation);
-                    metrics.activations += 1;
                     metrics.tuples_out += out.len() as u64;
                     if let (Some(cache), Some(router)) = (cache.as_mut(), router.as_ref()) {
-                        for tuple in out {
-                            let target = router.route(queue_index, &tuple);
-                            cache.produce(target, Activation::Data(tuple));
-                        }
+                        router.scatter(queue_index, out, cache);
                     }
                 }
                 metrics.busy += started.elapsed();
@@ -420,7 +435,16 @@ fn run_worker(
                     break;
                 }
                 metrics.idle_polls += 1;
-                std::thread::sleep(Duration::from_micros(200));
+                // Back off gradually: yield first (upstream batches usually
+                // land within microseconds), then sleep, so an idle pool
+                // neither burns a core nor adds a fixed 200 µs of latency to
+                // every pipeline stage transition.
+                idle_streak = idle_streak.saturating_add(1);
+                if idle_streak <= 8 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
             }
         }
     }

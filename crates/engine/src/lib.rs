@@ -14,8 +14,11 @@
 //! * queues are split into **main** and **secondary** queues per thread to
 //!   limit access conflicts: a thread first drains its main queues and only
 //!   then looks at the others ([`strategy`]);
-//! * a producer-side **internal activation cache** batches tuple activations
-//!   to reduce producer/consumer interference ([`cache`]);
+//! * a producer-side **internal activation cache** batches outgoing tuples
+//!   per destination and flushes each buffer as one [`TupleBatch`] transport
+//!   activation, so `CacheSize` tuples cross the queue under a single lock
+//!   acquisition ([`cache`]; metrics still count the paper's logical
+//!   per-tuple activations, see [`activation`]);
 //! * two **consumption strategies** are provided, `Random` (default) and
 //!   `LPT` (longest processing time first) for skewed triggered operations;
 //! * the **scheduler** ([`schedule`]) fixes `ThreadNb`, `QueueNb`,
@@ -37,7 +40,7 @@ pub mod queue;
 pub mod schedule;
 pub mod strategy;
 
-pub use activation::Activation;
+pub use activation::{Activation, TupleBatch};
 pub use cache::OutputCache;
 pub use error::EngineError;
 pub use executor::{ExecutionOutcome, Executor};

@@ -11,11 +11,16 @@ use dbs3_lera::NodeId;
 use std::time::Duration;
 
 /// Metrics of one worker thread of an operation pool.
+///
+/// All activation counters are **logical** (the paper's per-tuple model):
+/// a data activation contributes one count per tuple of its transport batch,
+/// a trigger contributes one. They are therefore invariant under the
+/// `CacheSize` batch granularity and comparable with the simulator's counts.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadMetrics {
     /// Thread index within the pool.
     pub thread: usize,
-    /// Activations consumed.
+    /// Logical activations consumed.
     pub activations: u64,
     /// Output tuples produced.
     pub tuples_out: u64,
@@ -23,9 +28,9 @@ pub struct ThreadMetrics {
     pub busy: Duration,
     /// Number of polls that found no work anywhere.
     pub idle_polls: u64,
-    /// Activations consumed from the thread's main queues.
+    /// Logical activations consumed from the thread's main queues.
     pub main_queue_hits: u64,
-    /// Activations consumed from secondary queues.
+    /// Logical activations consumed from secondary queues.
     pub secondary_queue_hits: u64,
     /// Batch flushes of the producer-side internal cache.
     pub cache_flushes: u64,

@@ -6,8 +6,8 @@ use dbs3_storage::{PartitionedRelation, Tuple};
 use std::sync::Arc;
 
 /// A triggered selection: when instance `i` receives its trigger activation
-/// it scans fragment `i` of the relation and emits the tuples satisfying the
-/// predicate.
+/// it scans fragment `i` of the relation and emits (as one output batch) the
+/// tuples satisfying the predicate.
 #[derive(Debug)]
 pub struct FilterOperator {
     relation: Arc<PartitionedRelation>,
@@ -23,7 +23,7 @@ impl FilterOperator {
         }
     }
 
-    /// Processes one activation for `instance`.
+    /// Processes one activation for `instance`, returning the output batch.
     ///
     /// Data activations are ignored (a filter is always triggered); the
     /// executor never routes them here, but being lenient keeps the operator
@@ -91,7 +91,7 @@ mod tests {
         let pred = Predicate::True.bind("A", rel.schema()).unwrap();
         let op = FilterOperator::new(Arc::clone(&rel), pred);
         let some_tuple = rel.fragments()[0].tuples()[0].clone();
-        assert!(op.process(0, Activation::Data(some_tuple)).is_empty());
+        assert!(op.process(0, Activation::single(some_tuple)).is_empty());
     }
 
     #[test]

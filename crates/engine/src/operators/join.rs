@@ -36,7 +36,7 @@ impl TriggeredJoinOperator {
         }
     }
 
-    /// Processes one activation for `instance`.
+    /// Processes one activation for `instance`, returning the output batch.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
         if !activation.is_trigger() {
             return Vec::new();
@@ -65,14 +65,13 @@ impl TriggeredJoinOperator {
             JoinAlgorithm::Hash | JoinAlgorithm::TempIndex => {
                 // Build a temporary index over the inner fragment, then probe
                 // it with every outer tuple (the paper's "index built on the
-                // fly" configuration behaves the same way).
+                // fly" configuration behaves the same way). The probe is an
+                // allocation-free iterator over the matching bucket.
                 let index = HashIndex::build(inner.tuples(), self.inner_column);
                 let mut out = Vec::new();
                 for o in outer.tuples() {
                     let key = o.value(self.outer_column);
-                    for m in index.probe(inner.tuples(), key) {
-                        out.push(o.concat(m));
-                    }
+                    out.extend(index.probe(inner.tuples(), key).map(|m| o.concat(m)));
                 }
                 out
             }
@@ -80,13 +79,15 @@ impl TriggeredJoinOperator {
     }
 }
 
-/// A pipelined join: each data activation carries one outer tuple, which is
-/// joined against the co-partitioned inner fragment of the receiving
-/// instance (the join of AssocJoin and of the filter–join pipeline).
+/// A pipelined join: each data activation carries a batch of outer tuples,
+/// which are joined against the co-partitioned inner fragment of the
+/// receiving instance (the join of AssocJoin and of the filter–join
+/// pipeline). Probing the whole batch against one inner fragment under a
+/// single activation dispatch is where transport batching pays off.
 #[derive(Debug)]
 pub struct PipelinedJoinOperator {
     inner: Arc<PartitionedRelation>,
-    /// Column of the *incoming* tuple holding the join key.
+    /// Column of the *incoming* tuples holding the join key.
     outer_column: usize,
     /// Column of the inner relation holding the join key.
     inner_column: usize,
@@ -115,32 +116,44 @@ impl PipelinedJoinOperator {
         }
     }
 
-    /// Processes one activation for `instance`.
+    /// Processes one activation for `instance`, returning the output batch.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
-        let outer_tuple = match activation.into_tuple() {
-            Some(t) => t,
+        let batch = match activation.into_batch() {
+            Some(b) => b,
             None => return Vec::new(), // pipelined joins ignore stray triggers
         };
         let inner = self
             .inner
             .fragment(instance)
             .expect("routing always targets an existing inner fragment");
-        let key = outer_tuple.value(self.outer_column);
+        let inner_tuples = inner.tuples();
         match self.algorithm {
-            JoinAlgorithm::NestedLoop => inner
-                .tuples()
-                .iter()
-                .filter(|i| i.value(self.inner_column) == key)
-                .map(|i| outer_tuple.concat(i))
-                .collect(),
+            JoinAlgorithm::NestedLoop => {
+                let mut out = Vec::new();
+                for outer_tuple in &batch {
+                    let key = outer_tuple.value(self.outer_column);
+                    out.extend(
+                        inner_tuples
+                            .iter()
+                            .filter(|i| i.value(self.inner_column) == key)
+                            .map(|i| outer_tuple.concat(i)),
+                    );
+                }
+                out
+            }
             JoinAlgorithm::Hash | JoinAlgorithm::TempIndex => {
                 let index = self.indexes[instance]
-                    .get_or_init(|| HashIndex::build(inner.tuples(), self.inner_column));
-                index
-                    .probe(inner.tuples(), key)
-                    .into_iter()
-                    .map(|i| outer_tuple.concat(i))
-                    .collect()
+                    .get_or_init(|| HashIndex::build(inner_tuples, self.inner_column));
+                let mut out = Vec::new();
+                for outer_tuple in &batch {
+                    let key = outer_tuple.value(self.outer_column);
+                    out.extend(
+                        index
+                            .probe(inner_tuples, key)
+                            .map(|i| outer_tuple.concat(i)),
+                    );
+                }
+                out
             }
         }
     }
@@ -149,6 +162,7 @@ impl PipelinedJoinOperator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activation::TupleBatch;
     use dbs3_storage::{PartitionSpec, Relation, WisconsinConfig, WisconsinGenerator};
 
     fn partitioned(
@@ -225,9 +239,28 @@ mod tests {
             for t in b_rel.tuples() {
                 let h = t.hash_key(&[u1]);
                 let instance = a.spec().fragment_of_hash(h);
-                total += op.process(instance, Activation::Data(t.clone())).len();
+                total += op.process(instance, Activation::single(t.clone())).len();
             }
             assert_eq!(total, expected, "algorithm {algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn batched_probes_match_per_tuple_probes() {
+        let (_, a) = partitioned("A", 200, 4);
+        let u1 = a.schema().column_index("unique1").unwrap();
+        for algorithm in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash] {
+            let op = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, algorithm);
+            // All tuples of fragment 1 probed against themselves, once as
+            // one batch and once tuple by tuple.
+            let probes: Vec<Tuple> = a.fragments()[1].tuples().to_vec();
+            let batched = op.process(1, Activation::Data(TupleBatch::from(probes.clone())));
+            let singles: Vec<Tuple> = probes
+                .iter()
+                .flat_map(|t| op.process(1, Activation::single(t.clone())))
+                .collect();
+            assert_eq!(batched, singles, "algorithm {algorithm:?}");
+            assert_eq!(batched.len(), probes.len(), "unique1 self-join");
         }
     }
 
@@ -238,9 +271,9 @@ mod tests {
         let op = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, JoinAlgorithm::TempIndex);
         // Probing twice must not rebuild (OnceLock gives the same instance).
         let probe = a.fragments()[1].tuples()[0].clone();
-        let _ = op.process(1, Activation::Data(probe.clone()));
+        let _ = op.process(1, Activation::single(probe.clone()));
         let ptr1 = op.indexes[1].get().unwrap() as *const HashIndex;
-        let _ = op.process(1, Activation::Data(probe));
+        let _ = op.process(1, Activation::single(probe));
         let ptr2 = op.indexes[1].get().unwrap() as *const HashIndex;
         assert_eq!(ptr1, ptr2);
     }
@@ -253,7 +286,7 @@ mod tests {
         let triggered =
             TriggeredJoinOperator::new(Arc::clone(&a), Arc::clone(&b), u1, u1, JoinAlgorithm::Hash);
         let some = a.fragments()[0].tuples()[0].clone();
-        assert!(triggered.process(0, Activation::Data(some)).is_empty());
+        assert!(triggered.process(0, Activation::single(some)).is_empty());
         let pipelined = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, JoinAlgorithm::Hash);
         assert!(pipelined.process(0, Activation::Trigger).is_empty());
     }

@@ -36,8 +36,9 @@ pub enum BoundOperator {
 }
 
 impl BoundOperator {
-    /// Processes one activation for `instance`, returning the produced
-    /// tuples (empty for `Store`).
+    /// Processes one transport activation for `instance`, returning the
+    /// produced output batch (empty for `Store`). A data activation's whole
+    /// tuple batch is processed under this single dispatch.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
         match self {
             BoundOperator::Filter(op) => op.process(instance, activation),

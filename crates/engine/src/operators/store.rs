@@ -9,7 +9,8 @@ use std::sync::Arc;
 ///
 /// Result fragments are co-located with the producing join instances
 /// (`Res_i` next to `Join_i` in Figures 2–3), so instance `i` of the store
-/// appends to buffer `i`; no cross-instance locking happens on the hot path.
+/// appends to buffer `i`; a whole incoming batch is appended under one lock
+/// acquisition, and no cross-instance locking happens on the hot path.
 #[derive(Debug)]
 pub struct StoreOperator {
     result_name: String,
@@ -39,13 +40,12 @@ impl StoreOperator {
         self.buffers.len()
     }
 
-    /// Processes one activation for `instance`. Data tuples are appended to
-    /// the instance's result fragment; triggers are ignored.
+    /// Processes one activation for `instance`. A data batch is appended to
+    /// the instance's result fragment in one pass; triggers are ignored.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
-        if let Some(tuple) = activation.into_tuple() {
-            self.buffers[instance % self.buffers.len()]
-                .lock()
-                .push(tuple);
+        if let Some(batch) = activation.into_batch() {
+            let mut buffer = self.buffers[instance % self.buffers.len()].lock();
+            buffer.extend(batch);
         }
         Vec::new()
     }
@@ -74,6 +74,7 @@ impl StoreOperator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activation::TupleBatch;
     use dbs3_storage::tuple::int_tuple;
 
     #[test]
@@ -82,9 +83,11 @@ mod tests {
         assert_eq!(op.result_name(), "Result");
         assert_eq!(op.instance_count(), 4);
         op.process(0, Activation::Trigger);
-        op.process(1, Activation::Data(int_tuple(&[1])));
-        op.process(1, Activation::Data(int_tuple(&[2])));
-        op.process(3, Activation::Data(int_tuple(&[3])));
+        op.process(
+            1,
+            Activation::Data(TupleBatch::from(vec![int_tuple(&[1]), int_tuple(&[2])])),
+        );
+        op.process(3, Activation::single(int_tuple(&[3])));
         assert_eq!(op.stored_count(), 3);
         assert_eq!(op.fragment_counts(), vec![0, 2, 0, 1]);
     }
@@ -92,8 +95,8 @@ mod tests {
     #[test]
     fn take_all_collects_and_empties() {
         let op = StoreOperator::new("Result", 2);
-        op.process(0, Activation::Data(int_tuple(&[1])));
-        op.process(1, Activation::Data(int_tuple(&[2])));
+        op.process(0, Activation::single(int_tuple(&[1])));
+        op.process(1, Activation::single(int_tuple(&[2])));
         let all = op.take_all();
         assert_eq!(all.len(), 2);
         assert_eq!(op.stored_count(), 0);
@@ -103,7 +106,7 @@ mod tests {
     fn zero_instances_clamped_to_one() {
         let op = StoreOperator::new("Result", 0);
         assert_eq!(op.instance_count(), 1);
-        op.process(5, Activation::Data(int_tuple(&[9])));
+        op.process(5, Activation::single(int_tuple(&[9])));
         assert_eq!(op.stored_count(), 1);
     }
 
@@ -115,8 +118,15 @@ mod tests {
             .map(|t| {
                 let op = Arc::clone(&op);
                 thread::spawn(move || {
-                    for i in 0..250 {
-                        op.process((t + i) % 8, Activation::Data(int_tuple(&[i as i64])));
+                    for i in 0..125 {
+                        // Two tuples per batch: 250 stored per thread.
+                        op.process(
+                            (t + i) % 8,
+                            Activation::Data(TupleBatch::from(vec![
+                                int_tuple(&[i as i64]),
+                                int_tuple(&[-(i as i64)]),
+                            ])),
+                        );
                     }
                 })
             })

@@ -4,7 +4,8 @@ use crate::activation::Activation;
 use dbs3_storage::{PartitionedRelation, Tuple};
 use std::sync::Arc;
 
-/// A triggered scan that forwards every tuple of its fragment downstream.
+/// A triggered scan that forwards every tuple of its fragment downstream as
+/// one output batch.
 ///
 /// The *redistribution* itself — deciding which consumer instance each tuple
 /// goes to — is the executor's routing step (hash of the key column), exactly
@@ -21,7 +22,7 @@ impl TransmitOperator {
         TransmitOperator { relation }
     }
 
-    /// Processes one activation for `instance`.
+    /// Processes one activation for `instance`, returning the output batch.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
         if !activation.is_trigger() {
             return Vec::new();
@@ -68,6 +69,6 @@ mod tests {
         );
         let op = TransmitOperator::new(Arc::clone(&part));
         let t = part.fragments()[0].tuples()[0].clone();
-        assert!(op.process(0, Activation::Data(t)).is_empty());
+        assert!(op.process(0, Activation::single(t)).is_empty());
     }
 }

@@ -7,7 +7,17 @@
 //!
 //! Two kinds of queues exist:
 //! * a **triggered** queue receives exactly one control activation;
-//! * a **pipelined** queue receives one data activation per pipelined tuple.
+//! * a **pipelined** queue receives data activations, each carrying a batch
+//!   of pipelined tuples (see [`crate::activation`] for the transport-batch
+//!   vs logical-activation distinction).
+//!
+//! All accounting — the capacity bound, `len`, and the enqueue/dequeue
+//! totals — is in **logical activations** (tuples + triggers), so the
+//! backpressure a query feels is independent of the batch granularity:
+//! `queue_capacity = 1024` always means "at most ~1024 buffered tuples",
+//! whether they arrive as 1024 singleton activations or as 16 batches of 64.
+//! One push/pop of a batch costs one lock acquisition and at most one condvar
+//! wakeup, which is where batching removes the paper's queue interference.
 //!
 //! The queue also records whether it is *closed* (its producers have
 //! terminated): a consumer popping from an empty closed queue knows the
@@ -21,6 +31,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug)]
 struct QueueState {
     buffer: VecDeque<Activation>,
+    /// Logical activations currently buffered (sum of `logical_len`).
+    logical_len: usize,
     closed: bool,
 }
 
@@ -29,16 +41,19 @@ struct QueueState {
 pub struct ActivationQueue {
     /// Instance this queue belongs to (fragment id).
     instance: usize,
-    /// Maximum number of buffered activations before producers block.
+    /// Maximum number of buffered logical activations before producers
+    /// block. A single batch larger than the capacity is still accepted once
+    /// the queue drains below the bound (the queue briefly overfills rather
+    /// than deadlocking).
     capacity: usize,
     /// Static cost estimate of the work behind this queue, used by LPT.
     estimated_cost: f64,
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
-    /// Total activations ever enqueued (metrics).
+    /// Total logical activations ever enqueued (metrics).
     enqueued: AtomicU64,
-    /// Total activations ever dequeued (metrics).
+    /// Total logical activations ever dequeued (metrics).
     dequeued: AtomicU64,
 }
 
@@ -53,6 +68,7 @@ impl ActivationQueue {
             estimated_cost,
             state: Mutex::new(QueueState {
                 buffer: VecDeque::with_capacity(capacity.min(1024)),
+                logical_len: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -72,68 +88,89 @@ impl ActivationQueue {
         self.estimated_cost
     }
 
-    /// Queue capacity.
+    /// Queue capacity in logical activations.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Pushes one activation, blocking while the queue is full.
+    /// Pushes one activation (a trigger or a whole tuple batch), blocking
+    /// while the queue is at capacity.
     ///
     /// Pushing to a closed queue is a logic error in the engine (producers
     /// close queues only after they have all finished producing) and panics.
+    /// Empty data batches are ignored: they carry no logical work.
     pub fn push(&self, activation: Activation) {
+        let logical = activation.logical_len();
+        if logical == 0 {
+            return;
+        }
         let mut state = self.state.lock();
-        while state.buffer.len() >= self.capacity {
+        while state.logical_len >= self.capacity {
             self.not_full.wait(&mut state);
         }
         assert!(!state.closed, "push into a closed activation queue");
         state.buffer.push_back(activation);
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        state.logical_len += logical;
+        self.enqueued.fetch_add(logical as u64, Ordering::Relaxed);
         drop(state);
         self.not_empty.notify_one();
     }
 
-    /// Pushes a batch of activations (the producer-side internal cache
-    /// flushes whole batches to amortise locking).
+    /// Pushes several activations under one lock acquisition, blocking (and
+    /// splitting across acquisitions) whenever the capacity bound is hit.
     pub fn push_batch(&self, batch: Vec<Activation>) {
-        if batch.is_empty() {
-            return;
-        }
-        let mut remaining = batch.into_iter();
-        loop {
+        let mut remaining = batch.into_iter().filter(|a| a.logical_len() > 0).peekable();
+        while remaining.peek().is_some() {
             let mut state = self.state.lock();
-            while state.buffer.len() >= self.capacity {
+            while state.logical_len >= self.capacity {
                 self.not_full.wait(&mut state);
             }
             assert!(!state.closed, "push into a closed activation queue");
-            let room = self.capacity - state.buffer.len();
-            let mut pushed = 0usize;
-            for a in remaining.by_ref().take(room) {
+            let mut pushed = 0u64;
+            // Always accept at least one activation per acquisition, then
+            // keep going while the capacity allows.
+            while let Some(a) =
+                remaining.next_if(|_| pushed == 0 || state.logical_len < self.capacity)
+            {
+                let logical = a.logical_len();
                 state.buffer.push_back(a);
-                pushed += 1;
+                state.logical_len += logical;
+                pushed += logical as u64;
             }
-            self.enqueued.fetch_add(pushed as u64, Ordering::Relaxed);
-            let more = remaining.len() > 0;
+            self.enqueued.fetch_add(pushed, Ordering::Relaxed);
             drop(state);
             self.not_empty.notify_all();
-            if !more {
-                break;
-            }
         }
     }
 
-    /// Attempts to pop up to `max` activations without blocking.
+    /// Attempts to pop activations worth up to `max_logical` logical
+    /// activations without blocking. At least one activation is returned
+    /// when the queue is non-empty, even if its batch alone exceeds the
+    /// budget; popping whole activations keeps batches intact.
     ///
     /// Returns an empty vector when the queue is currently empty (whether or
     /// not it is closed); use [`ActivationQueue::is_exhausted`] to tell the
     /// difference.
-    pub fn try_pop_batch(&self, max: usize) -> Vec<Activation> {
+    pub fn try_pop_batch(&self, max_logical: usize) -> Vec<Activation> {
         let mut state = self.state.lock();
-        let n = state.buffer.len().min(max);
-        let out: Vec<Activation> = state.buffer.drain(..n).collect();
+        let mut out = Vec::new();
+        let mut popped = 0usize;
+        while let Some(front) = state.buffer.front() {
+            let logical = front.logical_len();
+            if !out.is_empty() && popped + logical > max_logical {
+                break;
+            }
+            let a = state.buffer.pop_front().expect("front exists");
+            state.logical_len -= logical;
+            popped += logical;
+            out.push(a);
+            if popped >= max_logical {
+                break;
+            }
+        }
         drop(state);
-        if !out.is_empty() {
-            self.dequeued.fetch_add(out.len() as u64, Ordering::Relaxed);
+        if popped > 0 {
+            self.dequeued.fetch_add(popped as u64, Ordering::Relaxed);
             self.not_full.notify_all();
         }
         out
@@ -145,9 +182,13 @@ impl ActivationQueue {
         let mut state = self.state.lock();
         loop {
             if let Some(a) = state.buffer.pop_front() {
-                self.dequeued.fetch_add(1, Ordering::Relaxed);
+                let logical = a.logical_len();
+                state.logical_len -= logical;
+                self.dequeued.fetch_add(logical as u64, Ordering::Relaxed);
                 drop(state);
-                self.not_full.notify_one();
+                // One popped batch can free many logical slots, so every
+                // blocked producer gets a chance to re-check the capacity.
+                self.not_full.notify_all();
                 return Some(a);
             }
             if state.closed {
@@ -177,9 +218,9 @@ impl ActivationQueue {
         self.state.lock().buffer.is_empty()
     }
 
-    /// Number of buffered activations.
+    /// Number of buffered logical activations.
     pub fn len(&self) -> usize {
-        self.state.lock().buffer.len()
+        self.state.lock().logical_len
     }
 
     /// Whether the queue is closed *and* drained: no work will ever come out
@@ -189,12 +230,12 @@ impl ActivationQueue {
         state.closed && state.buffer.is_empty()
     }
 
-    /// Total activations enqueued over the queue's lifetime.
+    /// Total logical activations enqueued over the queue's lifetime.
     pub fn total_enqueued(&self) -> u64 {
         self.enqueued.load(Ordering::Relaxed)
     }
 
-    /// Total activations dequeued over the queue's lifetime.
+    /// Total logical activations dequeued over the queue's lifetime.
     pub fn total_dequeued(&self) -> u64 {
         self.dequeued.load(Ordering::Relaxed)
     }
@@ -203,6 +244,7 @@ impl ActivationQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activation::TupleBatch;
     use dbs3_storage::tuple::int_tuple;
     use std::sync::Arc;
     use std::thread;
@@ -210,13 +252,14 @@ mod tests {
     #[test]
     fn fifo_order() {
         let q = ActivationQueue::new(0, 16, 0.0);
-        q.push(Activation::Data(int_tuple(&[1])));
-        q.push(Activation::Data(int_tuple(&[2])));
-        q.push(Activation::Data(int_tuple(&[3])));
+        q.push(Activation::single(int_tuple(&[1])));
+        q.push(Activation::single(int_tuple(&[2])));
+        q.push(Activation::single(int_tuple(&[3])));
         let batch = q.try_pop_batch(10);
         let vals: Vec<i64> = batch
             .iter()
-            .map(|a| a.tuple().unwrap().value(0).as_int().unwrap())
+            .flat_map(|a| a.batch().unwrap().iter())
+            .map(|t| t.value(0).as_int().unwrap())
             .collect();
         assert_eq!(vals, vec![1, 2, 3]);
         assert_eq!(q.total_enqueued(), 3);
@@ -224,13 +267,42 @@ mod tests {
     }
 
     #[test]
-    fn try_pop_respects_max() {
+    fn try_pop_respects_logical_budget() {
         let q = ActivationQueue::new(0, 16, 0.0);
         for i in 0..10 {
-            q.push(Activation::Data(int_tuple(&[i])));
+            q.push(Activation::single(int_tuple(&[i])));
         }
         assert_eq!(q.try_pop_batch(3).len(), 3);
         assert_eq!(q.len(), 7);
+    }
+
+    #[test]
+    fn batched_activations_count_logically() {
+        let q = ActivationQueue::new(0, 64, 0.0);
+        q.push(Activation::Data(TupleBatch::from(vec![
+            int_tuple(&[1]),
+            int_tuple(&[2]),
+            int_tuple(&[3]),
+        ])));
+        q.push(Activation::single(int_tuple(&[4])));
+        assert_eq!(q.len(), 4, "logical length counts batched tuples");
+        assert_eq!(q.total_enqueued(), 4);
+        // A budget of 1 still pops the whole first batch (batches stay
+        // intact), but stops before the second activation.
+        let popped = q.try_pop_batch(1);
+        assert_eq!(popped.len(), 1);
+        assert_eq!(popped[0].logical_len(), 3);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.total_dequeued(), 3);
+    }
+
+    #[test]
+    fn empty_data_batches_are_dropped() {
+        let q = ActivationQueue::new(0, 4, 0.0);
+        q.push(Activation::Data(TupleBatch::default()));
+        q.push_batch(vec![Activation::Data(TupleBatch::default())]);
+        assert!(q.is_empty());
+        assert_eq!(q.total_enqueued(), 0);
     }
 
     #[test]
@@ -262,12 +334,33 @@ mod tests {
     }
 
     #[test]
+    fn oversized_batch_is_accepted_once_below_capacity() {
+        let q = Arc::new(ActivationQueue::new(0, 4, 0.0));
+        for _ in 0..4 {
+            q.push(Activation::Trigger);
+        }
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            // 10 tuples > capacity 4: must wait until the queue drops below
+            // capacity, then overfill rather than deadlock.
+            q2.push(Activation::Data(TupleBatch::from(
+                (0..10).map(|i| int_tuple(&[i])).collect::<Vec<_>>(),
+            )));
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 4, "oversized batch still blocked at capacity");
+        assert_eq!(q.try_pop_batch(1).len(), 1);
+        h.join().unwrap();
+        assert_eq!(q.len(), 13, "three triggers plus the whole batch");
+    }
+
+    #[test]
     fn push_batch_larger_than_capacity() {
         let q = Arc::new(ActivationQueue::new(0, 8, 0.0));
         let q2 = Arc::clone(&q);
         let producer = thread::spawn(move || {
             let batch: Vec<Activation> = (0..100)
-                .map(|i| Activation::Data(int_tuple(&[i])))
+                .map(|i| Activation::single(int_tuple(&[i])))
                 .collect();
             q2.push_batch(batch);
         });
@@ -277,7 +370,7 @@ mod tests {
             if batch.is_empty() {
                 thread::yield_now();
             } else {
-                got += batch.len();
+                got += batch.iter().map(Activation::logical_len).sum::<usize>();
             }
         }
         producer.join().unwrap();
@@ -292,8 +385,12 @@ mod tests {
             .map(|p| {
                 let q = Arc::clone(&q);
                 thread::spawn(move || {
-                    for i in 0..500i64 {
-                        q.push(Activation::Data(int_tuple(&[p * 1000 + i])));
+                    for i in 0..250i64 {
+                        // Alternate singleton and two-tuple batches.
+                        q.push(Activation::Data(TupleBatch::from(vec![
+                            int_tuple(&[p * 1000 + 2 * i]),
+                            int_tuple(&[p * 1000 + 2 * i + 1]),
+                        ])));
                     }
                 })
             })
@@ -304,8 +401,8 @@ mod tests {
                 let q = Arc::clone(&q);
                 let consumed = Arc::clone(&consumed);
                 thread::spawn(move || {
-                    while let Some(_a) = q.pop_blocking() {
-                        consumed.fetch_add(1, Ordering::Relaxed);
+                    while let Some(a) = q.pop_blocking() {
+                        consumed.fetch_add(a.logical_len() as u64, Ordering::Relaxed);
                     }
                 })
             })

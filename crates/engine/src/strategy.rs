@@ -67,6 +67,9 @@ pub struct QueueSelector {
     secondary: Vec<usize>,
     strategy: ConsumptionStrategy,
     rng: StdRng,
+    /// Reused visit-order buffer, so the per-poll shuffle of the `Random`
+    /// strategy never allocates on the hot path.
+    scratch: Vec<usize>,
 }
 
 impl QueueSelector {
@@ -89,6 +92,7 @@ impl QueueSelector {
             secondary,
             strategy,
             rng: StdRng::seed_from_u64(rng_seed),
+            scratch: Vec::new(),
         };
         selector.apply_static_order();
         selector
@@ -121,7 +125,9 @@ impl QueueSelector {
         &self.secondary
     }
 
-    /// Selects the next queue to consume from and pops up to `batch` // activations from it.
+    /// Selects the next queue to consume from and pops activations worth up
+    /// to `batch` *logical* activations from it (whole transport batches, at
+    /// least one).
     ///
     /// Main queues are always considered before secondary queues. Within each
     /// group the strategy decides the visiting order: `Random` shuffles the
@@ -134,22 +140,19 @@ impl QueueSelector {
     ) -> Option<(usize, Vec<crate::activation::Activation>)> {
         // Visit main queues first, then secondary queues.
         for group in 0..2 {
-            let order: Vec<usize> = {
-                let candidates = if group == 0 {
-                    &self.main
-                } else {
-                    &self.secondary
-                };
-                match self.strategy {
-                    ConsumptionStrategy::Lpt => candidates.clone(),
-                    ConsumptionStrategy::Random => {
-                        let mut shuffled = candidates.clone();
-                        shuffled.shuffle(&mut self.rng);
-                        shuffled
-                    }
-                }
+            let candidates = if group == 0 {
+                &self.main
+            } else {
+                &self.secondary
             };
-            for q in order {
+            // Build the visit order in the reused scratch buffer: LPT keeps
+            // the static cost order, Random reshuffles each poll.
+            self.scratch.clone_from(candidates);
+            if self.strategy == ConsumptionStrategy::Random {
+                self.scratch.shuffle(&mut self.rng);
+            }
+            for i in 0..self.scratch.len() {
+                let q = self.scratch[i];
                 let popped = self.queues[q].try_pop_batch(batch);
                 if !popped.is_empty() {
                     return Some((q, popped));
@@ -210,8 +213,8 @@ mod tests {
     fn main_queues_are_preferred() {
         let queues = make_queues(&[1.0, 1.0, 1.0, 1.0]);
         // Put one activation in a main queue (0) and one in a secondary (3).
-        queues[0].push(Activation::Data(int_tuple(&[0])));
-        queues[3].push(Activation::Data(int_tuple(&[3])));
+        queues[0].push(Activation::single(int_tuple(&[0])));
+        queues[3].push(Activation::single(int_tuple(&[3])));
         let mut sel =
             QueueSelector::new(queues.clone(), vec![0, 1], ConsumptionStrategy::Random, 1);
         let (q, _) = sel.select_and_pop(8).unwrap();

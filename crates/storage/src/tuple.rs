@@ -7,66 +7,94 @@ use std::sync::Arc;
 /// A tuple: an immutable, cheaply clonable row of values.
 ///
 /// Tuple activations are the unit of work of pipelined operations in DBS3:
-/// every tuple produced by a filter is sent as one activation to a join
-/// instance. The execution engine therefore clones tuples when it enqueues
-/// them, so the values are stored behind an `Arc` and a clone is a pointer
-/// copy.
+/// every tuple produced by a filter is sent (inside a transport batch) to a
+/// join instance. The execution engine therefore clones tuples when it
+/// enqueues them, so the values are stored behind an `Arc` and a clone is a
+/// pointer copy.
+///
+/// The values live in a single `Arc<[Value]>` allocation — one refcount
+/// header directly followed by the value slice — instead of the classic
+/// `Arc<Vec<Value>>`: the stored form is one heap block instead of two, and
+/// every column access saves a pointer chase. Construction moves the values
+/// through a transient exact-size buffer into that block; cloning allocates
+/// nothing.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
-    values: Arc<Vec<Value>>,
+    values: Arc<[Value]>,
 }
 
 impl Tuple {
     /// Creates a tuple from values.
+    #[inline]
     pub fn new(values: Vec<Value>) -> Self {
         Tuple {
-            values: Arc::new(values),
+            values: values.into(),
         }
     }
 
     /// Number of values.
+    #[inline]
     pub fn arity(&self) -> usize {
         self.values.len()
     }
 
     /// The values in column order.
+    #[inline]
     pub fn values(&self) -> &[Value] {
         &self.values
     }
 
     /// Value at a column index (panics if out of range; callers validate
     /// column indexes against the schema once, at plan-build time).
+    #[inline]
     pub fn value(&self, index: usize) -> &Value {
         &self.values[index]
     }
 
     /// Value at a column index without panicking.
+    #[inline]
     pub fn get(&self, index: usize) -> Option<&Value> {
         self.values.get(index)
     }
 
     /// Concatenates two tuples (join result construction).
+    ///
+    /// Collects from an exact-length iterator, so every buffer on the way
+    /// to the shared slice is sized exactly once — no growth reallocations
+    /// in the join's per-match path.
+    #[inline]
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut values = Vec::with_capacity(self.arity() + other.arity());
-        values.extend_from_slice(self.values());
-        values.extend_from_slice(other.values());
-        Tuple::new(values)
+        Tuple {
+            values: self
+                .values
+                .iter()
+                .chain(other.values.iter())
+                .cloned()
+                .collect(),
+        }
     }
 
-    /// Projects the tuple onto the given column indexes.
+    /// Projects the tuple onto the given column indexes (exact-length
+    /// collect, no growth reallocations).
+    #[inline]
     pub fn project(&self, indexes: &[usize]) -> Tuple {
-        Tuple::new(indexes.iter().map(|&i| self.values[i].clone()).collect())
+        Tuple {
+            values: indexes.iter().map(|&i| self.values[i].clone()).collect(),
+        }
     }
 
     /// Deterministic hash of the values at `key_indexes`, used for
     /// partitioning and redistribution.
+    #[inline]
     pub fn hash_key(&self, key_indexes: &[usize]) -> u64 {
         stable_hash_values(key_indexes.iter().map(|&i| &self.values[i]))
     }
 
-    /// Approximate in-memory size in bytes (used by the Allcache model).
+    /// Approximate in-memory size in bytes (used by the Allcache model):
+    /// the `Arc<[Value]>` header (two reference counts) plus the inline
+    /// value slots plus the out-of-line string bytes each value reports.
     pub fn approximate_size(&self) -> usize {
-        let header = 24; // Arc + vec header, rounded
+        let header = 16; // Arc strong + weak counts preceding the slice
         header
             + self
                 .values
@@ -152,5 +180,17 @@ mod tests {
     #[test]
     fn approximate_size_grows_with_arity() {
         assert!(int_tuple(&[1, 2, 3]).approximate_size() > int_tuple(&[1]).approximate_size());
+    }
+
+    #[test]
+    fn approximate_size_reflects_single_allocation_representation() {
+        // Arc<[Value]> header (16) + one 8-byte int slot.
+        assert_eq!(int_tuple(&[1]).approximate_size(), 16 + 8);
+        // Strings add their own Arc<str> header + bytes on top of the slot.
+        let t = Tuple::new(vec![Value::Int(1), Value::from("ABCD")]);
+        assert_eq!(
+            t.approximate_size(),
+            16 + 8 + Value::from("ABCD").approximate_size()
+        );
     }
 }

@@ -8,16 +8,21 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A single column value.
+///
+/// Strings are stored behind `Arc<str>` so cloning a value — which the
+/// engine does for every tuple it projects, concatenates or re-partitions —
+/// is a pointer copy instead of a heap allocation plus memcpy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// 64-bit signed integer (the Wisconsin attributes are all small
     /// non-negative integers, but intermediate expressions may go negative).
     Int(i64),
     /// Variable-length string (the Wisconsin `stringu1`/`stringu2`/`string4`
-    /// attributes).
-    Str(String),
+    /// attributes), shared on clone.
+    Str(Arc<str>),
 }
 
 impl Value {
@@ -33,7 +38,7 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Int(_) => None,
-            Value::Str(s) => Some(s.as_str()),
+            Value::Str(s) => Some(s),
         }
     }
 
@@ -48,11 +53,13 @@ impl Value {
     /// Approximate in-memory size of the value in bytes.
     ///
     /// Used by the Allcache simulator to account for the bytes a fragment
-    /// occupies in a processor's local cache.
+    /// occupies in a processor's local cache. A string is one shared
+    /// `Arc<str>` allocation: a 16-byte reference-count header plus the
+    /// bytes themselves.
     pub fn approximate_size(&self) -> usize {
         match self {
             Value::Int(_) => 8,
-            Value::Str(s) => 24 + s.len(),
+            Value::Str(s) => 16 + s.len(),
         }
     }
 
@@ -101,12 +108,18 @@ impl From<i32> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::Str(Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
         Value::Str(s)
     }
 }
@@ -219,6 +232,16 @@ mod tests {
     fn approximate_size_accounts_for_string_length() {
         assert_eq!(Value::Int(1).approximate_size(), 8);
         assert!(Value::from("ABCDEFGH").approximate_size() > Value::from("AB").approximate_size());
+    }
+
+    #[test]
+    fn cloning_a_string_value_shares_the_allocation() {
+        let v = Value::from("BAAAAAAX");
+        let c = v.clone();
+        match (&v, &c) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!("both values are strings"),
+        }
     }
 
     #[test]

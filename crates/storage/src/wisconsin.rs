@@ -168,9 +168,9 @@ impl WisconsinGenerator {
                     Value::Int(u1),
                     Value::Int(one_percent * 2),
                     Value::Int(one_percent * 2 + 1),
-                    Value::Str(wisconsin_string(u1 as u64, config.string_len)),
-                    Value::Str(wisconsin_string(unique2 as u64, config.string_len)),
-                    Value::Str(string4(unique2 as usize, config.string_len)),
+                    Value::from(wisconsin_string(u1 as u64, config.string_len)),
+                    Value::from(wisconsin_string(unique2 as u64, config.string_len)),
+                    Value::from(string4(unique2 as usize, config.string_len)),
                 ]);
             }
             relation.insert_unchecked(Tuple::new(values));

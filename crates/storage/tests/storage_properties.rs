@@ -134,7 +134,7 @@ proptest! {
     ) {
         let rel = relation_from_rows(&rows);
         let idx = HashIndex::build_for_relation(&rel, 0);
-        let via_index: usize = idx.probe(rel.tuples(), &Value::Int(probe)).len();
+        let via_index: usize = idx.probe(rel.tuples(), &Value::Int(probe)).count();
         let via_scan = rel
             .tuples()
             .iter()
