@@ -71,12 +71,16 @@ pub fn run_baseline(scale: ExperimentScale) -> Vec<BaselineRun> {
 }
 
 /// Measures one (plan, threads) configuration, keeping the best repetition.
+/// Results are discarded (counting stores): the baseline tracks engine
+/// overhead, and materialising a 20K-tuple `Vec` per run would only add
+/// allocator noise to the signal.
 fn measure(session: &Session, plan: &Plan, shape: &'static str, threads: usize) -> BaselineRun {
     let mut best: Option<BaselineRun> = None;
     for _ in 0..REPETITIONS {
         let outcome = session
             .query(plan)
             .threads(threads)
+            .discard_results()
             .run()
             .expect("baseline plans execute on any thread count");
         let run = BaselineRun {
@@ -111,10 +115,17 @@ pub fn without_reference(doc: &str) -> String {
 /// Serialises baseline rows as the `BENCH_engine.json` document.
 ///
 /// The format is intentionally flat so future PRs can diff it textually:
-/// one object per configuration under `"runs"`, plus the scale it was
-/// measured at. `reference` optionally carries the previous baseline forward
-/// (the before/after record of a perf PR).
-pub fn to_json(scale: ExperimentScale, runs: &[BaselineRun], reference: Option<&str>) -> String {
+/// one object per configuration under `"runs"`, one per concurrency level
+/// under `"concurrent"` (the multi-query throughput shape of the shared
+/// [`dbs3::Runtime`] pool), plus the scale it was measured at. `reference`
+/// optionally carries the previous baseline forward (the before/after
+/// record of a perf PR).
+pub fn to_json(
+    scale: ExperimentScale,
+    runs: &[BaselineRun],
+    concurrent: &[crate::concurrent::ConcurrentRun],
+    reference: Option<&str>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema_version\": 1,\n");
     out.push_str(
@@ -143,6 +154,24 @@ pub fn to_json(scale: ExperimentScale, runs: &[BaselineRun], reference: Option<&
         ));
     }
     out.push_str("  ]");
+    if !concurrent.is_empty() {
+        out.push_str(",\n  \"concurrent\": [\n");
+        for (i, c) in concurrent.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"pool_threads\": {}, \"queries\": {}, \
+                 \"elapsed_s\": {:.6}, \"total_logical_activations\": {}, \
+                 \"aggregate_activations_per_second\": {:.1}}}{}\n",
+                c.workload,
+                c.pool_threads,
+                c.queries,
+                c.elapsed_s,
+                c.total_logical_activations,
+                c.aggregate_activations_per_second,
+                if i + 1 < concurrent.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]");
+    }
     if let Some(reference) = reference {
         out.push_str(",\n  \"reference\": ");
         out.push_str(reference.trim_end());
@@ -178,7 +207,7 @@ mod tests {
 
     #[test]
     fn json_has_one_object_per_run_and_balanced_braces() {
-        let json = to_json(ExperimentScale::Smoke, &sample_runs(), None);
+        let json = to_json(ExperimentScale::Smoke, &sample_runs(), &[], None);
         assert_eq!(json.matches("\"shape\"").count(), 2);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -190,8 +219,8 @@ mod tests {
     #[test]
     fn json_embeds_reference_document() {
         let runs = sample_runs();
-        let previous = to_json(ExperimentScale::Paper, &runs[..1], None);
-        let json = to_json(ExperimentScale::Paper, &runs, Some(&previous));
+        let previous = to_json(ExperimentScale::Paper, &runs[..1], &[], None);
+        let json = to_json(ExperimentScale::Paper, &runs, &[], Some(&previous));
         assert!(json.contains("\"reference\": {"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches("\"schema_version\"").count(), 2);
@@ -200,21 +229,48 @@ mod tests {
     #[test]
     fn without_reference_round_trips() {
         let runs = sample_runs();
-        let bare = to_json(ExperimentScale::Paper, &runs, None);
+        let bare = to_json(ExperimentScale::Paper, &runs, &[], None);
         // A document without a reference passes through untouched.
         assert_eq!(without_reference(&bare), bare);
         // Regenerating drops exactly the old nested reference, so chaining
         // emissions never accumulates history.
-        let older = to_json(ExperimentScale::Paper, &runs[..1], None);
-        let with_ref = to_json(ExperimentScale::Paper, &runs, Some(&older));
+        let older = to_json(ExperimentScale::Paper, &runs[..1], &[], None);
+        let with_ref = to_json(ExperimentScale::Paper, &runs, &[], Some(&older));
         assert_eq!(without_reference(&with_ref), bare);
         let chained = to_json(
             ExperimentScale::Paper,
             &runs,
+            &[],
             Some(&without_reference(&with_ref)),
         );
         assert_eq!(chained.matches("\"schema_version\"").count(), 2);
         assert_eq!(chained.matches('{').count(), chained.matches('}').count());
+    }
+
+    #[test]
+    fn json_includes_concurrent_section_and_reference_stripping_survives_it() {
+        let concurrent = vec![crate::concurrent::ConcurrentRun {
+            workload: "fig14_assoc_join",
+            pool_threads: 4,
+            queries: 16,
+            elapsed_s: 0.5,
+            total_logical_activations: 643_200,
+            aggregate_activations_per_second: 1_286_400.0,
+            cardinalities: vec![20_000; 16],
+        }];
+        let json = to_json(ExperimentScale::Paper, &sample_runs(), &concurrent, None);
+        assert!(json.contains("\"concurrent\": ["));
+        assert!(json.contains("\"queries\": 16"));
+        assert!(json.contains("\"aggregate_activations_per_second\": 1286400.0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let with_ref = to_json(
+            ExperimentScale::Paper,
+            &sample_runs(),
+            &concurrent,
+            Some(&json),
+        );
+        assert_eq!(without_reference(&with_ref), json);
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //! ```
 //!
 //! Measures the fig14 (AssocJoin, pipelined) and fig15 (IdealJoin, triggered)
-//! hash-join shapes on the threaded engine at 1/4/8 threads and writes one
-//! JSON document, so perf PRs have a recorded before/after: when the output
-//! file already exists, its measurement is carried forward under
-//! `"reference"` (with any older nested reference dropped). The emitted file
-//! is re-read and sanity-checked so a truncated write fails loudly (the CI
-//! smoke step relies on a non-zero exit here).
+//! hash-join shapes on the threaded engine at 1/4/8 threads, plus the
+//! multi-query shape — fig14 at 1/4/16 concurrent queries on a shared
+//! 4-worker `Runtime` pool — and writes one JSON document, so perf PRs have
+//! a recorded before/after: when the output file already exists, its
+//! measurement is carried forward under `"reference"` (with any older
+//! nested reference dropped). The emitted file is re-read and
+//! sanity-checked so a truncated write fails loudly (the CI smoke step
+//! relies on a non-zero exit here).
 
 use dbs3_bench::baseline::{run_baseline, to_json, without_reference, BASELINE_THREADS};
+use dbs3_bench::concurrent::{run_concurrent_baseline, CONCURRENT_QUERIES};
 use dbs3_bench::ExperimentScale;
 
 fn main() {
@@ -54,7 +57,15 @@ fn main() {
             r.shape, r.threads, r.elapsed_s, r.tuples_per_second
         );
     }
-    let json = to_json(scale, &runs, reference.as_deref());
+    eprintln!("# measuring multi-query baseline (shared pool, queries {CONCURRENT_QUERIES:?})...");
+    let concurrent = run_concurrent_baseline(scale, 3);
+    for c in &concurrent {
+        eprintln!(
+            "#   {:<18} pool={} queries={:<2} elapsed={:.4}s aggregate acts/s={:.0}",
+            c.workload, c.pool_threads, c.queries, c.elapsed_s, c.aggregate_activations_per_second
+        );
+    }
+    let json = to_json(scale, &runs, &concurrent, reference.as_deref());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -66,13 +77,19 @@ fn main() {
     let written = std::fs::read_to_string(&out_path).unwrap_or_default();
     let expected_runs = 2 * BASELINE_THREADS.len();
     let shapes = written.matches("\"shape\"").count();
+    let workloads = written.matches("\"workload\"").count();
     if shapes == 0
         || shapes % expected_runs != 0
+        || workloads == 0
+        || workloads % CONCURRENT_QUERIES.len() != 0
         || written.matches('{').count() != written.matches('}').count()
         || !written.trim_end().ends_with('}')
     {
         eprintln!("error: {out_path} is malformed");
         std::process::exit(1);
     }
-    eprintln!("# wrote {out_path} ({expected_runs} runs)");
+    eprintln!(
+        "# wrote {out_path} ({expected_runs} runs, {} concurrency levels)",
+        CONCURRENT_QUERIES.len()
+    );
 }

@@ -1,0 +1,165 @@
+//! Concurrent multi-query workloads on a shared [`Runtime`] pool.
+//!
+//! The paper evaluates one query at a time; the runtime's reason to exist
+//! is many queries sharing one pool. This module measures that shape: `N`
+//! identical queries submitted concurrently to a `Runtime` of `P` workers,
+//! waited to completion, and summarised as **aggregate logical activations
+//! per second** — the multi-query counterpart of the single-query
+//! `tuples_per_second` the engine baseline records. Queries run with
+//! `discard_results()` (cardinalities and metrics only), so the measurement
+//! tracks engine scheduling cost, not result materialisation.
+//!
+//! The same harness backs the `concurrent` binary (the CI stress gate: a
+//! deadlocked or livelocked pool fails by timeout instead of hanging the
+//! build) and the `concurrent` section of `BENCH_engine.json`.
+
+use dbs3::prelude::*;
+use std::time::Instant;
+
+/// One measured concurrent-workload configuration.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRun {
+    /// Workload identifier (the plan shape all queries share).
+    pub workload: &'static str,
+    /// Number of worker threads in the shared pool.
+    pub pool_threads: usize,
+    /// Number of concurrently submitted queries.
+    pub queries: usize,
+    /// Wall-clock time from first submit to last completion, in seconds.
+    pub elapsed_s: f64,
+    /// Logical activations consumed across all queries and operations.
+    pub total_logical_activations: u64,
+    /// `total_logical_activations / elapsed_s` — the aggregate throughput
+    /// of the pool under this concurrency level.
+    pub aggregate_activations_per_second: f64,
+    /// Result cardinality of each query, in submission order (for
+    /// verification against a sequential run).
+    pub cardinalities: Vec<usize>,
+}
+
+/// Submits `queries` copies of `plan` to one fresh [`Runtime`] of
+/// `pool_threads` workers, waits for all of them and returns the aggregate
+/// measurement.
+pub fn run_concurrent(
+    session: &Session,
+    plan: &Plan,
+    workload: &'static str,
+    pool_threads: usize,
+    queries: usize,
+) -> dbs3::Result<ConcurrentRun> {
+    let runtime = Runtime::new(pool_threads)?;
+    let started = Instant::now();
+    let handles: Vec<QueryHandle> = (0..queries)
+        .map(|_| {
+            session
+                .query(plan)
+                .threads(pool_threads)
+                .discard_results()
+                .submit(&runtime)
+        })
+        .collect::<dbs3::Result<Vec<_>>>()?;
+    let outcomes: Vec<QueryOutcome> = handles
+        .into_iter()
+        .map(QueryHandle::wait)
+        .collect::<dbs3::Result<Vec<_>>>()?;
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let total_logical_activations: u64 =
+        outcomes.iter().map(|o| o.metrics.total_activations()).sum();
+    let cardinalities: Vec<usize> = outcomes
+        .iter()
+        .map(|o| o.result_cardinality("Result").unwrap_or(0))
+        .collect();
+    let aggregate_activations_per_second = if elapsed_s > 0.0 {
+        total_logical_activations as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    Ok(ConcurrentRun {
+        workload,
+        pool_threads,
+        queries,
+        elapsed_s,
+        total_logical_activations,
+        aggregate_activations_per_second,
+        cardinalities,
+    })
+}
+
+/// Concurrency levels the multi-query baseline is measured at.
+pub const CONCURRENT_QUERIES: [usize; 3] = [1, 4, 16];
+
+/// Pool width of the multi-query baseline.
+pub const CONCURRENT_POOL_THREADS: usize = 4;
+
+/// Measures the multi-query throughput shape of `BENCH_engine.json`: the
+/// fig14 AssocJoin (hash) workload at 1, 4 and 16 concurrent queries on a
+/// 4-worker pool, best of `repetitions` per level.
+pub fn run_concurrent_baseline(
+    scale: crate::ExperimentScale,
+    repetitions: usize,
+) -> Vec<ConcurrentRun> {
+    let db = crate::JoinDatabase::generate(scale.cardinality(200_000), scale.cardinality(20_000));
+    let session = db.session(scale.degree(200), 0.0);
+    let plan = dbs3_lera::plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+    CONCURRENT_QUERIES
+        .iter()
+        .map(|&queries| {
+            let mut best: Option<ConcurrentRun> = None;
+            for _ in 0..repetitions.max(1) {
+                let run = run_concurrent(
+                    &session,
+                    &plan,
+                    "fig14_assoc_join",
+                    CONCURRENT_POOL_THREADS,
+                    queries,
+                )
+                .expect("baseline workload executes on the shared pool");
+                if best.as_ref().is_none_or(|b| run.elapsed_s < b.elapsed_s) {
+                    best = Some(run);
+                }
+            }
+            best.expect("at least one repetition ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExperimentScale, JoinDatabase};
+
+    #[test]
+    fn concurrent_runs_match_the_sequential_cardinality() {
+        let db = JoinDatabase::generate(2_000, 200);
+        let session = db.session(16, 0.0);
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+        let sequential = session
+            .query(&plan)
+            .threads(4)
+            .discard_results()
+            .run()
+            .unwrap()
+            .result_cardinality("Result")
+            .unwrap();
+        let run = run_concurrent(&session, &plan, "test", 4, 8).unwrap();
+        assert_eq!(run.queries, 8);
+        assert_eq!(run.cardinalities.len(), 8);
+        assert!(run.cardinalities.iter().all(|&c| c == sequential));
+        assert!(run.elapsed_s > 0.0);
+        assert!(run.aggregate_activations_per_second > 0.0);
+    }
+
+    #[test]
+    fn smoke_concurrent_baseline_covers_every_level() {
+        let runs = run_concurrent_baseline(ExperimentScale::Smoke, 1);
+        assert_eq!(runs.len(), CONCURRENT_QUERIES.len());
+        for (run, &queries) in runs.iter().zip(&CONCURRENT_QUERIES) {
+            assert_eq!(run.queries, queries);
+            assert_eq!(run.pool_threads, CONCURRENT_POOL_THREADS);
+            assert!(run.total_logical_activations > 0);
+            let first = run.cardinalities[0];
+            assert!(run.cardinalities.iter().all(|&c| c == first));
+        }
+    }
+}

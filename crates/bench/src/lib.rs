@@ -17,6 +17,7 @@
 //! comparison of every figure.
 
 pub mod baseline;
+pub mod concurrent;
 pub mod data;
 pub mod experiments;
 

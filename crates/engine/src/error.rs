@@ -21,6 +21,15 @@ pub enum EngineError {
     /// The executor was asked to run a plan with no store operator, so there
     /// is nowhere to put the result.
     NoStoreOperator,
+    /// The query was cancelled through its
+    /// [`QueryHandle`](crate::runtime::QueryHandle) before it completed.
+    QueryCancelled { query: u64 },
+    /// The [`Runtime`](crate::runtime::Runtime) was shut down (dropped) while
+    /// the query was still in flight.
+    RuntimeShutdown,
+    /// The query outcome was already taken from its handle (a second
+    /// `wait()` after a successful `try_outcome()`).
+    OutcomeTaken,
 }
 
 impl fmt::Display for EngineError {
@@ -38,6 +47,15 @@ impl fmt::Display for EngineError {
             }
             EngineError::NoStoreOperator => {
                 write!(f, "plan has no store operator; results would be lost")
+            }
+            EngineError::QueryCancelled { query } => {
+                write!(f, "query {query} was cancelled")
+            }
+            EngineError::RuntimeShutdown => {
+                write!(f, "the runtime was shut down before the query completed")
+            }
+            EngineError::OutcomeTaken => {
+                write!(f, "the query outcome was already taken from the handle")
             }
         }
     }
@@ -70,6 +88,11 @@ mod tests {
         assert!(EngineError::InvalidSchedule("x".into())
             .to_string()
             .contains('x'));
+        assert!(EngineError::QueryCancelled { query: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(EngineError::RuntimeShutdown.to_string().contains("shut"));
+        assert!(EngineError::OutcomeTaken.to_string().contains("taken"));
     }
 
     #[test]

@@ -1,102 +1,42 @@
-//! The parallel executor: thread pools consuming activation queues.
+//! The blocking single-query executor: a thin wrapper over the shared-pool
+//! [`Runtime`].
 //!
-//! The executor turns an extended plan into the runtime structure of
-//! Figure 4 — one activation queue per operation instance, one pool of
-//! threads per operation — and runs it with real OS threads:
+//! Historically this module owned the whole parallel execution: it spawned
+//! one scoped OS thread pool per *operation* and joined them all at the end
+//! of every query. That inverted the paper's model at the API boundary —
+//! DBS3 keeps a fixed pool alive and schedules *activations*, not threads.
+//! Execution now lives in [`crate::runtime`]: [`Executor::execute`] builds
+//! the query exactly as before (bind operators, create one activation queue
+//! per operation instance, inject triggers), hands it to a transient
+//! [`Runtime`] sized to the schedule's total
+//! thread count, and blocks on the query's completion. Semantics are
+//! unchanged — same results, same logical activation counts, same
+//! per-operation metrics shape — while the execution machinery (condvar
+//! parking, cooperative backpressure, cancellation) is shared with the
+//! persistent multi-query runtime.
 //!
-//! 1. operators are *bound*: relation names become `Arc<PartitionedRelation>`
-//!    fragments, predicate columns become indexes;
-//! 2. triggered operations get one control activation per queue and their
-//!    queues are closed immediately (no more activations will ever arrive);
-//! 3. every pool's threads repeatedly select a queue (main queues first,
-//!    then secondary, ordered by the pool's consumption strategy), pop a
-//!    batch of activations, execute the operator's database function on each
-//!    whole tuple batch, and scatter the produced output batch to the
-//!    consumer operation's queues through a producer-side internal cache
-//!    that flushes `CacheSize`-tuple transport batches (metrics still count
-//!    the paper's logical per-tuple activations, see [`crate::activation`]);
-//! 4. when the last thread of a producer pool terminates it closes the
-//!    consumer's queues, which lets the consumer's threads terminate once
-//!    they have drained them — termination cascades down the pipeline.
+//! Callers that want the pool to outlive one query use
+//! [`Runtime`] directly (or the facade's
+//! `Backend::Pooled` / `Query::submit`).
 
-use crate::activation::Activation;
-use crate::cache::OutputCache;
-use crate::error::EngineError;
-use crate::metrics::{ExecutionMetrics, OperationMetrics, ThreadMetrics};
-use crate::operators::{
-    BoundOperator, FilterOperator, PipelinedJoinOperator, StoreOperator, TransmitOperator,
-    TriggeredJoinOperator,
-};
-use crate::queue::ActivationQueue;
+use crate::metrics::ExecutionMetrics;
+use crate::runtime::Runtime;
 use crate::schedule::ExecutionSchedule;
-use crate::strategy::{main_queue_assignment, QueueSelector};
 use crate::Result;
-use dbs3_lera::{CostParameters, ExtendedPlan, OperatorKind, OuterInput, Plan};
+use dbs3_lera::{CostParameters, Plan};
 use dbs3_storage::{Catalog, Tuple};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// How data activations produced by one operation find the consumer
-/// instance's queue.
-#[derive(Debug, Clone)]
-enum Router {
-    /// Hash the given column of the produced tuple over the consumer's
-    /// degree — this is the dynamic redistribution of `Transmit`/pipelined
-    /// joins, and it matches the static partitioning function exactly.
-    HashColumn { column: usize, degree: usize },
-    /// Keep the producing instance (result fragments are co-located with the
-    /// producing join instances).
-    SameInstance,
-}
-
-impl Router {
-    /// Scatters a whole output batch into the per-destination buffers of the
-    /// producer's internal cache in one pass. `HashColumn` hashes each tuple
-    /// to its consumer instance (the dynamic redistribution); `SameInstance`
-    /// moves the entire batch to the co-located instance without touching a
-    /// single tuple.
-    fn scatter(&self, producing_instance: usize, batch: Vec<Tuple>, cache: &mut OutputCache) {
-        match self {
-            Router::HashColumn { column, degree } => {
-                let key = [*column];
-                for tuple in batch {
-                    let target = (tuple.hash_key(&key) % *degree as u64) as usize;
-                    cache.produce(target, tuple);
-                }
-            }
-            Router::SameInstance => cache.produce_all(producing_instance, batch),
-        }
-    }
-}
-
-/// A link from a producer operation to its consumer.
-#[derive(Debug, Clone)]
-struct ConsumerLink {
-    consumer_index: usize,
-    router: Router,
-}
-
-/// Runtime state of one operation.
-struct OperationRuntime {
-    node: dbs3_lera::NodeId,
-    name: String,
-    operator: Arc<BoundOperator>,
-    queues: Vec<Arc<ActivationQueue>>,
-    schedule: crate::schedule::OperationSchedule,
-    consumer: Option<ConsumerLink>,
-    /// Number of producer threads that have not terminated yet; when it
-    /// reaches zero this operation's queues are closed. Triggered operations
-    /// start at zero (their queues are closed right after trigger injection).
-    open_producers: Arc<AtomicUsize>,
-}
 
 /// The result of a query execution.
 #[derive(Debug)]
 pub struct ExecutionOutcome {
     /// Materialised results, keyed by the store operator's result name.
+    /// Empty per store when the schedule discards results
+    /// ([`ExecutionSchedule::discard_results`]).
     pub results: BTreeMap<String, Vec<Tuple>>,
+    /// Exact result cardinality per store name, filled in every mode —
+    /// counting stores tally tuples they never materialise.
+    pub cardinalities: BTreeMap<String, usize>,
     /// Execution metrics.
     pub metrics: ExecutionMetrics,
 }
@@ -112,7 +52,7 @@ impl ExecutionOutcome {
     }
 }
 
-/// Executes plans against a catalog.
+/// Executes plans against a catalog, blocking until completion.
 #[derive(Debug)]
 pub struct Executor<'a> {
     catalog: &'a Catalog,
@@ -138,335 +78,17 @@ impl<'a> Executor<'a> {
 
     /// Executes `plan` under `schedule` and returns the materialised results
     /// and metrics.
+    ///
+    /// The worker pool is transient — spawned for this call with the
+    /// schedule's total thread count and torn down on return — which keeps
+    /// the historical "`n` scheduled threads = `n` OS threads" contract.
     pub fn execute(&self, plan: &Plan, schedule: &ExecutionSchedule) -> Result<ExecutionOutcome> {
-        let extended = ExtendedPlan::from_plan(plan, self.catalog, &self.cost_params)?;
         schedule.validate(plan)?;
-        if !plan
-            .nodes()
-            .iter()
-            .any(|n| matches!(n.kind, OperatorKind::Store { .. }))
-        {
-            return Err(EngineError::NoStoreOperator);
-        }
-
-        let order = plan.topological_order()?;
-        let mut runtimes: Vec<OperationRuntime> = Vec::with_capacity(plan.len());
-        let mut index_of: BTreeMap<dbs3_lera::NodeId, usize> = BTreeMap::new();
-        let mut stores: Vec<(String, Arc<BoundOperator>)> = Vec::new();
-
-        // Bind operators and create queues, producers before consumers.
-        for id in &order {
-            let node = plan.node(*id)?;
-            let ext_op = extended
-                .operation(*id)
-                .expect("extended plan covers every node");
-            let op_schedule = schedule.operation(*id)?;
-
-            let operator = Arc::new(self.bind_operator(plan, node, ext_op.instance_count())?);
-            if let OperatorKind::Store { result_name } = &node.kind {
-                stores.push((result_name.clone(), Arc::clone(&operator)));
-            }
-
-            let queues: Vec<Arc<ActivationQueue>> = ext_op
-                .instances()
-                .iter()
-                .map(|info| {
-                    Arc::new(ActivationQueue::new(
-                        info.instance,
-                        op_schedule.queue_capacity,
-                        info.estimated_cost,
-                    ))
-                })
-                .collect();
-
-            index_of.insert(*id, runtimes.len());
-            runtimes.push(OperationRuntime {
-                node: *id,
-                name: node.name.clone(),
-                operator,
-                queues,
-                schedule: op_schedule,
-                consumer: None,
-                open_producers: Arc::new(AtomicUsize::new(0)),
-            });
-        }
-
-        // Wire consumer links and producer counts.
-        for id in &order {
-            let producer_index = index_of[id];
-            let consumers = plan.consumers(*id);
-            if let Some(consumer_id) = consumers.first() {
-                let consumer_index = index_of[consumer_id];
-                let consumer_node = plan.node(*consumer_id)?;
-                let router = match consumer_node.kind.routing_column() {
-                    Some(col) => {
-                        let producer_schema = plan.output_schema(*id, self.catalog)?;
-                        let column = producer_schema.column_index(col).map_err(|_| {
-                            EngineError::Plan(format!(
-                                "routing column `{col}` not found in the output of {}",
-                                id
-                            ))
-                        })?;
-                        Router::HashColumn {
-                            column,
-                            degree: runtimes[consumer_index].queues.len(),
-                        }
-                    }
-                    None => Router::SameInstance,
-                };
-                runtimes[producer_index].consumer = Some(ConsumerLink {
-                    consumer_index,
-                    router,
-                });
-                runtimes[consumer_index]
-                    .open_producers
-                    .store(runtimes[producer_index].schedule.threads, Ordering::SeqCst);
-            }
-        }
-
-        // Inject triggers into triggered operations and close their queues.
-        for rt in &runtimes {
-            let node = plan.node(rt.node)?;
-            if node.producer().is_none() {
-                for q in &rt.queues {
-                    q.push(Activation::Trigger);
-                    q.close();
-                }
-            }
-        }
-
-        // Run the pools.
-        let started = Instant::now();
-        let mut per_op_threads: Vec<Vec<ThreadMetrics>> =
-            runtimes.iter().map(|_| Vec::new()).collect();
-
-        let worker_error: std::sync::Mutex<Option<EngineError>> = std::sync::Mutex::new(None);
-        std::thread::scope(|scope| {
-            let mut handles: Vec<(usize, std::thread::ScopedJoinHandle<'_, ThreadMetrics>)> =
-                Vec::new();
-            for (op_index, rt) in runtimes.iter().enumerate() {
-                let assignment = main_queue_assignment(rt.queues.len(), rt.schedule.threads);
-                for (thread_index, main_queues) in assignment.into_iter().enumerate() {
-                    let queues = rt.queues.clone();
-                    let operator = Arc::clone(&rt.operator);
-                    let consumer = rt.consumer.clone();
-                    let consumer_queues = consumer
-                        .as_ref()
-                        .map(|link| runtimes[link.consumer_index].queues.clone());
-                    let consumer_open_producers = consumer
-                        .as_ref()
-                        .map(|link| Arc::clone(&runtimes[link.consumer_index].open_producers));
-                    let op_schedule = rt.schedule;
-                    let seed = (op_index as u64) << 32 | thread_index as u64;
-
-                    let handle = scope.spawn(move || {
-                        run_worker(
-                            thread_index,
-                            queues,
-                            main_queues,
-                            operator,
-                            op_schedule,
-                            consumer.map(|link| link.router),
-                            consumer_queues,
-                            consumer_open_producers,
-                            seed,
-                        )
-                    });
-                    handles.push((op_index, handle));
-                }
-            }
-            for (op_index, handle) in handles {
-                match handle.join() {
-                    Ok(tm) => per_op_threads[op_index].push(tm),
-                    Err(_) => {
-                        let mut slot = worker_error.lock().unwrap();
-                        *slot = Some(EngineError::WorkerPanicked {
-                            operation: runtimes[op_index].name.clone(),
-                        });
-                    }
-                }
-            }
-        });
-        if let Some(err) = worker_error.into_inner().unwrap() {
-            return Err(err);
-        }
-        let elapsed = started.elapsed();
-
-        // Collect metrics and results.
-        let operations = runtimes
-            .iter()
-            .zip(per_op_threads)
-            .map(|(rt, threads)| OperationMetrics {
-                node: rt.node,
-                name: rt.name.clone(),
-                strategy: rt.schedule.strategy,
-                queues: rt.queues.len(),
-                threads,
-            })
-            .collect();
-        let metrics = ExecutionMetrics {
-            elapsed,
-            total_threads: schedule.total_threads(),
-            operations,
-        };
-
-        let mut results = BTreeMap::new();
-        for (name, op) in stores {
-            if let BoundOperator::Store(store) = op.as_ref() {
-                results.insert(name, store.take_all());
-            }
-        }
-
-        Ok(ExecutionOutcome { results, metrics })
+        let runtime = Runtime::new(schedule.total_threads().max(1))?;
+        runtime
+            .submit_with(self.catalog, plan, schedule, &self.cost_params)?
+            .wait()
     }
-
-    /// Binds a plan node to a physical operator over catalog fragments.
-    fn bind_operator(
-        &self,
-        plan: &Plan,
-        node: &dbs3_lera::OperatorNode,
-        instance_count: usize,
-    ) -> Result<BoundOperator> {
-        match &node.kind {
-            OperatorKind::Filter {
-                relation,
-                predicate,
-            } => {
-                let rel = self.catalog.get(relation)?;
-                let bound = predicate.bind(relation, rel.schema())?;
-                Ok(BoundOperator::Filter(FilterOperator::new(rel, bound)))
-            }
-            OperatorKind::Transmit { relation, .. } => {
-                let rel = self.catalog.get(relation)?;
-                Ok(BoundOperator::Transmit(TransmitOperator::new(rel)))
-            }
-            OperatorKind::Join {
-                outer,
-                inner_relation,
-                condition,
-                algorithm,
-            } => {
-                let inner = self.catalog.get(inner_relation)?;
-                let inner_column = inner.schema().column_index(&condition.inner_column)?;
-                match outer {
-                    OuterInput::Fragment { relation } => {
-                        let outer_rel = self.catalog.get(relation)?;
-                        let outer_column =
-                            outer_rel.schema().column_index(&condition.outer_column)?;
-                        Ok(BoundOperator::TriggeredJoin(TriggeredJoinOperator::new(
-                            outer_rel,
-                            inner,
-                            outer_column,
-                            inner_column,
-                            *algorithm,
-                        )))
-                    }
-                    OuterInput::Pipeline => {
-                        let producer = node.producer().expect("validated");
-                        let incoming_schema = plan.output_schema(producer, self.catalog)?;
-                        let outer_column = incoming_schema.column_index(&condition.outer_column)?;
-                        Ok(BoundOperator::PipelinedJoin(PipelinedJoinOperator::new(
-                            inner,
-                            outer_column,
-                            inner_column,
-                            *algorithm,
-                        )))
-                    }
-                }
-            }
-            OperatorKind::Store { result_name } => Ok(BoundOperator::Store(StoreOperator::new(
-                result_name.clone(),
-                instance_count,
-            ))),
-        }
-    }
-}
-
-/// The body of one worker thread of an operation pool.
-#[allow(clippy::too_many_arguments)]
-fn run_worker(
-    thread_index: usize,
-    queues: Vec<Arc<ActivationQueue>>,
-    main_queues: Vec<usize>,
-    operator: Arc<BoundOperator>,
-    schedule: crate::schedule::OperationSchedule,
-    router: Option<Router>,
-    consumer_queues: Option<Vec<Arc<ActivationQueue>>>,
-    consumer_open_producers: Option<Arc<AtomicUsize>>,
-    seed: u64,
-) -> ThreadMetrics {
-    let main_set: std::collections::HashSet<usize> = main_queues.iter().copied().collect();
-    let mut selector = QueueSelector::new(queues, main_queues, schedule.strategy, seed);
-    let consumer_queues_for_close = consumer_queues.clone();
-    let mut cache = consumer_queues.map(|dest| OutputCache::new(dest, schedule.cache_size));
-    let mut metrics = ThreadMetrics {
-        thread: thread_index,
-        ..ThreadMetrics::default()
-    };
-    // Consecutive empty polls in the current idle streak (drives backoff).
-    let mut idle_streak = 0u32;
-
-    loop {
-        match selector.select_and_pop(schedule.cache_size) {
-            Some((queue_index, batch)) => {
-                idle_streak = 0;
-                let logical: u64 = batch.iter().map(|a| a.logical_len() as u64).sum();
-                if main_set.contains(&queue_index) {
-                    metrics.main_queue_hits += logical;
-                } else {
-                    metrics.secondary_queue_hits += logical;
-                }
-                let started = Instant::now();
-                for activation in batch {
-                    // Metrics stay in the paper's per-tuple model: a data
-                    // activation counts one logical activation per batched
-                    // tuple, independent of the transport granularity.
-                    metrics.activations += activation.logical_len() as u64;
-                    let out = operator.process(queue_index, activation);
-                    metrics.tuples_out += out.len() as u64;
-                    if let (Some(cache), Some(router)) = (cache.as_mut(), router.as_ref()) {
-                        router.scatter(queue_index, out, cache);
-                    }
-                }
-                metrics.busy += started.elapsed();
-            }
-            None => {
-                if selector.all_exhausted() {
-                    break;
-                }
-                metrics.idle_polls += 1;
-                // Back off gradually: yield first (upstream batches usually
-                // land within microseconds), then sleep, so an idle pool
-                // neither burns a core nor adds a fixed 200 µs of latency to
-                // every pipeline stage transition.
-                idle_streak = idle_streak.saturating_add(1);
-                if idle_streak <= 8 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
-            }
-        }
-    }
-
-    if let Some(cache) = cache.as_mut() {
-        cache.flush_all();
-        metrics.cache_flushes = cache.flushes();
-    }
-    // This thread is done producing: if it was the last producer thread of
-    // the consumer operation, close the consumer's queues so its threads can
-    // terminate once they drain them. Every producer thread flushes its own
-    // internal cache before reaching this point, so no activation is lost.
-    if let Some(open) = consumer_open_producers {
-        if open.fetch_sub(1, Ordering::SeqCst) == 1 {
-            if let Some(queues) = consumer_queues_for_close {
-                for q in queues {
-                    q.close();
-                }
-            }
-        }
-    }
-    metrics
 }
 
 #[cfg(test)]
@@ -474,10 +96,11 @@ mod tests {
     use super::*;
     use crate::schedule::{Scheduler, SchedulerOptions};
     use crate::strategy::ConsumptionStrategy;
-    use dbs3_lera::{plans, JoinAlgorithm, Predicate};
+    use dbs3_lera::{plans, ExtendedPlan, JoinAlgorithm, Predicate};
     use dbs3_storage::{
         PartitionSpec, PartitionedRelation, Relation, WisconsinConfig, WisconsinGenerator,
     };
+    use std::time::Duration;
 
     fn build_catalog(
         a_card: usize,
@@ -525,6 +148,7 @@ mod tests {
         let outcome = Executor::new(&cat).execute(&plan, &schedule).unwrap();
         let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
         assert_eq!(outcome.results["Result"].len(), expected.len());
+        assert_eq!(outcome.cardinalities["Result"], expected.len());
         assert!(outcome.metrics.total_activations() > 0);
     }
 
@@ -619,5 +243,17 @@ mod tests {
         }
         assert!(m.elapsed > Duration::ZERO);
         assert!(m.worst_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn discarded_results_report_cardinalities_only() {
+        let (cat, a_ref, b_ref) = build_catalog(600, 60, 8, 0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 4).with_discard_results(true);
+        let outcome = Executor::new(&cat).execute(&plan, &schedule).unwrap();
+        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        assert_eq!(outcome.cardinalities["Result"], expected.len());
+        assert!(outcome.results["Result"].is_empty());
+        assert!(outcome.metrics.total_activations() > 0);
     }
 }

@@ -17,35 +17,42 @@
 //! * a producer-side **internal activation cache** batches outgoing tuples
 //!   per destination and flushes each buffer as one [`TupleBatch`] transport
 //!   activation, so `CacheSize` tuples cross the queue under a single lock
-//!   acquisition ([`cache`]; metrics still count the paper's logical
-//!   per-tuple activations, see [`activation`]);
+//!   acquisition (implemented by the runtime's scatter buffers; metrics
+//!   still count the paper's logical per-tuple activations, see
+//!   [`activation`]);
 //! * two **consumption strategies** are provided, `Random` (default) and
 //!   `LPT` (longest processing time first) for skewed triggered operations;
 //! * the **scheduler** ([`schedule`]) fixes `ThreadNb`, `QueueNb`,
 //!   `CacheSize` and `Strategy` for every operation following the four-step
 //!   top-down approach of Figure 5, using the analytic thread-allocation
-//!   solver of [`dbs3_model`].
+//!   solver of [`dbs3_model`];
+//! * the **runtime** ([`runtime`]) owns the worker threads: a persistent
+//!   shared pool, spawned once and parked on a condvar when idle, that
+//!   executes any number of concurrently submitted queries — each tagged
+//!   with a [`QueryId`] and observed through a [`QueryHandle`]
+//!   (`wait`/`try_outcome`/`cancel`). The blocking [`Executor`] is a thin
+//!   wrapper that runs one query on a transient pool.
 //!
 //! The engine executes plans with real OS threads and produces both the
 //! query result and detailed [`metrics`] (per-thread busy time, activation
 //! counts, queue contention) used by the experiments.
 
 pub mod activation;
-pub mod cache;
 pub mod error;
 pub mod executor;
 pub mod metrics;
 pub mod operators;
 pub mod queue;
+pub mod runtime;
 pub mod schedule;
 pub mod strategy;
 
 pub use activation::{Activation, TupleBatch};
-pub use cache::OutputCache;
 pub use error::EngineError;
 pub use executor::{ExecutionOutcome, Executor};
 pub use metrics::{ExecutionMetrics, OperationMetrics};
-pub use queue::ActivationQueue;
+pub use queue::{ActivationQueue, TryPushError};
+pub use runtime::{QueryHandle, QueryId, Runtime};
 pub use schedule::{ExecutionSchedule, OperationSchedule, Scheduler, SchedulerOptions};
 pub use strategy::ConsumptionStrategy;
 

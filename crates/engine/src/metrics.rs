@@ -26,7 +26,9 @@ pub struct ThreadMetrics {
     pub tuples_out: u64,
     /// Time spent processing activations.
     pub busy: Duration,
-    /// Number of polls that found no work anywhere.
+    /// Number of probes of the operation's queues that found no poppable
+    /// batch (another worker emptied them between the work hint and the
+    /// pop).
     pub idle_polls: u64,
     /// Logical activations consumed from the thread's main queues.
     pub main_queue_hits: u64,

@@ -28,6 +28,19 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Why [`ActivationQueue::try_push`] refused an activation. The activation is
+/// handed back so the caller can retry (after making room) or drop it.
+#[derive(Debug)]
+pub enum TryPushError {
+    /// The queue is at capacity. Blocking is the producer's decision: the
+    /// shared-pool runtime reacts by *helping to drain* the full queue
+    /// instead of waiting, which is what keeps one pool deadlock-free.
+    Full(Activation),
+    /// The queue is closed (its query was cancelled or its consumers are
+    /// done); the activation has nowhere to go.
+    Closed(Activation),
+}
+
 #[derive(Debug)]
 struct QueueState {
     buffer: VecDeque<Activation>,
@@ -114,6 +127,33 @@ impl ActivationQueue {
         self.enqueued.fetch_add(logical as u64, Ordering::Relaxed);
         drop(state);
         self.not_empty.notify_one();
+    }
+
+    /// Attempts to push one activation without ever blocking.
+    ///
+    /// Mirrors [`ActivationQueue::push`]'s overfill rule: the activation is
+    /// accepted whenever the buffered logical length is below the capacity,
+    /// even if the batch itself overshoots the bound. On refusal the
+    /// activation is handed back in the [`TryPushError`] so no tuple is ever
+    /// lost. Empty data batches are accepted and dropped (no logical work).
+    pub fn try_push(&self, activation: Activation) -> std::result::Result<(), TryPushError> {
+        let logical = activation.logical_len();
+        if logical == 0 {
+            return Ok(());
+        }
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(TryPushError::Closed(activation));
+        }
+        if state.logical_len >= self.capacity {
+            return Err(TryPushError::Full(activation));
+        }
+        state.buffer.push_back(activation);
+        state.logical_len += logical;
+        self.enqueued.fetch_add(logical as u64, Ordering::Relaxed);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Pushes several activations under one lock acquisition, blocking (and
@@ -415,6 +455,34 @@ mod tests {
             c.join().unwrap();
         }
         assert_eq!(consumed.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn try_push_full_and_closed_hand_the_activation_back() {
+        let q = ActivationQueue::new(0, 2, 0.0);
+        // Below capacity: accepted, even when the batch overshoots the bound.
+        assert!(q
+            .try_push(Activation::Data(TupleBatch::from(vec![
+                int_tuple(&[1]),
+                int_tuple(&[2]),
+                int_tuple(&[3]),
+            ])))
+            .is_ok());
+        assert_eq!(q.len(), 3);
+        // At (over) capacity: refused with the activation handed back.
+        match q.try_push(Activation::single(int_tuple(&[4]))) {
+            Err(TryPushError::Full(a)) => assert_eq!(a.logical_len(), 1),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 3, "a refused push must not enqueue anything");
+        // Empty data batches are silently dropped.
+        assert!(q.try_push(Activation::Data(TupleBatch::default())).is_ok());
+        q.close();
+        let _ = q.try_pop_batch(usize::MAX);
+        match q.try_push(Activation::single(int_tuple(&[5]))) {
+            Err(TryPushError::Closed(a)) => assert_eq!(a.logical_len(), 1),
+            other => panic!("expected Closed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,1466 @@
+//! The persistent multi-query runtime: one shared worker pool, many
+//! concurrent queries.
+//!
+//! The paper's DBS3 engine keeps a fixed pool of threads alive and makes
+//! *activations* — not threads — the unit of scheduled work. This module is
+//! that model taken to its conclusion at the API boundary: a [`Runtime`]
+//! spawns its worker threads **once**, parks them on a condvar while no
+//! query is live, and accepts any number of concurrently submitted queries.
+//! Each [`Runtime::submit`] call builds a private *queue set* for the query
+//! — one [`ActivationQueue`] per operation instance, exactly the structure
+//! of Figure 4 — tags it with a [`QueryId`], and registers it with the pool.
+//! Workers then pick activations **across all live queries**, still under
+//! the paper's consumption machinery (main/secondary queues, `Random`/`LPT`
+//! per operation), so the intra-query scheduling of Section 3 extends to
+//! inter-query scheduling without new mechanism.
+//!
+//! # Differences from the per-query scoped-thread executor
+//!
+//! * **Thread ownership is inverted.** Threads belong to the runtime, not
+//!   to an operation of one query. An operation's scheduled thread count
+//!   still shapes the *plan* (queue cost estimates, strategy choice); the
+//!   pool width bounds actual parallelism.
+//! * **Termination is by accounting, not by thread exit.** The old executor
+//!   closed a consumer's queues when the last producer *thread* exited.
+//!   Here an operation is *finished* when all its queues are exhausted
+//!   (closed + drained) and no worker holds one of its activations
+//!   (`inflight == 0`); finishing closes the consumer's queues, and the
+//!   check cascades down the pipeline. When every operation of a query has
+//!   finished, its results and metrics are sealed into a completion cell
+//!   and the query's [`QueryHandle::wait`] returns.
+//! * **Backpressure is cooperative.** A dedicated-pool engine can block on
+//!   a full consumer queue because the consumer owns other threads. A
+//!   shared pool cannot — if every worker blocked producing, nobody would
+//!   be left to consume and the pool would deadlock. Workers therefore
+//!   never block on a push: when a destination queue is full they *help
+//!   drain it* (pop a batch from that very queue and process it, exactly as
+//!   the consumer would), then retry. Helping recurses at most to the
+//!   pipeline depth and each step makes real progress, so tiny queue
+//!   capacities stay deadlock-free.
+//! * **Idle costs nothing.** Workers that find no poppable activation
+//!   anywhere park on a condvar (epoch-checked so a wakeup between the scan
+//!   and the park is never lost). An idle runtime burns no CPU; `submit`
+//!   and every queue flush wake the sleepers.
+//!
+//! Cancellation ([`QueryHandle::cancel`]) closes and drains the query's
+//! queues and completes the cell with
+//! [`EngineError::QueryCancelled`]; in-flight workers notice the closed
+//! queues (their flushes are dropped) and move on, leaving the pool
+//! reusable. Dropping the [`Runtime`] signals shutdown, joins the workers,
+//! and fails any still-pending query with [`EngineError::RuntimeShutdown`]
+//! so no waiter ever hangs.
+
+use crate::activation::{Activation, TupleBatch};
+use crate::error::EngineError;
+use crate::executor::ExecutionOutcome;
+use crate::metrics::{ExecutionMetrics, OperationMetrics, ThreadMetrics};
+use crate::operators::{
+    BoundOperator, FilterOperator, PipelinedJoinOperator, StoreOperator, TransmitOperator,
+    TriggeredJoinOperator,
+};
+use crate::queue::{ActivationQueue, TryPushError};
+use crate::schedule::ExecutionSchedule;
+use crate::strategy::ConsumptionStrategy;
+use crate::Result;
+use dbs3_lera::{CostParameters, ExtendedPlan, NodeId, OperatorKind, OuterInput, Plan};
+use dbs3_storage::{Catalog, Tuple};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Identifier of a query submitted to a [`Runtime`], unique within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// How data activations produced by one operation find the consumer
+/// instance's queue (identical to the static executor's routing).
+#[derive(Debug, Clone)]
+enum Router {
+    /// Hash the given column over the consumer's degree — the dynamic
+    /// redistribution of `Transmit`/pipelined joins, matching the static
+    /// partitioning function exactly.
+    HashColumn { column: usize, degree: usize },
+    /// Keep the producing instance (result fragments are co-located with
+    /// the producing join instances).
+    SameInstance,
+}
+
+/// A link from a producer operation to its consumer within one query.
+#[derive(Debug, Clone)]
+struct ConsumerLink {
+    consumer_index: usize,
+    router: Router,
+}
+
+/// Runtime state of one operation of a submitted query.
+struct OpRuntime {
+    node: NodeId,
+    name: String,
+    operator: Arc<BoundOperator>,
+    queues: Vec<Arc<ActivationQueue>>,
+    strategy: ConsumptionStrategy,
+    /// Batch budget of one pop and flush threshold of the producer-side
+    /// scatter buffers (the paper's `CacheSize`).
+    cache_size: usize,
+    consumer: Option<ConsumerLink>,
+    /// Queue indexes in decreasing estimated-cost order (the LPT visit
+    /// order; computed once at submit because the estimates are static).
+    lpt_order: Vec<usize>,
+    /// Workers currently holding popped activations of this operation (or
+    /// probing its queues). The operation cannot finish while non-zero.
+    inflight: AtomicUsize,
+    /// Set exactly once, when the operation's queues are exhausted and no
+    /// activation is in flight.
+    finished: AtomicBool,
+    /// Advisory count of logical activations buffered across the
+    /// operation's queues, maintained by the runtime's own pushes and pops.
+    /// Lets the work scan skip empty operations with one atomic load
+    /// instead of probing every queue mutex — with many live queries the
+    /// scan is the hot path. Termination never reads this (it re-checks the
+    /// queues themselves), so staleness costs a wasted probe at most.
+    pending: AtomicU64,
+}
+
+/// Per-operation, per-worker thread metrics slots of one query.
+type MetricsSlots = Vec<Vec<Mutex<ThreadMetrics>>>;
+
+/// The completion cell a [`QueryHandle`] waits on.
+struct CompletionCell {
+    outcome: Mutex<Option<Result<ExecutionOutcome>>>,
+    done: Condvar,
+}
+
+/// Everything the pool needs to execute one submitted query.
+struct QueryState {
+    id: QueryId,
+    /// Operations in topological (producer-before-consumer) order.
+    ops: Vec<OpRuntime>,
+    /// Store operators keyed by result name, for result collection.
+    stores: Vec<(String, Arc<BoundOperator>)>,
+    started: Instant,
+    cancelled: AtomicBool,
+    /// Operations not yet finished; the query completes when this hits 0.
+    ops_remaining: AtomicUsize,
+    metrics: MetricsSlots,
+    cell: CompletionCell,
+}
+
+impl QueryState {
+    /// Seals the outcome exactly once (first writer wins — a cancel racing
+    /// a natural completion keeps the cancel) and wakes every waiter.
+    fn complete(&self, result: Result<ExecutionOutcome>) {
+        let mut slot = self.cell.outcome.lock();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.cell.done.notify_all();
+        }
+    }
+
+    /// Whether any work could remain for this query.
+    fn is_live(&self) -> bool {
+        !self.cancelled.load(Ordering::Relaxed) && self.ops_remaining.load(Ordering::Relaxed) > 0
+    }
+}
+
+/// Epoch-checked condvar parking: workers that find no work anywhere sleep
+/// here; every producer-side event (submit, queue flush, shutdown) bumps the
+/// epoch and wakes the sleepers. The parker re-checks the epoch *after*
+/// announcing itself, so a wakeup between its last scan and the wait can
+/// never be lost.
+struct IdleParking {
+    epoch: AtomicU64,
+    sleepers: AtomicUsize,
+    mutex: Mutex<()>,
+    cv: Condvar,
+}
+
+impl IdleParking {
+    fn new() -> Self {
+        IdleParking {
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The epoch to snapshot before a work scan.
+    fn current(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Signals that new work may exist. Cheap when nobody sleeps: one
+    /// atomic increment and one atomic load.
+    fn wake_all(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.mutex.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks the calling worker unless the epoch moved past `seen` (i.e.
+    /// work may have arrived since the scan started). The timeout is a
+    /// belt-and-braces liveness net, not a polling loop: a parked worker
+    /// re-scans a few times per second at most.
+    fn park(&self, seen: u64) {
+        let mut guard = self.mutex.lock();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.epoch.load(Ordering::SeqCst) == seen {
+            self.cv.wait_for(&mut guard, Duration::from_millis(200));
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Pool state shared by the [`Runtime`] handle, its workers and every
+/// [`QueryHandle`].
+struct RuntimeInner {
+    pool_threads: usize,
+    queries: Mutex<Vec<Arc<QueryState>>>,
+    /// Bumped on every registry change so workers refresh their snapshot
+    /// lazily instead of locking the registry per batch.
+    registry_version: AtomicU64,
+    next_query: AtomicU64,
+    shutdown: AtomicBool,
+    idle: IdleParking,
+}
+
+impl RuntimeInner {
+    fn snapshot(&self) -> Vec<Arc<QueryState>> {
+        self.queries.lock().clone()
+    }
+
+    fn remove_query(&self, id: QueryId) {
+        self.queries.lock().retain(|q| q.id != id);
+        self.registry_version.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// A long-lived shared worker pool executing concurrently submitted
+/// queries. See the [module docs](self) for the execution model.
+///
+/// Dropping the runtime signals shutdown, joins the workers and fails any
+/// query still in flight with [`EngineError::RuntimeShutdown`].
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("pool_threads", &self.inner.pool_threads)
+            .field("live_queries", &self.live_queries())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Spawns a runtime with `pool_threads` worker threads. The threads are
+    /// created once, park while no query is live, and are joined when the
+    /// runtime is dropped.
+    pub fn new(pool_threads: usize) -> Result<Self> {
+        if pool_threads == 0 {
+            return Err(EngineError::InvalidOptions(
+                "runtime pool must have at least 1 thread".to_string(),
+            ));
+        }
+        let inner = Arc::new(RuntimeInner {
+            pool_threads,
+            queries: Mutex::new(Vec::new()),
+            registry_version: AtomicU64::new(0),
+            next_query: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: IdleParking::new(),
+        });
+        let workers = (0..pool_threads)
+            .map(|worker| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dbs3-runtime-{worker}"))
+                    .spawn(move || worker_loop(&inner, worker))
+                    .expect("spawning a runtime worker thread")
+            })
+            .collect();
+        Ok(Runtime { inner, workers })
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn pool_threads(&self) -> usize {
+        self.inner.pool_threads
+    }
+
+    /// Number of queries currently registered (submitted, not yet completed
+    /// or cancelled).
+    pub fn live_queries(&self) -> usize {
+        self.inner.queries.lock().len()
+    }
+
+    /// Submits `plan` for execution under `schedule` and returns
+    /// immediately with a [`QueryHandle`]. Equivalent to
+    /// [`Runtime::submit_with`] with default [`CostParameters`].
+    pub fn submit(
+        &self,
+        catalog: &Catalog,
+        plan: &Plan,
+        schedule: &ExecutionSchedule,
+    ) -> Result<QueryHandle> {
+        self.submit_with(catalog, plan, schedule, &CostParameters::default())
+    }
+
+    /// Submits `plan` with explicit cost parameters (they drive the static
+    /// cost estimates attached to queues, i.e. the LPT visit order).
+    ///
+    /// Binding happens on the calling thread: relation names resolve to
+    /// `Arc` fragments, triggers are injected, and the query's queue set is
+    /// registered with the pool. Workers start consuming as soon as the
+    /// registry is updated — often before this method returns.
+    pub fn submit_with(
+        &self,
+        catalog: &Catalog,
+        plan: &Plan,
+        schedule: &ExecutionSchedule,
+        cost_params: &CostParameters,
+    ) -> Result<QueryHandle> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(EngineError::RuntimeShutdown);
+        }
+        let extended = ExtendedPlan::from_plan(plan, catalog, cost_params)?;
+        schedule.validate(plan)?;
+        if !plan
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OperatorKind::Store { .. }))
+        {
+            return Err(EngineError::NoStoreOperator);
+        }
+
+        let order = plan.topological_order()?;
+        let mut ops: Vec<OpRuntime> = Vec::with_capacity(plan.len());
+        let mut index_of: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut stores: Vec<(String, Arc<BoundOperator>)> = Vec::new();
+
+        // Bind operators and create the query's private queue set,
+        // producers before consumers.
+        for id in &order {
+            let node = plan.node(*id)?;
+            let ext_op = extended
+                .operation(*id)
+                .expect("extended plan covers every node");
+            let op_schedule = schedule.operation(*id)?;
+
+            let operator = Arc::new(bind_operator(
+                catalog,
+                plan,
+                node,
+                ext_op.instance_count(),
+                schedule.discard_results(),
+            )?);
+            if let OperatorKind::Store { result_name } = &node.kind {
+                stores.push((result_name.clone(), Arc::clone(&operator)));
+            }
+
+            let queues: Vec<Arc<ActivationQueue>> = ext_op
+                .instances()
+                .iter()
+                .map(|info| {
+                    Arc::new(ActivationQueue::new(
+                        info.instance,
+                        op_schedule.queue_capacity,
+                        info.estimated_cost,
+                    ))
+                })
+                .collect();
+            let mut lpt_order: Vec<usize> = (0..queues.len()).collect();
+            lpt_order.sort_by(|a, b| {
+                queues[*b]
+                    .estimated_cost()
+                    .partial_cmp(&queues[*a].estimated_cost())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+
+            index_of.insert(*id, ops.len());
+            ops.push(OpRuntime {
+                node: *id,
+                name: node.name.clone(),
+                operator,
+                queues,
+                strategy: op_schedule.strategy,
+                cache_size: op_schedule.cache_size.max(1),
+                consumer: None,
+                lpt_order,
+                inflight: AtomicUsize::new(0),
+                finished: AtomicBool::new(false),
+                pending: AtomicU64::new(0),
+            });
+        }
+
+        // Wire consumer links.
+        for id in &order {
+            let producer_index = index_of[id];
+            if let Some(consumer_id) = plan.consumers(*id).first() {
+                let consumer_index = index_of[consumer_id];
+                let consumer_node = plan.node(*consumer_id)?;
+                let router = match consumer_node.kind.routing_column() {
+                    Some(col) => {
+                        let producer_schema = plan.output_schema(*id, catalog)?;
+                        let column = producer_schema.column_index(col).map_err(|_| {
+                            EngineError::Plan(format!(
+                                "routing column `{col}` not found in the output of {}",
+                                id
+                            ))
+                        })?;
+                        Router::HashColumn {
+                            column,
+                            degree: ops[consumer_index].queues.len(),
+                        }
+                    }
+                    None => Router::SameInstance,
+                };
+                ops[producer_index].consumer = Some(ConsumerLink {
+                    consumer_index,
+                    router,
+                });
+            }
+        }
+
+        // Inject triggers into triggered operations and close their queues
+        // (no more activations will ever arrive there). Workers cannot see
+        // the query yet, so the pending counts need no ordering care.
+        for op in &ops {
+            let node = plan.node(op.node)?;
+            if node.producer().is_none() {
+                for q in &op.queues {
+                    q.push(Activation::Trigger);
+                    q.close();
+                }
+                op.pending.store(op.queues.len() as u64, Ordering::SeqCst);
+            }
+        }
+
+        let id = QueryId(self.inner.next_query.fetch_add(1, Ordering::SeqCst));
+        let metrics: MetricsSlots = ops
+            .iter()
+            .map(|_| {
+                (0..self.inner.pool_threads)
+                    .map(|_| Mutex::new(ThreadMetrics::default()))
+                    .collect()
+            })
+            .collect();
+        let ops_remaining = AtomicUsize::new(ops.len());
+        let query = Arc::new(QueryState {
+            id,
+            ops,
+            stores,
+            started: Instant::now(),
+            cancelled: AtomicBool::new(false),
+            ops_remaining,
+            metrics,
+            cell: CompletionCell {
+                outcome: Mutex::new(None),
+                done: Condvar::new(),
+            },
+        });
+
+        self.inner.queries.lock().push(Arc::clone(&query));
+        self.inner.registry_version.fetch_add(1, Ordering::SeqCst);
+        self.inner.idle.wake_all();
+        Ok(QueryHandle {
+            query,
+            inner: Arc::clone(&self.inner),
+            taken: false,
+        })
+    }
+
+    fn shutdown_now(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.idle.wake_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Fail whatever is still registered so no waiter ever hangs.
+        let leftover: Vec<Arc<QueryState>> = {
+            let mut queries = self.inner.queries.lock();
+            queries.drain(..).collect()
+        };
+        self.inner.registry_version.fetch_add(1, Ordering::SeqCst);
+        for query in leftover {
+            query.complete(Err(EngineError::RuntimeShutdown));
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+/// A handle to a query submitted to a [`Runtime`].
+///
+/// The handle is detachable: dropping it does **not** cancel the query
+/// (use [`QueryHandle::cancel`] for that); the runtime finishes the work
+/// and discards the unobserved outcome.
+pub struct QueryHandle {
+    query: Arc<QueryState>,
+    inner: Arc<RuntimeInner>,
+    /// Whether `try_outcome` already moved the outcome out of the cell.
+    taken: bool,
+}
+
+impl fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("id", &self.query.id)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl QueryHandle {
+    /// The runtime-unique id of the submitted query.
+    pub fn id(&self) -> QueryId {
+        self.query.id
+    }
+
+    /// Whether the outcome is available (completed, cancelled or failed).
+    pub fn is_finished(&self) -> bool {
+        self.taken || self.query.cell.outcome.lock().is_some()
+    }
+
+    /// Blocks until the query completes and returns its outcome. Returns
+    /// [`EngineError::QueryCancelled`] if it was cancelled,
+    /// [`EngineError::RuntimeShutdown`] if the runtime was dropped first,
+    /// and [`EngineError::OutcomeTaken`] if a prior
+    /// [`QueryHandle::try_outcome`] already consumed the outcome.
+    pub fn wait(self) -> Result<ExecutionOutcome> {
+        if self.taken {
+            return Err(EngineError::OutcomeTaken);
+        }
+        let mut slot = self.query.cell.outcome.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            self.query.cell.done.wait(&mut slot);
+        }
+    }
+
+    /// Returns the outcome if the query already completed, without
+    /// blocking. The first `Some` moves the outcome out of the handle;
+    /// later calls return `None` and a later `wait()` reports
+    /// [`EngineError::OutcomeTaken`].
+    pub fn try_outcome(&mut self) -> Option<Result<ExecutionOutcome>> {
+        let result = self.query.cell.outcome.lock().take();
+        if result.is_some() {
+            self.taken = true;
+        }
+        result
+    }
+
+    /// Cancels the query: its queues are closed and drained, in-flight
+    /// output is discarded, and `wait()` reports
+    /// [`EngineError::QueryCancelled`]. Idempotent; a query that already
+    /// completed keeps its outcome. The pool stays fully reusable.
+    pub fn cancel(&self) {
+        if self
+            .query
+            .cancelled
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        abort_query(
+            &self.inner,
+            &self.query,
+            EngineError::QueryCancelled {
+                query: self.query.id.0,
+            },
+        );
+    }
+}
+
+/// Tears a query down exceptionally: marks it cancelled so workers drop its
+/// remaining work, closes and drains every queue (releasing buffered
+/// memory immediately), removes it from the registry and seals `error` into
+/// the completion cell — unless an outcome was already sealed, which wins.
+fn abort_query(inner: &RuntimeInner, query: &QueryState, error: EngineError) {
+    query.cancelled.store(true, Ordering::SeqCst);
+    for op in &query.ops {
+        for q in &op.queues {
+            q.close();
+        }
+    }
+    for op in &query.ops {
+        for q in &op.queues {
+            let _ = q.try_pop_batch(usize::MAX);
+        }
+    }
+    inner.remove_query(query.id);
+    query.complete(Err(error));
+}
+
+/// Binds a plan node to a physical operator over catalog fragments.
+/// `discard_results` selects counting stores (cardinalities without
+/// materialisation).
+pub(crate) fn bind_operator(
+    catalog: &Catalog,
+    plan: &Plan,
+    node: &dbs3_lera::OperatorNode,
+    instance_count: usize,
+    discard_results: bool,
+) -> Result<BoundOperator> {
+    match &node.kind {
+        OperatorKind::Filter {
+            relation,
+            predicate,
+        } => {
+            let rel = catalog.get(relation)?;
+            let bound = predicate.bind(relation, rel.schema())?;
+            Ok(BoundOperator::Filter(FilterOperator::new(rel, bound)))
+        }
+        OperatorKind::Transmit { relation, .. } => {
+            let rel = catalog.get(relation)?;
+            Ok(BoundOperator::Transmit(TransmitOperator::new(rel)))
+        }
+        OperatorKind::Join {
+            outer,
+            inner_relation,
+            condition,
+            algorithm,
+        } => {
+            let inner = catalog.get(inner_relation)?;
+            let inner_column = inner.schema().column_index(&condition.inner_column)?;
+            match outer {
+                OuterInput::Fragment { relation } => {
+                    let outer_rel = catalog.get(relation)?;
+                    let outer_column = outer_rel.schema().column_index(&condition.outer_column)?;
+                    Ok(BoundOperator::TriggeredJoin(TriggeredJoinOperator::new(
+                        outer_rel,
+                        inner,
+                        outer_column,
+                        inner_column,
+                        *algorithm,
+                    )))
+                }
+                OuterInput::Pipeline => {
+                    let producer = node.producer().expect("validated");
+                    let incoming_schema = plan.output_schema(producer, catalog)?;
+                    let outer_column = incoming_schema.column_index(&condition.outer_column)?;
+                    Ok(BoundOperator::PipelinedJoin(PipelinedJoinOperator::new(
+                        inner,
+                        outer_column,
+                        inner_column,
+                        *algorithm,
+                    )))
+                }
+            }
+        }
+        OperatorKind::Store { result_name } => Ok(BoundOperator::Store(if discard_results {
+            StoreOperator::counting(result_name.clone(), instance_count)
+        } else {
+            StoreOperator::new(result_name.clone(), instance_count)
+        })),
+    }
+}
+
+/// Per-worker scan state: the worker's RNG (for the `Random` strategy's
+/// per-poll shuffle), a reused visit-order buffer, and the round-robin
+/// cursor over live queries.
+struct WorkerCtx {
+    id: usize,
+    rng: StdRng,
+    scratch: Vec<usize>,
+    cursor: usize,
+}
+
+/// The body of one pool worker.
+fn worker_loop(inner: &Arc<RuntimeInner>, worker: usize) {
+    let mut ctx = WorkerCtx {
+        id: worker,
+        rng: StdRng::seed_from_u64(0x5eed_0000 ^ worker as u64),
+        scratch: Vec::new(),
+        // Stagger starting points so a burst of submissions spreads over
+        // the pool instead of piling every worker onto the first query.
+        cursor: worker,
+    };
+    let mut local: Vec<Arc<QueryState>> = Vec::new();
+    let mut seen_version = u64::MAX;
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // The epoch is snapshotted *before* the registry version: a submit
+        // bumps the version first and the epoch last, so a submission
+        // landing after this epoch read makes park() return immediately,
+        // and one landing before it is caught by the version refresh —
+        // either way no wakeup between scan and park is lost.
+        let epoch = inner.idle.current();
+        let version = inner.registry_version.load(Ordering::SeqCst);
+        if version != seen_version {
+            local = inner.snapshot();
+            seen_version = version;
+        }
+        let mut did_work = false;
+        let live = local.len();
+        for offset in 0..live {
+            let index = (ctx.cursor + offset) % live;
+            let query = &local[index];
+            if !query.is_live() {
+                continue;
+            }
+            // Scan downstream-first (reverse topological order): draining
+            // consumers before feeding them keeps queues short and lets
+            // pipelines terminate promptly.
+            for op_index in (0..query.ops.len()).rev() {
+                if try_process_op(inner, query, op_index, &mut ctx) {
+                    did_work = true;
+                    break;
+                }
+            }
+            if did_work {
+                // Sticky cursor: keep consuming this query while it has
+                // poppable work (locality, short scans); move on only when
+                // it runs dry. Cross-query sharing still happens whenever a
+                // query stalls on its pipeline or completes.
+                ctx.cursor = index;
+                break;
+            }
+        }
+        if !did_work {
+            inner.idle.park(epoch);
+        }
+    }
+}
+
+/// Attempts to pop and process one batch of `op`'s activations. Returns
+/// whether any work was done.
+///
+/// Processing runs under `catch_unwind`: a panicking operator must neither
+/// kill the pool worker nor leave the in-flight guard elevated forever
+/// (which would hang every waiter) — instead the query is aborted with the
+/// typed [`EngineError::WorkerPanicked`] the scoped-thread executor used to
+/// produce, and the pool keeps serving other queries.
+fn try_process_op(
+    inner: &Arc<RuntimeInner>,
+    query: &Arc<QueryState>,
+    op_index: usize,
+    ctx: &mut WorkerCtx,
+) -> bool {
+    let op = &query.ops[op_index];
+    if op.finished.load(Ordering::SeqCst) || op.pending.load(Ordering::SeqCst) == 0 {
+        return false;
+    }
+    // The in-flight guard goes up before the pop: once a queue looks empty
+    // to another worker, this worker's claim on the batch it popped is
+    // already visible, so the operation can never be declared finished
+    // while tuples are still being processed.
+    op.inflight.fetch_add(1, Ordering::SeqCst);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match select_and_pop(op, inner.pool_threads, ctx) {
+            Some((queue_index, batch)) => {
+                process_batch(inner, query, op_index, queue_index, batch, ctx.id);
+                true
+            }
+            None => {
+                // The pending hint said there was work but every queue
+                // probe came up empty (another worker got there first).
+                let mut slot = query.metrics[op_index][ctx.id].lock();
+                slot.thread = ctx.id;
+                slot.idle_polls += 1;
+                false
+            }
+        }
+    }));
+    if op.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
+        try_finish_op(inner, query, op_index);
+    }
+    match outcome {
+        Ok(did_work) => did_work,
+        Err(_) => {
+            // Nested help_drain guards may have been skipped by the unwind,
+            // leaving other operations' inflight counts elevated — harmless,
+            // because aborting seals the outcome and the query is never
+            // finalized through the counting path.
+            abort_query(
+                inner,
+                query,
+                EngineError::WorkerPanicked {
+                    operation: op.name.clone(),
+                },
+            );
+            true
+        }
+    }
+}
+
+/// Selects the next queue of `op` for this worker and pops up to
+/// `cache_size` logical activations from it.
+///
+/// Queue ownership follows the paper's main/secondary split, projected onto
+/// the pool: queue `q` is a main queue of worker `q % pool_threads`. Main
+/// queues are visited before secondary ones; within each group `Random`
+/// shuffles the visit order per poll and `LPT` uses the static
+/// decreasing-cost order.
+fn select_and_pop(
+    op: &OpRuntime,
+    pool_threads: usize,
+    ctx: &mut WorkerCtx,
+) -> Option<(usize, Vec<Activation>)> {
+    for group in 0..2 {
+        let is_main_group = group == 0;
+        ctx.scratch.clear();
+        match op.strategy {
+            ConsumptionStrategy::Lpt => ctx.scratch.extend(
+                op.lpt_order
+                    .iter()
+                    .copied()
+                    .filter(|q| (q % pool_threads == ctx.id) == is_main_group),
+            ),
+            ConsumptionStrategy::Random => {
+                ctx.scratch.extend(
+                    (0..op.queues.len()).filter(|q| (q % pool_threads == ctx.id) == is_main_group),
+                );
+                ctx.scratch.shuffle(&mut ctx.rng);
+            }
+        }
+        for i in 0..ctx.scratch.len() {
+            let queue_index = ctx.scratch[i];
+            let popped = op.queues[queue_index].try_pop_batch(op.cache_size);
+            if !popped.is_empty() {
+                let logical: u64 = popped.iter().map(|a| a.logical_len() as u64).sum();
+                op.pending.fetch_sub(logical, Ordering::SeqCst);
+                return Some((queue_index, popped));
+            }
+        }
+    }
+    None
+}
+
+thread_local! {
+    /// Reusable scatter-buffer sets, one entry per nested [`help_drain`]
+    /// depth, so [`process_batch`] does not allocate a consumer-degree-sized
+    /// `Vec<Vec<Tuple>>` on every popped batch. Workers are long-lived, so
+    /// the warm buffers amortise across every query the thread serves.
+    static SCATTER_SCRATCH: std::cell::RefCell<Vec<Vec<Vec<Tuple>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Takes a recycled scatter-buffer set resized to `degree` (all buffers
+/// empty), or builds a fresh one.
+fn take_scatter_buffers(degree: usize) -> Vec<Vec<Tuple>> {
+    let mut buffers = SCATTER_SCRATCH
+        .with(|scratch| scratch.borrow_mut().pop())
+        .unwrap_or_default();
+    buffers.resize_with(degree, Vec::new);
+    buffers
+}
+
+/// Returns a scatter-buffer set to the thread-local pool. Buffers are
+/// cleared so no tuple outlives its batch, and the pool is bounded by the
+/// plausible help-recursion depth.
+fn recycle_scatter_buffers(mut buffers: Vec<Vec<Tuple>>) {
+    buffers.iter_mut().for_each(Vec::clear);
+    SCATTER_SCRATCH.with(|scratch| {
+        let mut pool = scratch.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(buffers);
+        }
+    });
+}
+
+/// Processes one popped batch of activations of `op`, scattering the
+/// produced tuples to the consumer's queues in `CacheSize`-tuple transport
+/// batches and recording metrics.
+///
+/// The caller holds the operation's in-flight guard, so the producer-side
+/// scatter buffers live entirely within this call — nothing can be stranded
+/// when the operation is later declared finished.
+fn process_batch(
+    inner: &Arc<RuntimeInner>,
+    query: &Arc<QueryState>,
+    op_index: usize,
+    queue_index: usize,
+    batch: Vec<Activation>,
+    worker: usize,
+) {
+    let op = &query.ops[op_index];
+    let started = Instant::now();
+    let consumer_degree = op
+        .consumer
+        .as_ref()
+        .map(|link| query.ops[link.consumer_index].queues.len())
+        .unwrap_or(0);
+    let mut buffers = take_scatter_buffers(consumer_degree);
+    let mut flushes = 0u64;
+    let mut logical = 0u64;
+    let mut tuples_out = 0u64;
+    // Wall time spent helping congested downstream operations; that time is
+    // recorded against *their* metrics slots by the nested process_batch,
+    // so it is subtracted from this operation's busy time below.
+    let mut helped = Duration::ZERO;
+
+    for activation in batch {
+        // A cancelled query's remaining work is dropped; on shutdown the
+        // query will be failed by the runtime's Drop anyway.
+        if query.cancelled.load(Ordering::Relaxed) || inner.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        // Metrics stay in the paper's per-tuple model: a data activation
+        // counts one logical activation per batched tuple.
+        logical += activation.logical_len() as u64;
+        #[cfg(test)]
+        panic_injection::maybe_panic(&op.name);
+        let out = op.operator.process(queue_index, activation);
+        tuples_out += out.len() as u64;
+        let Some(link) = &op.consumer else { continue };
+        // Co-located output that forms exactly one full batch skips the
+        // buffer: the operator's output vector ships as-is.
+        let same_dest = match &link.router {
+            Router::SameInstance => Some(queue_index % consumer_degree.max(1)),
+            Router::HashColumn { .. } => None,
+        };
+        if let Some(dest) = same_dest {
+            if buffers[dest].is_empty() && out.len() == op.cache_size {
+                flush_to(
+                    inner,
+                    query,
+                    link.consumer_index,
+                    dest,
+                    out,
+                    worker,
+                    &mut helped,
+                );
+                flushes += 1;
+                continue;
+            }
+        }
+        for tuple in out {
+            let dest = match &link.router {
+                Router::HashColumn { column, degree } => {
+                    (tuple.hash_key(&[*column]) % *degree as u64) as usize
+                }
+                Router::SameInstance => same_dest.expect("set for SameInstance"),
+            };
+            buffers[dest].push(tuple);
+            if buffers[dest].len() >= op.cache_size {
+                let full = std::mem::replace(
+                    &mut buffers[dest],
+                    Vec::with_capacity(op.cache_size.min(1024)),
+                );
+                flush_to(
+                    inner,
+                    query,
+                    link.consumer_index,
+                    dest,
+                    full,
+                    worker,
+                    &mut helped,
+                );
+                flushes += 1;
+            }
+        }
+    }
+    if let Some(link) = &op.consumer {
+        for (dest, buffer) in buffers.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                flush_to(
+                    inner,
+                    query,
+                    link.consumer_index,
+                    dest,
+                    std::mem::take(buffer),
+                    worker,
+                    &mut helped,
+                );
+                flushes += 1;
+            }
+        }
+    }
+    recycle_scatter_buffers(buffers);
+
+    // Merge this batch's contribution into the worker's metrics slot. Time
+    // spent helping a congested downstream operation is charged to that
+    // operation (by its own nested process_batch) and subtracted here, so
+    // summed busy time never exceeds wall-clock × workers.
+    let mut slot = query.metrics[op_index][worker].lock();
+    slot.thread = worker;
+    slot.activations += logical;
+    slot.tuples_out += tuples_out;
+    slot.busy += started.elapsed().saturating_sub(helped);
+    slot.cache_flushes += flushes;
+    if queue_index % inner.pool_threads == worker {
+        slot.main_queue_hits += logical;
+    } else {
+        slot.secondary_queue_hits += logical;
+    }
+}
+
+/// Delivers one transport batch to a consumer queue without ever blocking
+/// the pool: on a full queue the worker *helps drain that very queue* (pops
+/// a batch and processes it exactly as the consumer would) and retries; on
+/// a closed queue (cancelled query) the batch is dropped. Help time is
+/// accumulated into `helped` so the caller can keep its own busy metric
+/// honest.
+#[allow(clippy::too_many_arguments)]
+fn flush_to(
+    inner: &Arc<RuntimeInner>,
+    query: &Arc<QueryState>,
+    consumer_index: usize,
+    dest: usize,
+    tuples: Vec<Tuple>,
+    worker: usize,
+    helped: &mut Duration,
+) {
+    let consumer = &query.ops[consumer_index];
+    let mut activation = Activation::Data(TupleBatch::new(tuples));
+    let logical = activation.logical_len() as u64;
+    loop {
+        if query.cancelled.load(Ordering::Relaxed) || inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // The pending count goes up before the push so a concurrent popper
+        // can never decrement it below zero; a refused push takes it back.
+        consumer.pending.fetch_add(logical, Ordering::SeqCst);
+        match consumer.queues[dest].try_push(activation) {
+            Ok(()) => {
+                inner.idle.wake_all();
+                return;
+            }
+            Err(TryPushError::Closed(_)) => {
+                consumer.pending.fetch_sub(logical, Ordering::SeqCst);
+                return;
+            }
+            Err(TryPushError::Full(back)) => {
+                consumer.pending.fetch_sub(logical, Ordering::SeqCst);
+                activation = back;
+                let help_started = Instant::now();
+                help_drain(inner, query, consumer_index, dest, worker);
+                *helped += help_started.elapsed();
+            }
+        }
+    }
+}
+
+/// Pops one batch from the congested consumer queue and processes it on
+/// behalf of the consumer operation (cooperative backpressure). Recursion
+/// through [`process_batch`] is bounded by the pipeline depth.
+fn help_drain(
+    inner: &Arc<RuntimeInner>,
+    query: &Arc<QueryState>,
+    consumer_index: usize,
+    dest: usize,
+    worker: usize,
+) {
+    let consumer = &query.ops[consumer_index];
+    consumer.inflight.fetch_add(1, Ordering::SeqCst);
+    let popped = consumer.queues[dest].try_pop_batch(consumer.cache_size);
+    if popped.is_empty() {
+        // Another worker drained it first; capacity will free up shortly.
+        std::thread::yield_now();
+    } else {
+        let logical: u64 = popped.iter().map(|a| a.logical_len() as u64).sum();
+        consumer.pending.fetch_sub(logical, Ordering::SeqCst);
+        process_batch(inner, query, consumer_index, dest, popped, worker);
+    }
+    if consumer.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
+        try_finish_op(inner, query, consumer_index);
+    }
+}
+
+/// Declares `op` finished if its queues are exhausted and nothing is in
+/// flight; closing the consumer's queues then cascades the check down the
+/// pipeline. The query completes when its last operation finishes.
+fn try_finish_op(inner: &Arc<RuntimeInner>, query: &Arc<QueryState>, op_index: usize) {
+    let op = &query.ops[op_index];
+    // Order matters: exhaustion is read *before* the in-flight count. A
+    // worker claiming a batch raises `inflight` before popping, so once a
+    // queue is observed empty here, any claim on its last batch is already
+    // visible in `inflight`. Reading inflight first would open a window
+    // where another worker pops the final batch between the two reads and
+    // this thread declares the operation finished while those tuples are
+    // still being processed (their output would flush into closed queues
+    // and vanish).
+    if op.finished.load(Ordering::SeqCst)
+        || !op.queues.iter().all(|q| q.is_exhausted())
+        || op.inflight.load(Ordering::SeqCst) != 0
+    {
+        return;
+    }
+    if op
+        .finished
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return;
+    }
+    if let Some(link) = &op.consumer {
+        for q in &query.ops[link.consumer_index].queues {
+            q.close();
+        }
+    }
+    let remaining = query.ops_remaining.fetch_sub(1, Ordering::SeqCst) - 1;
+    if let Some(link) = &op.consumer {
+        // The consumer may already be drained (e.g. nothing matched):
+        // re-check it now that its queues are closed.
+        try_finish_op(inner, query, link.consumer_index);
+    }
+    if remaining == 0 {
+        finalize_query(inner, query);
+    }
+}
+
+/// Seals a completed query: collects per-operation metrics and results,
+/// removes the query from the registry and fills the completion cell.
+fn finalize_query(inner: &Arc<RuntimeInner>, query: &Arc<QueryState>) {
+    let elapsed = query.started.elapsed();
+    let operations: Vec<OperationMetrics> = query
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(op_index, op)| {
+            let mut threads: Vec<ThreadMetrics> = query.metrics[op_index]
+                .iter()
+                .map(|slot| slot.lock().clone())
+                .filter(|tm| tm.activations > 0)
+                .collect();
+            if threads.is_empty() {
+                // No worker ever touched the operation (an empty pipeline);
+                // keep the metrics shape non-degenerate.
+                threads.push(ThreadMetrics::default());
+            }
+            OperationMetrics {
+                node: op.node,
+                name: op.name.clone(),
+                strategy: op.strategy,
+                queues: op.queues.len(),
+                threads,
+            }
+        })
+        .collect();
+    let metrics = ExecutionMetrics {
+        elapsed,
+        total_threads: inner.pool_threads,
+        operations,
+    };
+
+    let mut results = BTreeMap::new();
+    let mut cardinalities = BTreeMap::new();
+    for (name, operator) in &query.stores {
+        if let BoundOperator::Store(store) = operator.as_ref() {
+            cardinalities.insert(name.clone(), store.stored_count());
+            results.insert(name.clone(), store.take_all());
+        }
+    }
+
+    inner.remove_query(query.id);
+    query.complete(Ok(ExecutionOutcome {
+        results,
+        cardinalities,
+        metrics,
+    }));
+}
+
+/// Test-only fault injection: no public operator can be made to panic with
+/// a valid plan, so the panic-containment path (worker survives, query
+/// fails with [`EngineError::WorkerPanicked`]) is exercised by panicking on
+/// operations whose name carries this marker.
+#[cfg(test)]
+pub(crate) mod panic_injection {
+    pub(crate) const MARKER: &str = "PanicTarget";
+
+    pub(crate) fn maybe_panic(op_name: &str) {
+        if op_name.contains(MARKER) {
+            panic!("injected operator panic in {op_name}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{OperationSchedule, Scheduler, SchedulerOptions};
+    use dbs3_lera::{plans, JoinAlgorithm};
+    use dbs3_storage::{
+        PartitionSpec, PartitionedRelation, Relation, WisconsinConfig, WisconsinGenerator,
+    };
+
+    fn build_catalog(a_card: usize, b_card: usize, degree: usize) -> (Catalog, Relation, Relation) {
+        let gen = WisconsinGenerator::new();
+        let a = gen.generate(&WisconsinConfig::narrow("A", a_card)).unwrap();
+        let b = gen
+            .generate(&WisconsinConfig::narrow("Bprime", b_card))
+            .unwrap();
+        let spec = PartitionSpec::on("unique1", degree, 4);
+        let a_part = PartitionedRelation::from_relation(&a, spec.clone()).unwrap();
+        let a_ref = a_part.reassemble();
+        let b_part = PartitionedRelation::from_relation(&b, spec).unwrap();
+        let b_ref = b_part.reassemble();
+        let mut cat = Catalog::new();
+        cat.register(a_part).unwrap();
+        cat.register(b_part).unwrap();
+        (cat, a_ref, b_ref)
+    }
+
+    fn schedule_for(plan: &Plan, cat: &Catalog, threads: usize) -> ExecutionSchedule {
+        let ext = ExtendedPlan::from_plan(plan, cat, &CostParameters::default()).unwrap();
+        Scheduler::build(
+            plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(threads),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_query_matches_reference_join() {
+        let (cat, a_ref, b_ref) = build_catalog(800, 80, 10);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 4);
+        let runtime = Runtime::new(4).unwrap();
+        let outcome = runtime
+            .submit(&cat, &plan, &schedule)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        assert_eq!(outcome.results["Result"].len(), expected.len());
+        assert_eq!(outcome.cardinalities["Result"], expected.len());
+        assert!(outcome.metrics.total_activations() > 0);
+        assert_eq!(runtime.live_queries(), 0);
+    }
+
+    #[test]
+    fn sixteen_concurrent_queries_share_one_pool() {
+        let (cat, a_ref, b_ref) = build_catalog(1_000, 100, 8);
+        let expected = a_ref
+            .reference_join(&b_ref, "unique1", "unique1")
+            .unwrap()
+            .len();
+        let plans: Vec<Plan> = vec![
+            plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash),
+            plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
+            plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop),
+            plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop),
+        ];
+        let runtime = Runtime::new(4).unwrap();
+        let handles: Vec<QueryHandle> = (0..16)
+            .map(|i| {
+                let plan = &plans[i % plans.len()];
+                let schedule = schedule_for(plan, &cat, 4);
+                runtime.submit(&cat, plan, &schedule).unwrap()
+            })
+            .collect();
+        // All sixteen are registered (or already completing) concurrently.
+        for handle in handles {
+            let outcome = handle.wait().unwrap();
+            assert_eq!(outcome.cardinalities["Result"], expected);
+        }
+        assert_eq!(runtime.live_queries(), 0);
+    }
+
+    #[test]
+    fn tiny_queue_capacity_does_not_deadlock_the_shared_pool() {
+        let (cat, _, b_ref) = build_catalog(4_000, 400, 16);
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+        let mut per_node = BTreeMap::new();
+        for node in plan.nodes() {
+            per_node.insert(
+                node.id,
+                OperationSchedule {
+                    threads: 1,
+                    strategy: ConsumptionStrategy::Random,
+                    queue_capacity: 2,
+                    cache_size: 1,
+                },
+            );
+        }
+        let schedule = ExecutionSchedule::from_parts(per_node);
+        let runtime = Runtime::new(2).unwrap();
+        let outcome = runtime
+            .submit(&cat, &plan, &schedule)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.results["Result"].len(), b_ref.cardinality());
+    }
+
+    #[test]
+    fn cancel_returns_typed_error_and_pool_stays_reusable() {
+        let (cat, a_ref, b_ref) = build_catalog(20_000, 2_000, 10);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let handle = runtime.submit(&cat, &plan, &schedule).unwrap();
+        let id = handle.id();
+        handle.cancel();
+        match handle.wait() {
+            Err(EngineError::QueryCancelled { query }) => assert_eq!(query, id.0),
+            other => panic!("expected QueryCancelled, got {other:?}"),
+        }
+        // The pool is immediately reusable for a fresh query.
+        let quick = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&quick, &cat, 2);
+        let outcome = runtime
+            .submit(&cat, &quick, &schedule)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        assert_eq!(outcome.results["Result"].len(), expected.len());
+    }
+
+    #[test]
+    fn dropping_the_runtime_fails_inflight_queries_without_hanging() {
+        let (cat, _, _) = build_catalog(20_000, 2_000, 10);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let handles: Vec<QueryHandle> = (0..4)
+            .map(|_| runtime.submit(&cat, &plan, &schedule).unwrap())
+            .collect();
+        drop(runtime);
+        for handle in handles {
+            match handle.wait() {
+                Ok(outcome) => assert!(outcome.cardinalities.contains_key("Result")),
+                Err(EngineError::RuntimeShutdown) => {}
+                Err(other) => panic!("unexpected error after shutdown: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn discarding_results_keeps_cardinalities_exact() {
+        let (cat, a_ref, b_ref) = build_catalog(1_000, 100, 8);
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 3).with_discard_results(true);
+        let runtime = Runtime::new(3).unwrap();
+        let outcome = runtime
+            .submit(&cat, &plan, &schedule)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let expected = b_ref.reference_join(&a_ref, "unique1", "unique1").unwrap();
+        assert_eq!(outcome.cardinalities["Result"], expected.len());
+        assert!(outcome.results["Result"].is_empty());
+    }
+
+    #[test]
+    fn try_outcome_polls_then_takes_once() {
+        let (cat, _, b_ref) = build_catalog(800, 80, 8);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let mut handle = runtime.submit(&cat, &plan, &schedule).unwrap();
+        let outcome = loop {
+            if let Some(result) = handle.try_outcome() {
+                break result.unwrap();
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(outcome.results["Result"].len(), b_ref.cardinality());
+        assert!(handle.is_finished());
+        assert!(handle.try_outcome().is_none());
+        assert!(matches!(handle.wait(), Err(EngineError::OutcomeTaken)));
+    }
+
+    #[test]
+    fn empty_pipeline_terminates_on_the_runtime() {
+        let gen = WisconsinGenerator::new();
+        let a = gen.generate(&WisconsinConfig::narrow("A", 1_000)).unwrap();
+        let b = Relation::new("Bprime", a.schema().clone(), Vec::new()).unwrap();
+        let spec = PartitionSpec::on("unique1", 8, 2);
+        let mut cat = Catalog::new();
+        cat.register(PartitionedRelation::from_relation(&a, spec.clone()).unwrap())
+            .unwrap();
+        cat.register(PartitionedRelation::from_relation(&b, spec).unwrap())
+            .unwrap();
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 4);
+        let runtime = Runtime::new(4).unwrap();
+        let outcome = runtime
+            .submit(&cat, &plan, &schedule)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(outcome.results["Result"].is_empty());
+        // Every operation still reports a (possibly empty) metrics entry.
+        assert_eq!(outcome.metrics.operations.len(), 3);
+    }
+
+    #[test]
+    fn operator_panic_fails_the_query_typed_and_keeps_the_pool() {
+        use dbs3_lera::Predicate;
+        let gen = WisconsinGenerator::new();
+        let rel = gen
+            .generate(&WisconsinConfig::narrow(panic_injection::MARKER, 500))
+            .unwrap();
+        let spec = PartitionSpec::on("unique1", 4, 2);
+        let mut cat = Catalog::new();
+        cat.register(PartitionedRelation::from_relation(&rel, spec).unwrap())
+            .unwrap();
+        let plan = plans::selection(panic_injection::MARKER, Predicate::one_in("ten", 10), "Out");
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        match runtime.submit(&cat, &plan, &schedule).unwrap().wait() {
+            Err(EngineError::WorkerPanicked { operation }) => {
+                assert!(operation.contains(panic_injection::MARKER))
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The panic neither killed a worker nor wedged the pool: a healthy
+        // query on the same runtime completes normally.
+        let (cat, a_ref, b_ref) = build_catalog(400, 40, 4);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let outcome = runtime
+            .submit(&cat, &plan, &schedule)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        assert_eq!(outcome.results["Result"].len(), expected.len());
+    }
+
+    #[test]
+    fn zero_thread_pool_is_rejected() {
+        assert!(matches!(
+            Runtime::new(0),
+            Err(EngineError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn submitting_a_storeless_plan_is_an_error() {
+        let (cat, _, _) = build_catalog(200, 20, 4);
+        // Build a plan whose store was... every helper plan stores; use the
+        // executor's validation path instead: a schedule missing a node.
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = ExecutionSchedule::from_parts(BTreeMap::new());
+        let runtime = Runtime::new(1).unwrap();
+        assert!(runtime.submit(&cat, &plan, &schedule).is_err());
+    }
+
+    #[test]
+    fn runtime_debug_shows_pool_shape() {
+        let runtime = Runtime::new(2).unwrap();
+        let rendered = format!("{runtime:?}");
+        assert!(rendered.contains("pool_threads"));
+        assert!(rendered.contains('2'));
+    }
+}

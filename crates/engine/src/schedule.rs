@@ -41,12 +41,30 @@ pub struct OperationSchedule {
 #[derive(Debug, Clone)]
 pub struct ExecutionSchedule {
     per_node: BTreeMap<NodeId, OperationSchedule>,
+    /// Store operators count result tuples instead of materialising them.
+    discard_results: bool,
 }
 
 impl ExecutionSchedule {
-    /// Builds a schedule from explicit per-node parameters.
+    /// Builds a schedule from explicit per-node parameters (results are
+    /// materialised; see [`Self::with_discard_results`]).
     pub fn from_parts(per_node: BTreeMap<NodeId, OperationSchedule>) -> Self {
-        ExecutionSchedule { per_node }
+        ExecutionSchedule {
+            per_node,
+            discard_results: false,
+        }
+    }
+
+    /// Makes store operators count result tuples instead of materialising
+    /// them (cardinalities and metrics stay exact, `results` stays empty).
+    pub fn with_discard_results(mut self, discard: bool) -> Self {
+        self.discard_results = discard;
+        self
+    }
+
+    /// Whether store operators only count result tuples.
+    pub fn discard_results(&self) -> bool {
+        self.discard_results
     }
 
     /// The schedule of one operation.
@@ -128,6 +146,9 @@ pub struct SchedulerOptions {
     /// Skew factor (max instance cost / average instance cost) above which a
     /// triggered operation switches from Random to LPT.
     pub lpt_skew_threshold: f64,
+    /// Count result tuples in the store operators instead of materialising
+    /// them (for workloads that only need cardinalities and metrics).
+    pub discard_results: bool,
 }
 
 impl Default for SchedulerOptions {
@@ -140,6 +161,7 @@ impl Default for SchedulerOptions {
             cache_size: 32,
             strategy_override: None,
             lpt_skew_threshold: 3.0,
+            discard_results: false,
         }
     }
 }
@@ -256,7 +278,10 @@ impl Scheduler {
             }
         }
 
-        let schedule = ExecutionSchedule { per_node };
+        let schedule = ExecutionSchedule {
+            per_node,
+            discard_results: options.discard_results,
+        };
         schedule.validate(plan)?;
         Ok(schedule)
     }

@@ -1,4 +1,4 @@
-//! Consumption strategies and main/secondary queue assignment.
+//! Consumption strategies.
 //!
 //! Two mechanisms control which activation queue a thread consumes from
 //! (Section 3):
@@ -9,18 +9,14 @@
 //!   one thread but each thread can have several main queues. A thread
 //!   always tries to first consume the activations of the main queues. ...
 //!   If all the main queues of a thread are empty, the thread would search
-//!   in secondary queues."
+//!   in secondary queues." The runtime projects this split onto its shared
+//!   pool: queue `q` is a main queue of worker `q % pool_threads` (see
+//!   [`crate::runtime`]).
 //! * **Consumption strategy.** `Random` (default): the thread randomly
 //!   chooses one queue among the non-empty ones. `LPT` (Longest Processing
 //!   Time first): the thread chooses the queue with the most expensive
 //!   activations, based on static fragment-size estimates — the heuristic
 //!   recommended for skewed triggered operations.
-
-use crate::queue::ActivationQueue;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::sync::Arc;
 
 /// How a thread picks the next queue to consume from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,231 +39,14 @@ impl ConsumptionStrategy {
     }
 }
 
-/// Splits `queue_count` queues among `thread_count` threads as main queues:
-/// queue `q` is the main queue of thread `q % thread_count`, so the split is
-/// equal (±1) and every queue has exactly one owning thread.
-pub fn main_queue_assignment(queue_count: usize, thread_count: usize) -> Vec<Vec<usize>> {
-    assert!(thread_count > 0, "at least one thread");
-    let mut assignment = vec![Vec::new(); thread_count];
-    for q in 0..queue_count {
-        assignment[q % thread_count].push(q);
-    }
-    assignment
-}
-
-/// Per-thread queue selection state: the thread's main queues, the remaining
-/// (secondary) queues, and the strategy-specific visit order.
-#[derive(Debug)]
-pub struct QueueSelector {
-    /// All queues of the operation (shared).
-    queues: Vec<Arc<ActivationQueue>>,
-    /// Indexes of this thread's main queues, in strategy order.
-    main: Vec<usize>,
-    /// Indexes of the secondary queues, in strategy order.
-    secondary: Vec<usize>,
-    strategy: ConsumptionStrategy,
-    rng: StdRng,
-    /// Reused visit-order buffer, so the per-poll shuffle of the `Random`
-    /// strategy never allocates on the hot path.
-    scratch: Vec<usize>,
-}
-
-impl QueueSelector {
-    /// Builds the selector for one thread.
-    ///
-    /// `main_queues` are the indexes assigned to this thread by
-    /// [`main_queue_assignment`]; every other queue index becomes secondary.
-    pub fn new(
-        queues: Vec<Arc<ActivationQueue>>,
-        main_queues: Vec<usize>,
-        strategy: ConsumptionStrategy,
-        rng_seed: u64,
-    ) -> Self {
-        let secondary: Vec<usize> = (0..queues.len())
-            .filter(|i| !main_queues.contains(i))
-            .collect();
-        let mut selector = QueueSelector {
-            queues,
-            main: main_queues,
-            secondary,
-            strategy,
-            rng: StdRng::seed_from_u64(rng_seed),
-            scratch: Vec::new(),
-        };
-        selector.apply_static_order();
-        selector
-    }
-
-    /// Sorts main and secondary queue lists by decreasing estimated cost when
-    /// the strategy is LPT (the order is static because the estimates are
-    /// static fragment sizes).
-    fn apply_static_order(&mut self) {
-        if self.strategy == ConsumptionStrategy::Lpt {
-            let queues = &self.queues;
-            let by_cost_desc = |a: &usize, b: &usize| {
-                queues[*b]
-                    .estimated_cost()
-                    .partial_cmp(&queues[*a].estimated_cost())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            };
-            self.main.sort_by(by_cost_desc);
-            self.secondary.sort_by(by_cost_desc);
-        }
-    }
-
-    /// The thread's main queue indexes (strategy order).
-    pub fn main_queues(&self) -> &[usize] {
-        &self.main
-    }
-
-    /// The thread's secondary queue indexes (strategy order).
-    pub fn secondary_queues(&self) -> &[usize] {
-        &self.secondary
-    }
-
-    /// Selects the next queue to consume from and pops activations worth up
-    /// to `batch` *logical* activations from it (whole transport batches, at
-    /// least one).
-    ///
-    /// Main queues are always considered before secondary queues. Within each
-    /// group the strategy decides the visiting order: `Random` shuffles the
-    /// candidates each call, `Lpt` visits them in decreasing estimated cost.
-    /// Returns the selected queue index and the popped activations, or `None`
-    /// when every queue is currently empty.
-    pub fn select_and_pop(
-        &mut self,
-        batch: usize,
-    ) -> Option<(usize, Vec<crate::activation::Activation>)> {
-        // Visit main queues first, then secondary queues.
-        for group in 0..2 {
-            let candidates = if group == 0 {
-                &self.main
-            } else {
-                &self.secondary
-            };
-            // Build the visit order in the reused scratch buffer: LPT keeps
-            // the static cost order, Random reshuffles each poll.
-            self.scratch.clone_from(candidates);
-            if self.strategy == ConsumptionStrategy::Random {
-                self.scratch.shuffle(&mut self.rng);
-            }
-            for i in 0..self.scratch.len() {
-                let q = self.scratch[i];
-                let popped = self.queues[q].try_pop_batch(batch);
-                if !popped.is_empty() {
-                    return Some((q, popped));
-                }
-            }
-        }
-        None
-    }
-
-    /// Whether every queue of the operation is closed and drained — i.e. the
-    /// thread can terminate.
-    pub fn all_exhausted(&self) -> bool {
-        self.queues.iter().all(|q| q.is_exhausted())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::activation::Activation;
-    use dbs3_storage::tuple::int_tuple;
-
-    fn make_queues(costs: &[f64]) -> Vec<Arc<ActivationQueue>> {
-        costs
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| Arc::new(ActivationQueue::new(i, 64, c)))
-            .collect()
-    }
-
-    #[test]
-    fn main_assignment_is_balanced_and_exclusive() {
-        let a = main_queue_assignment(10, 3);
-        assert_eq!(a.len(), 3);
-        let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
-        assert_eq!(sizes.iter().sum::<usize>(), 10);
-        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
-        // Exclusive ownership.
-        let mut all: Vec<usize> = a.concat();
-        all.sort_unstable();
-        assert_eq!(all, (0..10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn more_threads_than_queues_leaves_some_threads_without_mains() {
-        let a = main_queue_assignment(2, 5);
-        assert_eq!(a.iter().filter(|m| m.is_empty()).count(), 3);
-    }
 
     #[test]
     fn strategy_names() {
         assert_eq!(ConsumptionStrategy::Random.name(), "random");
         assert_eq!(ConsumptionStrategy::Lpt.name(), "lpt");
         assert_eq!(ConsumptionStrategy::default(), ConsumptionStrategy::Random);
-    }
-
-    #[test]
-    fn main_queues_are_preferred() {
-        let queues = make_queues(&[1.0, 1.0, 1.0, 1.0]);
-        // Put one activation in a main queue (0) and one in a secondary (3).
-        queues[0].push(Activation::single(int_tuple(&[0])));
-        queues[3].push(Activation::single(int_tuple(&[3])));
-        let mut sel =
-            QueueSelector::new(queues.clone(), vec![0, 1], ConsumptionStrategy::Random, 1);
-        let (q, _) = sel.select_and_pop(8).unwrap();
-        assert_eq!(q, 0, "main queue must be drained before secondaries");
-        let (q, _) = sel.select_and_pop(8).unwrap();
-        assert_eq!(q, 3, "then the secondary queue is used");
-        assert!(sel.select_and_pop(8).is_none());
-    }
-
-    #[test]
-    fn lpt_prefers_expensive_queues() {
-        let queues = make_queues(&[1.0, 100.0, 10.0]);
-        for q in &queues {
-            q.push(Activation::Trigger);
-        }
-        let mut sel =
-            QueueSelector::new(queues.clone(), vec![0, 1, 2], ConsumptionStrategy::Lpt, 1);
-        assert_eq!(sel.main_queues(), &[1, 2, 0]);
-        let (first, _) = sel.select_and_pop(1).unwrap();
-        assert_eq!(first, 1, "LPT picks the most expensive queue first");
-        let (second, _) = sel.select_and_pop(1).unwrap();
-        assert_eq!(second, 2);
-    }
-
-    #[test]
-    fn random_visits_all_queues_eventually() {
-        let queues = make_queues(&[1.0; 8]);
-        for q in &queues {
-            q.push(Activation::Trigger);
-        }
-        let mut sel = QueueSelector::new(
-            queues.clone(),
-            (0..8).collect(),
-            ConsumptionStrategy::Random,
-            42,
-        );
-        let mut seen = std::collections::HashSet::new();
-        while let Some((q, _)) = sel.select_and_pop(1) {
-            seen.insert(q);
-        }
-        assert_eq!(seen.len(), 8);
-    }
-
-    #[test]
-    fn all_exhausted_requires_close_and_drain() {
-        let queues = make_queues(&[1.0, 1.0]);
-        queues[0].push(Activation::Trigger);
-        let mut sel = QueueSelector::new(queues.clone(), vec![0], ConsumptionStrategy::Random, 7);
-        assert!(!sel.all_exhausted());
-        queues[0].close();
-        queues[1].close();
-        assert!(!sel.all_exhausted(), "queue 0 still holds an activation");
-        let _ = sel.select_and_pop(4);
-        assert!(sel.all_exhausted());
     }
 }

@@ -33,16 +33,59 @@
 //! ```
 //!
 //! Custom backends implement [`ExecutionBackend`] directly and run through
-//! [`Query::run_on`](crate::Query::run_on); the two built-in implementations
-//! are [`ThreadedBackend`] (today's [`Executor`]) and [`SimBackend`]
-//! (virtual time via [`Simulator::simulate`]).
+//! [`Query::run_on`](crate::Query::run_on); the built-in implementations
+//! are [`ThreadedBackend`] (a transient worker pool per query, via
+//! [`Executor`]), [`PooledBackend`] (a persistent shared
+//! [`Runtime`] pool serving many concurrent queries),
+//! and [`SimBackend`] (virtual time via [`Simulator::simulate`]).
+//!
+//! # The `Pooled` backend and concurrent queries
+//!
+//! [`Backend::Pooled`] points a query at a long-lived
+//! [`Runtime`]: the pool is spawned once, parks when
+//! idle, and serves every query submitted to it — concurrently, with
+//! workers picking activations across all live queries. `run()` on a pooled
+//! query is exactly `submit` + wait; non-blocking submission with a
+//! [`QueryHandle`] (`wait`/`try_outcome`/`cancel`) goes through
+//! [`Query::submit`](crate::Query::submit):
+//!
+//! ```
+//! use dbs3::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let mut session = Session::new();
+//! let spec = PartitionSpec::on("unique1", 8, 2);
+//! session.load_wisconsin(&WisconsinConfig::narrow("A", 1_000), spec.clone())?;
+//! session.load_wisconsin(&WisconsinConfig::narrow("Bprime", 100), spec)?;
+//! let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+//!
+//! let runtime = Arc::new(Runtime::new(4)?);
+//! // Blocking, through the backend selector...
+//! let pooled = session
+//!     .query(&plan)
+//!     .on(Backend::Pooled(Arc::clone(&runtime)))
+//!     .run()?;
+//! // ...or submit-and-wait with a handle.
+//! let handle = session.query(&plan).submit(&runtime)?;
+//! let submitted = handle.wait()?;
+//! assert_eq!(pooled.result_cardinality("Result"), Some(100));
+//! assert_eq!(submitted.result_cardinality("Result"), Some(100));
+//! # Ok::<(), dbs3::Error>(())
+//! ```
+//!
+//! The pool's width is fixed at [`Runtime::new`];
+//! a pooled query's `.threads(n)` knob still shapes its *schedule* (queue
+//! cost estimates, strategy picks) but does not resize the pool.
 
 use crate::error::Result;
-use dbs3_engine::{ExecutionMetrics, ExecutionOutcome, Executor, Scheduler, SchedulerOptions};
+use dbs3_engine::{
+    ExecutionMetrics, ExecutionOutcome, Executor, Runtime, Scheduler, SchedulerOptions,
+};
 use dbs3_lera::{CostParameters, ExtendedPlan, NodeId, OperatorKind, Plan};
 use dbs3_sim::{SimConfig, SimReport, Simulator};
 use dbs3_storage::{Catalog, Tuple};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A strategy for turning a plan plus backend-neutral execution knobs into a
@@ -69,9 +112,12 @@ pub trait ExecutionBackend {
 /// The built-in backend selector used by [`Query::on`](crate::Query::on).
 #[derive(Debug, Clone, Default)]
 pub enum Backend {
-    /// Execute with real OS threads on the in-process engine.
+    /// Execute with real OS threads on a transient per-query worker pool.
     #[default]
     Threaded,
+    /// Execute on a persistent shared [`Runtime`] pool that serves many
+    /// concurrent queries (see the [module docs](self)).
+    Pooled(Arc<Runtime>),
     /// Replay the same schedule on the virtual-time simulator configured by
     /// the given [`SimConfig`] (e.g. [`SimConfig::ksr1`]).
     Simulated(SimConfig),
@@ -82,6 +128,7 @@ impl Backend {
     pub fn resolve(&self) -> Box<dyn ExecutionBackend> {
         match self {
             Backend::Threaded => Box::new(ThreadedBackend::new()),
+            Backend::Pooled(runtime) => Box::new(PooledBackend::new(Arc::clone(runtime))),
             Backend::Simulated(config) => Box::new(SimBackend::new(config.clone())),
         }
     }
@@ -125,6 +172,99 @@ impl ExecutionBackend for ThreadedBackend {
             .with_cost_parameters(self.cost_params)
             .execute(plan, &schedule)?;
         Ok(QueryOutcome::from_execution(outcome))
+    }
+}
+
+/// Executes queries on a persistent shared [`Runtime`] worker pool.
+///
+/// Unlike [`ThreadedBackend`], which spawns and joins a fresh pool per
+/// query, this backend submits to a pool that outlives the query and may be
+/// serving other queries at the same time. `execute` blocks on the query's
+/// completion; for non-blocking submission use
+/// [`Query::submit`](crate::Query::submit).
+#[derive(Debug, Clone)]
+pub struct PooledBackend {
+    runtime: Arc<Runtime>,
+}
+
+impl PooledBackend {
+    /// Creates a backend submitting to the given runtime.
+    pub fn new(runtime: Arc<Runtime>) -> Self {
+        PooledBackend { runtime }
+    }
+
+    /// The shared runtime this backend submits to.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+}
+
+impl ExecutionBackend for PooledBackend {
+    fn name(&self) -> &'static str {
+        "pooled"
+    }
+
+    fn execute(
+        &self,
+        catalog: &Catalog,
+        plan: &Plan,
+        options: &SchedulerOptions,
+    ) -> Result<QueryOutcome> {
+        let extended = ExtendedPlan::from_plan(plan, catalog, &CostParameters::default())?;
+        let schedule = Scheduler::build(plan, &extended, options)?;
+        let outcome = self.runtime.submit(catalog, plan, &schedule)?.wait()?;
+        Ok(QueryOutcome::from_execution(outcome))
+    }
+}
+
+/// A handle to a query submitted to a shared [`Runtime`] through
+/// [`Query::submit`](crate::Query::submit).
+///
+/// Wraps the engine-level [`dbs3_engine::QueryHandle`], converting outcomes
+/// to the facade's unified [`QueryOutcome`] and errors to [`crate::Error`].
+/// Dropping the handle does not cancel the query.
+#[derive(Debug)]
+pub struct QueryHandle {
+    inner: dbs3_engine::QueryHandle,
+}
+
+impl QueryHandle {
+    pub(crate) fn new(inner: dbs3_engine::QueryHandle) -> Self {
+        QueryHandle { inner }
+    }
+
+    /// The runtime-unique id of the submitted query.
+    pub fn id(&self) -> dbs3_engine::QueryId {
+        self.inner.id()
+    }
+
+    /// Whether the outcome is available (completed, cancelled or failed).
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+
+    /// Blocks until the query completes and returns its outcome. A
+    /// cancelled query reports
+    /// [`EngineError::QueryCancelled`](dbs3_engine::EngineError::QueryCancelled);
+    /// a query orphaned by a dropped runtime reports
+    /// [`EngineError::RuntimeShutdown`](dbs3_engine::EngineError::RuntimeShutdown).
+    pub fn wait(self) -> Result<QueryOutcome> {
+        Ok(QueryOutcome::from_execution(self.inner.wait()?))
+    }
+
+    /// Returns the outcome if the query already completed, without
+    /// blocking. The first `Some` consumes the outcome; the handle is spent
+    /// afterwards.
+    pub fn try_outcome(&mut self) -> Option<Result<QueryOutcome>> {
+        self.inner
+            .try_outcome()
+            .map(|result| Ok(QueryOutcome::from_execution(result?)))
+    }
+
+    /// Cancels the query; `wait()` then reports a typed cancelled error.
+    /// Idempotent, and the runtime stays fully reusable.
+    pub fn cancel(&self) {
+        self.inner.cancel();
     }
 }
 
@@ -270,8 +410,9 @@ impl BackendMetrics {
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// Materialised result tuples, keyed by store name. Only the threaded
-    /// backend materialises tuples; the simulator leaves this empty and
-    /// reports cardinalities instead.
+    /// and pooled backends materialise tuples — and not when the query ran
+    /// with [`Query::discard_results`](crate::Query::discard_results); the
+    /// simulator always leaves this empty and reports cardinalities instead.
     pub results: BTreeMap<String, Vec<Tuple>>,
     /// Exact result cardinality per store name, filled by every backend —
     /// the basis of cross-backend equivalence checks.
@@ -281,16 +422,13 @@ pub struct QueryOutcome {
 }
 
 impl QueryOutcome {
-    /// Builds an outcome from a threaded-engine execution.
+    /// Builds an outcome from a threaded-engine execution. Cardinalities
+    /// come from the engine's own store tallies, so they stay exact when
+    /// the query discarded its result tuples.
     pub fn from_execution(outcome: ExecutionOutcome) -> Self {
-        let cardinalities = outcome
-            .results
-            .iter()
-            .map(|(name, tuples)| (name.clone(), tuples.len()))
-            .collect();
         QueryOutcome {
             results: outcome.results,
-            cardinalities,
+            cardinalities: outcome.cardinalities,
             metrics: BackendMetrics::Threaded(outcome.metrics),
         }
     }

@@ -2,9 +2,12 @@
 //!
 //! The public entry point is the [`Session`]/[`Query`] facade: a session
 //! owns a catalog of partitioned relations, a query chains execution knobs
-//! and runs on a pluggable [`exec::ExecutionBackend`] — real OS threads
-//! ([`exec::ThreadedBackend`]) or the virtual-time KSR1 simulator
-//! ([`exec::SimBackend`]) — returning a unified [`exec::QueryOutcome`].
+//! and runs on a pluggable [`exec::ExecutionBackend`] — a transient
+//! per-query thread pool ([`exec::ThreadedBackend`]), a persistent shared
+//! [`Runtime`] pool serving many concurrent queries
+//! ([`exec::PooledBackend`], non-blocking via [`Query::submit`]), or the
+//! virtual-time KSR1 simulator ([`exec::SimBackend`]) — returning a unified
+//! [`exec::QueryOutcome`].
 //!
 //! The underlying crates stay public for low-level control:
 //!
@@ -60,21 +63,25 @@ mod error;
 pub mod exec;
 mod session;
 
+pub use dbs3_engine::{QueryId, Runtime};
 pub use error::{Error, Result};
 pub use exec::{
-    Backend, BackendMetrics, ExecutionBackend, QueryOutcome, SimBackend, ThreadedBackend,
+    Backend, BackendMetrics, ExecutionBackend, PooledBackend, QueryHandle, QueryOutcome,
+    SimBackend, ThreadedBackend,
 };
 pub use session::{Query, Session};
 
 /// The most commonly used items of every crate, for `use dbs3::prelude::*`.
 pub mod prelude {
     pub use crate::exec::{
-        Backend, BackendMetrics, ExecutionBackend, QueryOutcome, SimBackend, ThreadedBackend,
+        Backend, BackendMetrics, ExecutionBackend, PooledBackend, QueryHandle, QueryOutcome,
+        SimBackend, ThreadedBackend,
     };
     pub use crate::session::{Query, Session};
     pub use crate::{Error, Result};
     pub use dbs3_engine::{
-        ConsumptionStrategy, ExecutionSchedule, Executor, Scheduler, SchedulerOptions,
+        ConsumptionStrategy, ExecutionSchedule, Executor, QueryId, Runtime, Scheduler,
+        SchedulerOptions,
     };
     pub use dbs3_lera::{
         plans, CostParameters, ExtendedPlan, JoinAlgorithm, Plan, PlanBuilder, Predicate,

@@ -8,10 +8,16 @@
 //! execution knobs, so running the paper's experiments under a different
 //! regime (thread count, consumption strategy, cache size, real threads vs.
 //! the simulated KSR1) changes one line instead of five.
+//!
+//! Queries run either blocking ([`Query::run`], one transient pool per
+//! query on the default backend) or concurrently against a persistent
+//! shared [`Runtime`] pool ([`Query::submit`], returning a
+//! [`QueryHandle`]). `run()` is unchanged for existing callers; on a pooled
+//! backend it is exactly `submit` + wait.
 
 use crate::error::Result;
-use crate::exec::{Backend, ExecutionBackend, QueryOutcome};
-use dbs3_engine::{ConsumptionStrategy, ExecutionSchedule, Scheduler, SchedulerOptions};
+use crate::exec::{Backend, ExecutionBackend, QueryHandle, QueryOutcome};
+use dbs3_engine::{ConsumptionStrategy, ExecutionSchedule, Runtime, Scheduler, SchedulerOptions};
 use dbs3_lera::{CostParameters, ExtendedPlan, Plan};
 use dbs3_storage::{
     Catalog, PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
@@ -140,6 +146,16 @@ impl<'a> Query<'a> {
         self
     }
 
+    /// Counts result tuples in the store operators instead of materialising
+    /// them: `QueryOutcome::results` stays empty while `cardinalities` and
+    /// every metric stay exact. For benches and workloads that only need
+    /// counts — skipping the result `Vec<Tuple>` removes the last
+    /// per-result-tuple allocation.
+    pub fn discard_results(mut self) -> Self {
+        self.options.discard_results = true;
+        self
+    }
+
     /// Replaces all scheduler options at once (for knobs without a dedicated
     /// chain method, e.g. `work_per_thread` or `lpt_skew_threshold`).
     pub fn scheduler_options(mut self, options: SchedulerOptions) -> Self {
@@ -175,7 +191,9 @@ impl<'a> Query<'a> {
         )?)
     }
 
-    /// Runs the query on the selected built-in backend.
+    /// Runs the query on the selected built-in backend, blocking until the
+    /// outcome is available. On [`Backend::Pooled`] this is exactly
+    /// [`Query::submit`] followed by [`QueryHandle::wait`].
     pub fn run(self) -> Result<QueryOutcome> {
         let backend = self.backend.resolve();
         backend.execute(self.session.catalog(), self.plan, &self.options)
@@ -184,6 +202,19 @@ impl<'a> Query<'a> {
     /// Runs the query on a caller-provided backend implementation.
     pub fn run_on(&self, backend: &dyn ExecutionBackend) -> Result<QueryOutcome> {
         backend.execute(self.session.catalog(), self.plan, &self.options)
+    }
+
+    /// Submits the query to a persistent shared [`Runtime`] pool and
+    /// returns immediately with a [`QueryHandle`]
+    /// (`wait`/`try_outcome`/`cancel`). Any number of queries may be in
+    /// flight on one runtime; workers schedule activations across all of
+    /// them. The query's schedule is built exactly as `run()` would build
+    /// it; the pool's width (fixed at [`Runtime::new`]) bounds the actual
+    /// parallelism.
+    pub fn submit(&self, runtime: &Runtime) -> Result<QueryHandle> {
+        let schedule = self.schedule()?;
+        let handle = runtime.submit(self.session.catalog(), self.plan, &schedule)?;
+        Ok(QueryHandle::new(handle))
     }
 }
 
