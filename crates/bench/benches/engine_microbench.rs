@@ -1,13 +1,15 @@
 //! Micro-benchmarks of the real execution engine: activation queue
-//! throughput (per-tuple vs batched transport), a small end-to-end
-//! IdealJoin, and the pipelined-join hot path at 8 threads — the number the
-//! committed `BENCH_engine.json` baseline tracks across PRs.
+//! throughput (per-tuple vs batched transport), the lock-free queue-scan
+//! fast path, parallel vs sequential temporary hash-index builds, a small
+//! end-to-end IdealJoin, and the pipelined-join hot path at 8 threads — the
+//! number the committed `BENCH_engine.json` baseline tracks across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbs3_bench::JoinDatabase;
 use dbs3_engine::{Activation, ActivationQueue, Executor, TupleBatch};
 use dbs3_lera::{plans, JoinAlgorithm};
 use dbs3_storage::tuple::int_tuple;
+use dbs3_storage::{HashIndex, Tuple};
 use std::hint::black_box;
 
 fn queue_throughput(c: &mut Criterion) {
@@ -57,6 +59,58 @@ fn queue_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The scheduler-scan shape: most queues a worker polls are empty most of
+/// the time, so the cost that matters is observing an empty/exhausted queue.
+/// Since the atomic mirrors, every observation here is a lock-free load
+/// (previously each took the buffer mutex).
+fn queue_scan_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_queue_scan");
+    group.sample_size(20);
+    // 64 queues, one holding work — the worst realistic scan:hit ratio.
+    let queues: Vec<ActivationQueue> = (0..64)
+        .map(|i| ActivationQueue::new(i, 1024, 0.0))
+        .collect();
+    queues[63].push(Activation::single(int_tuple(&[1])));
+    group.bench_function("observe_64_queues", |b| {
+        b.iter(|| {
+            let mut live = 0usize;
+            let mut buffered = 0usize;
+            for q in &queues {
+                if !q.is_exhausted() && !q.is_empty() {
+                    live += 1;
+                    buffered += q.len();
+                }
+            }
+            black_box((live, buffered))
+        })
+    });
+    // Speculative pops against empty queues (the per-poll op scan): the
+    // atomic fast path returns before ever touching the mutex.
+    let empty = ActivationQueue::new(0, 1024, 0.0);
+    group.bench_function("try_pop_empty", |b| {
+        b.iter(|| black_box(empty.try_pop_batch(64).len()))
+    });
+    group.finish();
+}
+
+/// Sequential vs partitioned temporary index build over a fragment-sized
+/// tuple run (the build cost every Hash/TempIndex join instance pays once).
+fn hash_index_build(c: &mut Criterion) {
+    let tuples: Vec<Tuple> = (0..200_000).map(|i| int_tuple(&[i % 50_021, i])).collect();
+    let mut group = c.benchmark_group("hash_index_build_200k");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(HashIndex::build(&tuples, 0).len()))
+    });
+    for shards in [2usize, 8] {
+        let name = format!("parallel_{shards}");
+        group.bench_function(&name, |b| {
+            b.iter(|| black_box(HashIndex::build_parallel(&tuples, 0, shards).len()))
+        });
+    }
+    group.finish();
+}
+
 fn end_to_end_join(c: &mut Criterion) {
     let db = JoinDatabase::generate(4_000, 400);
     let session = db.session(20, 0.0);
@@ -95,5 +149,11 @@ fn end_to_end_join(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, queue_throughput, end_to_end_join);
+criterion_group!(
+    benches,
+    queue_throughput,
+    queue_scan_fast_path,
+    hash_index_build,
+    end_to_end_join
+);
 criterion_main!(benches);

@@ -13,6 +13,13 @@
 //! makes per-tuple *engine* overhead — routing, queue locking, activation
 //! dispatch — the dominant cost, which is exactly what the baseline is meant
 //! to track; algorithmic join cost would only dilute the signal.
+//!
+//! Since the scaled-tier work (`ExperimentScale::Scaled`, 32× the paper's
+//! cardinalities) the document is **tiered**: each tier carries its runs
+//! plus derived `speedup_4t`/`speedup_8t` ratios per shape (throughput at
+//! 4/8 threads over 1 thread), and the top level records `host_cpus` — a
+//! speedup measured on a 1-core container is honestly a flat line, and the
+//! record must say so.
 
 use crate::{ExperimentScale, JoinDatabase};
 use dbs3::Session;
@@ -70,6 +77,75 @@ pub fn run_baseline(scale: ExperimentScale) -> Vec<BaselineRun> {
     runs
 }
 
+/// Derived multicore speedup of one shape: throughput at 4 and 8 threads
+/// over the 1-thread run of the same tier.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Shape identifier the ratios belong to.
+    pub shape: &'static str,
+    /// `tuples_per_second(4 threads) / tuples_per_second(1 thread)`.
+    pub speedup_4t: f64,
+    /// `tuples_per_second(8 threads) / tuples_per_second(1 thread)`.
+    pub speedup_8t: f64,
+}
+
+/// One measured tier of the baseline document.
+#[derive(Debug, Clone)]
+pub struct BaselineTier {
+    /// The tier's scale.
+    pub scale: ExperimentScale,
+    /// Measured rows in (shape, threads) order.
+    pub runs: Vec<BaselineRun>,
+    /// Per-shape speedup ratios derived from `runs`.
+    pub speedups: Vec<SpeedupRow>,
+}
+
+/// Derives the per-shape speedup rows from a tier's measured runs.
+pub fn speedups_of(runs: &[BaselineRun]) -> Vec<SpeedupRow> {
+    let tps = |shape: &str, threads: usize| {
+        runs.iter()
+            .find(|r| r.shape == shape && r.threads == threads)
+            .map(|r| r.tuples_per_second)
+    };
+    let mut shapes: Vec<&'static str> = Vec::new();
+    for r in runs {
+        if !shapes.contains(&r.shape) {
+            shapes.push(r.shape);
+        }
+    }
+    shapes
+        .into_iter()
+        .filter_map(|shape| {
+            let base = tps(shape, 1)?;
+            if base <= 0.0 {
+                return None;
+            }
+            Some(SpeedupRow {
+                shape,
+                speedup_4t: tps(shape, 4).map_or(0.0, |t| t / base),
+                speedup_8t: tps(shape, 8).map_or(0.0, |t| t / base),
+            })
+        })
+        .collect()
+}
+
+/// Measures one tier and bundles the derived speedups with it.
+pub fn run_tier(scale: ExperimentScale) -> BaselineTier {
+    let runs = run_baseline(scale);
+    let speedups = speedups_of(&runs);
+    BaselineTier {
+        scale,
+        runs,
+        speedups,
+    }
+}
+
+/// Parallelism the measuring host actually offers (1 when unknown). A
+/// speedup row is only meaningful relative to this.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Measures one (plan, threads) configuration, keeping the best repetition.
 /// Results are discarded (counting stores): the baseline tracks engine
 /// overhead, and materialising a 20K-tuple `Vec` per run would only add
@@ -112,45 +188,64 @@ pub fn without_reference(doc: &str) -> String {
     }
 }
 
-/// Serialises baseline rows as the `BENCH_engine.json` document.
+/// Serialises baseline tiers as the `BENCH_engine.json` document
+/// (schema version 2).
 ///
 /// The format is intentionally flat so future PRs can diff it textually:
-/// one object per configuration under `"runs"`, one per concurrency level
-/// under `"concurrent"` (the multi-query throughput shape of the shared
-/// [`dbs3::Runtime`] pool), plus the scale it was measured at. `reference`
-/// optionally carries the previous baseline forward (the before/after
-/// record of a perf PR).
+/// one object per tier under `"tiers"` — each holding one object per
+/// configuration under `"runs"` and per-shape `speedup_4t`/`speedup_8t`
+/// rows under `"speedups"` — one object per concurrency level under
+/// `"concurrent"` (the multi-query throughput shape of the shared
+/// [`dbs3::Runtime`] pool), and the measuring host's parallelism under
+/// `"host_cpus"` (a flat speedup curve on a 1-core host is expected, not a
+/// regression). `reference` optionally carries the previous baseline
+/// forward (the before/after record of a perf PR).
 pub fn to_json(
-    scale: ExperimentScale,
-    runs: &[BaselineRun],
+    tiers: &[BaselineTier],
     concurrent: &[crate::concurrent::ConcurrentRun],
     reference: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(
         "  \"bench\": \"dbs3 engine baseline (threaded backend, hash join); \
          tuples_per_second counts logical activations across all pipeline \
          hops per second of execution\",\n",
     );
-    let scale_name = match scale {
-        ExperimentScale::Paper => "paper",
-        ExperimentScale::Smoke => "smoke",
-    };
-    out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
-    out.push_str("  \"runs\": [\n");
-    for (i, r) in runs.iter().enumerate() {
+    out.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
+    out.push_str("  \"tiers\": [\n");
+    for (t, tier) in tiers.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"shape\": \"{}\", \"threads\": {}, \"elapsed_s\": {:.6}, \
-             \"result_tuples\": {}, \"logical_activations\": {}, \
-             \"tuples_per_second\": {:.1}}}{}\n",
-            r.shape,
-            r.threads,
-            r.elapsed_s,
-            r.result_tuples,
-            r.logical_activations,
-            r.tuples_per_second,
-            if i + 1 < runs.len() { "," } else { "" },
+            "    {{\"scale\": \"{}\", \"runs\": [\n",
+            tier.scale.name()
+        ));
+        for (i, r) in tier.runs.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"shape\": \"{}\", \"threads\": {}, \"elapsed_s\": {:.6}, \
+                 \"result_tuples\": {}, \"logical_activations\": {}, \
+                 \"tuples_per_second\": {:.1}}}{}\n",
+                r.shape,
+                r.threads,
+                r.elapsed_s,
+                r.result_tuples,
+                r.logical_activations,
+                r.tuples_per_second,
+                if i + 1 < tier.runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ], \"speedups\": [\n");
+        for (i, s) in tier.speedups.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"shape\": \"{}\", \"speedup_4t\": {:.3}, \"speedup_8t\": {:.3}}}{}\n",
+                s.shape,
+                s.speedup_4t,
+                s.speedup_8t,
+                if i + 1 < tier.speedups.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if t + 1 < tiers.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]");
@@ -184,43 +279,72 @@ pub fn to_json(
 mod tests {
     use super::*;
 
-    fn sample_runs() -> Vec<BaselineRun> {
-        vec![
-            BaselineRun {
-                shape: "fig14_assoc_join",
-                threads: 1,
-                elapsed_s: 0.25,
-                result_tuples: 1_000,
-                logical_activations: 2_020,
-                tuples_per_second: 8_080.0,
-            },
-            BaselineRun {
-                shape: "fig15_ideal_join",
-                threads: 8,
-                elapsed_s: 0.125,
-                result_tuples: 1_000,
-                logical_activations: 1_020,
-                tuples_per_second: 8_160.0,
-            },
-        ]
+    fn run(shape: &'static str, threads: usize, tps: f64) -> BaselineRun {
+        BaselineRun {
+            shape,
+            threads,
+            elapsed_s: 0.25,
+            result_tuples: 1_000,
+            logical_activations: 2_020,
+            tuples_per_second: tps,
+        }
+    }
+
+    fn sample_tier(scale: ExperimentScale) -> BaselineTier {
+        let runs = vec![
+            run("fig14_assoc_join", 1, 8_080.0),
+            run("fig14_assoc_join", 4, 24_240.0),
+            run("fig14_assoc_join", 8, 32_320.0),
+            run("fig15_ideal_join", 1, 8_160.0),
+            run("fig15_ideal_join", 8, 16_320.0),
+        ];
+        let speedups = speedups_of(&runs);
+        BaselineTier {
+            scale,
+            runs,
+            speedups,
+        }
+    }
+
+    #[test]
+    fn speedups_are_ratios_over_the_one_thread_run() {
+        let tier = sample_tier(ExperimentScale::Paper);
+        assert_eq!(tier.speedups.len(), 2);
+        let fig14 = &tier.speedups[0];
+        assert_eq!(fig14.shape, "fig14_assoc_join");
+        assert!((fig14.speedup_4t - 3.0).abs() < 1e-9);
+        assert!((fig14.speedup_8t - 4.0).abs() < 1e-9);
+        // A shape with no 4-thread run reports 0.0 rather than inventing one.
+        let fig15 = &tier.speedups[1];
+        assert_eq!(fig15.speedup_4t, 0.0);
+        assert!((fig15.speedup_8t - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn json_has_one_object_per_run_and_balanced_braces() {
-        let json = to_json(ExperimentScale::Smoke, &sample_runs(), &[], None);
-        assert_eq!(json.matches("\"shape\"").count(), 2);
+        let tiers = [
+            sample_tier(ExperimentScale::Smoke),
+            sample_tier(ExperimentScale::ScaledSmoke),
+        ];
+        let json = to_json(&tiers, &[], None);
+        // One "shape" per run object plus one per speedup row, per tier.
+        assert_eq!(json.matches("\"shape\"").count(), 2 * (5 + 2));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"scale\": \"scaled_smoke\""));
+        assert!(json.contains("\"host_cpus\": "));
+        assert!(json.contains("\"speedup_4t\": 3.000"));
+        assert!(json.contains("\"speedup_8t\": 4.000"));
         assert!(json.contains("\"tuples_per_second\": 8080.0"));
         assert!(!json.contains("reference"));
     }
 
     #[test]
     fn json_embeds_reference_document() {
-        let runs = sample_runs();
-        let previous = to_json(ExperimentScale::Paper, &runs[..1], &[], None);
-        let json = to_json(ExperimentScale::Paper, &runs, &[], Some(&previous));
+        let tiers = [sample_tier(ExperimentScale::Paper)];
+        let previous = to_json(&tiers, &[], None);
+        let json = to_json(&tiers, &[], Some(&previous));
         assert!(json.contains("\"reference\": {"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches("\"schema_version\"").count(), 2);
@@ -228,21 +352,16 @@ mod tests {
 
     #[test]
     fn without_reference_round_trips() {
-        let runs = sample_runs();
-        let bare = to_json(ExperimentScale::Paper, &runs, &[], None);
+        let tiers = [sample_tier(ExperimentScale::Paper)];
+        let bare = to_json(&tiers, &[], None);
         // A document without a reference passes through untouched.
         assert_eq!(without_reference(&bare), bare);
         // Regenerating drops exactly the old nested reference, so chaining
         // emissions never accumulates history.
-        let older = to_json(ExperimentScale::Paper, &runs[..1], &[], None);
-        let with_ref = to_json(ExperimentScale::Paper, &runs, &[], Some(&older));
+        let older = to_json(&tiers[..1], &[], None);
+        let with_ref = to_json(&tiers, &[], Some(&older));
         assert_eq!(without_reference(&with_ref), bare);
-        let chained = to_json(
-            ExperimentScale::Paper,
-            &runs,
-            &[],
-            Some(&without_reference(&with_ref)),
-        );
+        let chained = to_json(&tiers, &[], Some(&without_reference(&with_ref)));
         assert_eq!(chained.matches("\"schema_version\"").count(), 2);
         assert_eq!(chained.matches('{').count(), chained.matches('}').count());
     }
@@ -258,30 +377,31 @@ mod tests {
             aggregate_activations_per_second: 1_286_400.0,
             cardinalities: vec![20_000; 16],
         }];
-        let json = to_json(ExperimentScale::Paper, &sample_runs(), &concurrent, None);
+        let tiers = [sample_tier(ExperimentScale::Paper)];
+        let json = to_json(&tiers, &concurrent, None);
         assert!(json.contains("\"concurrent\": ["));
         assert!(json.contains("\"queries\": 16"));
         assert!(json.contains("\"aggregate_activations_per_second\": 1286400.0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        let with_ref = to_json(
-            ExperimentScale::Paper,
-            &sample_runs(),
-            &concurrent,
-            Some(&json),
-        );
+        let with_ref = to_json(&tiers, &concurrent, Some(&json));
         assert_eq!(without_reference(&with_ref), json);
     }
 
     #[test]
     fn smoke_baseline_measures_every_configuration() {
-        let runs = run_baseline(ExperimentScale::Smoke);
-        assert_eq!(runs.len(), 2 * BASELINE_THREADS.len());
-        for r in &runs {
+        let tier = run_tier(ExperimentScale::Smoke);
+        assert_eq!(tier.runs.len(), 2 * BASELINE_THREADS.len());
+        for r in &tier.runs {
             assert!(r.elapsed_s > 0.0, "{:?}", r);
             assert!(r.tuples_per_second > 0.0, "{:?}", r);
             // Both shapes join the full Bprime against A on the unique key.
             assert_eq!(r.result_tuples, 1_000);
+        }
+        // Every measured shape gets a speedup row with positive ratios.
+        assert_eq!(tier.speedups.len(), 2);
+        for s in &tier.speedups {
+            assert!(s.speedup_4t > 0.0 && s.speedup_8t > 0.0, "{:?}", s);
         }
     }
 }

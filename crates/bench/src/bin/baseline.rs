@@ -1,42 +1,82 @@
 //! Writes the engine benchmark baseline (`BENCH_engine.json`).
 //!
 //! ```text
-//! cargo run -p dbs3-bench --release --bin baseline              # paper scale
-//! cargo run -p dbs3-bench --release --bin baseline -- --smoke  # CI smoke
+//! cargo run -p dbs3-bench --release --bin baseline                    # paper + scaled tiers
+//! cargo run -p dbs3-bench --release --bin baseline -- --scale paper  # one tier only
+//! cargo run -p dbs3-bench --release --bin baseline -- --scale scaled --smoke --gate
 //! cargo run -p dbs3-bench --release --bin baseline -- --out /tmp/b.json
 //! ```
 //!
 //! Measures the fig14 (AssocJoin, pipelined) and fig15 (IdealJoin, triggered)
-//! hash-join shapes on the threaded engine at 1/4/8 threads, plus the
-//! multi-query shape — fig14 at 1/4/16 concurrent queries on a shared
-//! 4-worker `Runtime` pool — and writes one JSON document, so perf PRs have
-//! a recorded before/after: when the output file already exists, its
-//! measurement is carried forward under `"reference"` (with any older
-//! nested reference dropped). The emitted file is re-read and
-//! sanity-checked so a truncated write fails loudly (the CI smoke step
-//! relies on a non-zero exit here).
+//! hash-join shapes on the threaded engine at 1/4/8 threads — at the paper
+//! tier and at the 32× `scaled` tier, each with derived
+//! `speedup_4t`/`speedup_8t` ratios per shape — plus the multi-query shape
+//! (fig14 at 1/4/16 concurrent queries on a shared 4-worker `Runtime` pool),
+//! and writes one JSON document, so perf PRs have a recorded before/after:
+//! when the output file already exists, its measurement is carried forward
+//! under `"reference"` (with any older nested reference dropped).
+//!
+//! `--smoke` substitutes the CI-sized tiers (smoke / scaled_smoke).
+//! `--gate` turns the run into a scaling gate: after measuring, the scaled
+//! tier's fig14 shape must reach a 4-thread speedup of at least 1.3× or the
+//! process exits non-zero — unless the host offers fewer than 4 CPUs, where
+//! a speedup expectation would be meaningless and the gate reports itself
+//! skipped. The emitted file is re-read and sanity-checked so a truncated
+//! write fails loudly (the CI smoke step relies on a non-zero exit here).
 
-use dbs3_bench::baseline::{run_baseline, to_json, without_reference, BASELINE_THREADS};
+use dbs3_bench::baseline::{
+    host_cpus, run_tier, to_json, without_reference, BaselineTier, BASELINE_THREADS,
+};
 use dbs3_bench::concurrent::{run_concurrent_baseline, CONCURRENT_QUERIES};
 use dbs3_bench::ExperimentScale;
 
+/// Minimum 4-thread speedup the scaled fig14 shape must reach under
+/// `--gate`. Deliberately generous: CI runners are noisy, shared and only
+/// ~4 cores wide, so the gate catches "parallelism stopped paying at all"
+/// rather than enforcing the committed record's ratio.
+const GATE_MIN_SPEEDUP_4T: f64 = 1.3;
+
+/// Shape the gate inspects (the engine's hottest data path).
+const GATE_SHAPE: &str = "fig14_assoc_join";
+
+fn usage() -> ! {
+    eprintln!("usage: baseline [--smoke] [--scale paper|scaled|both] [--gate] [--out PATH]");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        ExperimentScale::Smoke
-    } else {
-        ExperimentScale::Paper
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let scale_arg = match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some(s @ ("paper" | "scaled" | "both")) => s.to_string(),
+            _ => usage(),
+        },
+        None => "both".to_string(),
     };
     let out_path = match args.iter().position(|a| a == "--out") {
         Some(i) => match args.get(i + 1) {
             Some(path) if !path.starts_with("--") => path.clone(),
-            _ => {
-                eprintln!("error: --out requires a path argument");
-                eprintln!("usage: baseline [--smoke] [--out PATH]");
-                std::process::exit(2);
-            }
+            _ => usage(),
         },
         None => "BENCH_engine.json".to_string(),
+    };
+
+    let base_tier = if smoke {
+        ExperimentScale::Smoke
+    } else {
+        ExperimentScale::Paper
+    };
+    let scaled_tier = if smoke {
+        ExperimentScale::ScaledSmoke
+    } else {
+        ExperimentScale::Scaled
+    };
+    let scales: Vec<ExperimentScale> = match scale_arg.as_str() {
+        "paper" => vec![base_tier],
+        "scaled" => vec![scaled_tier],
+        _ => vec![base_tier, scaled_tier],
     };
 
     // The previous emission (if one exists) becomes the new reference — the
@@ -49,47 +89,110 @@ fn main() {
         .map(|doc| without_reference(&doc))
         .filter(|doc| !doc.contains("\"reference\""));
 
-    eprintln!("# measuring engine baseline ({scale:?} scale, threads {BASELINE_THREADS:?})...");
-    let runs = run_baseline(scale);
-    for r in &runs {
+    let mut tiers: Vec<BaselineTier> = Vec::new();
+    for &scale in &scales {
         eprintln!(
-            "#   {:<18} threads={} elapsed={:.4}s tuples/s={:.0}",
-            r.shape, r.threads, r.elapsed_s, r.tuples_per_second
+            "# measuring engine baseline ({} tier, threads {BASELINE_THREADS:?}, host_cpus {})...",
+            scale.name(),
+            host_cpus()
         );
+        let tier = run_tier(scale);
+        for r in &tier.runs {
+            eprintln!(
+                "#   {:<18} threads={} elapsed={:.4}s tuples/s={:.0}",
+                r.shape, r.threads, r.elapsed_s, r.tuples_per_second
+            );
+        }
+        for s in &tier.speedups {
+            eprintln!(
+                "#   {:<18} speedup_4t={:.2} speedup_8t={:.2}",
+                s.shape, s.speedup_4t, s.speedup_8t
+            );
+        }
+        tiers.push(tier);
     }
-    eprintln!("# measuring multi-query baseline (shared pool, queries {CONCURRENT_QUERIES:?})...");
-    let concurrent = run_concurrent_baseline(scale, 3);
-    for c in &concurrent {
+
+    // The multi-query section stays on the base tier: it tracks pool
+    // scheduling cost, which the 32× tier would only drown in join work.
+    let concurrent = if scales.contains(&base_tier) {
         eprintln!(
-            "#   {:<18} pool={} queries={:<2} elapsed={:.4}s aggregate acts/s={:.0}",
-            c.workload, c.pool_threads, c.queries, c.elapsed_s, c.aggregate_activations_per_second
+            "# measuring multi-query baseline (shared pool, queries {CONCURRENT_QUERIES:?})..."
         );
-    }
-    let json = to_json(scale, &runs, &concurrent, reference.as_deref());
+        let runs = run_concurrent_baseline(base_tier, 3);
+        for c in &runs {
+            eprintln!(
+                "#   {:<18} pool={} queries={:<2} elapsed={:.4}s aggregate acts/s={:.0}",
+                c.workload,
+                c.pool_threads,
+                c.queries,
+                c.elapsed_s,
+                c.aggregate_activations_per_second
+            );
+        }
+        runs
+    } else {
+        Vec::new()
+    };
+
+    let json = to_json(&tiers, &concurrent, reference.as_deref());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     });
 
-    // Fail loudly on a truncated or malformed emission. The document holds
-    // one run object per configuration, plus one more set per embedded
-    // reference generation.
+    // Fail loudly on a truncated or malformed emission. (CI additionally
+    // parses the file with a real JSON parser.)
     let written = std::fs::read_to_string(&out_path).unwrap_or_default();
-    let expected_runs = 2 * BASELINE_THREADS.len();
-    let shapes = written.matches("\"shape\"").count();
-    let workloads = written.matches("\"workload\"").count();
-    if shapes == 0
-        || shapes % expected_runs != 0
-        || workloads == 0
-        || workloads % CONCURRENT_QUERIES.len() != 0
+    let expected_runs = scales.len() * 2 * BASELINE_THREADS.len();
+    if !written.contains("\"tiers\"")
+        || written.matches("\"shape\"").count() < expected_runs
         || written.matches('{').count() != written.matches('}').count()
+        || written.matches('[').count() != written.matches(']').count()
         || !written.trim_end().ends_with('}')
     {
         eprintln!("error: {out_path} is malformed");
         std::process::exit(1);
     }
     eprintln!(
-        "# wrote {out_path} ({expected_runs} runs, {} concurrency levels)",
-        CONCURRENT_QUERIES.len()
+        "# wrote {out_path} ({} tiers, {expected_runs} runs, {} concurrency levels)",
+        tiers.len(),
+        concurrent.len()
+    );
+
+    if gate {
+        run_gate(&tiers, scaled_tier);
+    }
+}
+
+/// The CI scaling gate: on a host with at least 4 CPUs, the scaled-tier
+/// fig14 shape must reach `GATE_MIN_SPEEDUP_4T` at 4 threads.
+fn run_gate(tiers: &[BaselineTier], scaled_tier: ExperimentScale) {
+    let cpus = host_cpus();
+    if cpus < 4 {
+        eprintln!(
+            "# gate: SKIPPED — host offers {cpus} CPU(s); a 4-thread speedup \
+             expectation needs at least 4"
+        );
+        return;
+    }
+    let Some(tier) = tiers.iter().find(|t| t.scale == scaled_tier) else {
+        eprintln!("error: gate requested but the scaled tier was not measured");
+        std::process::exit(1);
+    };
+    let Some(row) = tier.speedups.iter().find(|s| s.shape == GATE_SHAPE) else {
+        eprintln!("error: gate shape {GATE_SHAPE} missing from the scaled tier");
+        std::process::exit(1);
+    };
+    if row.speedup_4t < GATE_MIN_SPEEDUP_4T {
+        eprintln!(
+            "error: gate FAILED — {GATE_SHAPE} 4-thread speedup {:.2} < {GATE_MIN_SPEEDUP_4T} \
+             on a {cpus}-CPU host (parallelism stopped paying)",
+            row.speedup_4t
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# gate: OK — {GATE_SHAPE} speedup_4t={:.2} (>= {GATE_MIN_SPEEDUP_4T}, host_cpus={cpus})",
+        row.speedup_4t
     );
 }

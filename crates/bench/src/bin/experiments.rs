@@ -92,8 +92,8 @@ fn fig14(scale: ExperimentScale) {
 
 fn fig15(scale: ExperimentScale) {
     let degree = match scale {
-        ExperimentScale::Paper => 200,
-        ExperimentScale::Smoke => 20,
+        ExperimentScale::Paper | ExperimentScale::Scaled => 200,
+        ExperimentScale::Smoke | ExperimentScale::ScaledSmoke => 20,
     };
     exp::print_fig15(&exp::fig15_idealjoin_speedup(scale), degree);
     println!();

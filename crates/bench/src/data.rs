@@ -20,22 +20,50 @@ pub enum ExperimentScale {
     /// Cardinalities divided by ~20 and coarser sweeps. Used by the
     /// Criterion benches so `cargo bench` finishes quickly.
     Smoke,
+    /// 32× the paper's cardinalities. Paper-scale shapes finish in tens of
+    /// milliseconds on modern hardware — too short for thread spawn and
+    /// index-build amortisation, so speedup curves flatline. This tier
+    /// pushes the same shapes into the hundreds-of-milliseconds range where
+    /// multicore speedup is actually observable.
+    Scaled,
+    /// The scaled tier shrunk for CI: 32× the *smoke* cardinalities. Big
+    /// enough that a 4-thread run must beat a 1-thread run on a multi-core
+    /// runner, small enough to finish in seconds (the CI scaling gate).
+    ScaledSmoke,
 }
 
+/// How much the scaled tiers multiply their base cardinalities by.
+pub const SCALED_FACTOR: usize = 32;
+
 impl ExperimentScale {
-    /// Scales a paper cardinality down when running at smoke scale.
+    /// Scales a paper cardinality to this tier.
     pub fn cardinality(self, paper: usize) -> usize {
         match self {
             ExperimentScale::Paper => paper,
             ExperimentScale::Smoke => (paper / 20).max(200),
+            ExperimentScale::Scaled => paper * SCALED_FACTOR,
+            ExperimentScale::ScaledSmoke => (paper / 20).max(200) * SCALED_FACTOR,
         }
     }
 
-    /// Scales a degree-of-partitioning sweep point.
+    /// Scales a degree-of-partitioning sweep point. The scaled tiers keep
+    /// their base tier's degree: fragments get 32× bigger instead of 32×
+    /// more numerous, which is what makes per-fragment work (index builds,
+    /// probes) long enough to parallelise.
     pub fn degree(self, paper: usize) -> usize {
         match self {
-            ExperimentScale::Paper => paper,
-            ExperimentScale::Smoke => (paper / 10).max(10),
+            ExperimentScale::Paper | ExperimentScale::Scaled => paper,
+            ExperimentScale::Smoke | ExperimentScale::ScaledSmoke => (paper / 10).max(10),
+        }
+    }
+
+    /// The tier's identifier in emitted JSON documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentScale::Paper => "paper",
+            ExperimentScale::Smoke => "smoke",
+            ExperimentScale::Scaled => "scaled",
+            ExperimentScale::ScaledSmoke => "scaled_smoke",
         }
     }
 }
@@ -130,6 +158,12 @@ mod tests {
         assert_eq!(ExperimentScale::Smoke.cardinality(1_000), 200);
         assert_eq!(ExperimentScale::Smoke.degree(200), 20);
         assert_eq!(ExperimentScale::Paper.degree(1500), 1500);
+        assert_eq!(ExperimentScale::Scaled.cardinality(200_000), 6_400_000);
+        assert_eq!(ExperimentScale::Scaled.degree(200), 200);
+        assert_eq!(ExperimentScale::ScaledSmoke.cardinality(200_000), 320_000);
+        assert_eq!(ExperimentScale::ScaledSmoke.degree(200), 20);
+        assert_eq!(ExperimentScale::Scaled.name(), "scaled");
+        assert_eq!(ExperimentScale::ScaledSmoke.name(), "scaled_smoke");
     }
 
     #[test]

@@ -19,24 +19,30 @@ use dbs3_sim::{DataPlacement, SimConfig, SimReport};
 /// The degrees of parallelism the paper sweeps in Figures 14–15.
 pub fn thread_sweep(scale: ExperimentScale) -> Vec<usize> {
     match scale {
-        ExperimentScale::Paper => vec![1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
-        ExperimentScale::Smoke => vec![1, 10, 40, 70],
+        ExperimentScale::Paper | ExperimentScale::Scaled => {
+            vec![1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        }
+        ExperimentScale::Smoke | ExperimentScale::ScaledSmoke => vec![1, 10, 40, 70],
     }
 }
 
 /// The degrees of partitioning the paper sweeps in Figures 16–19.
 pub fn degree_sweep(scale: ExperimentScale) -> Vec<usize> {
     match scale {
-        ExperimentScale::Paper => vec![20, 250, 500, 750, 1000, 1250, 1500],
-        ExperimentScale::Smoke => vec![10, 50, 100, 150],
+        ExperimentScale::Paper | ExperimentScale::Scaled => {
+            vec![20, 250, 500, 750, 1000, 1250, 1500]
+        }
+        ExperimentScale::Smoke | ExperimentScale::ScaledSmoke => vec![10, 50, 100, 150],
     }
 }
 
 /// The Zipf skew factors the paper sweeps in Figures 12–13.
 pub fn skew_sweep(scale: ExperimentScale) -> Vec<f64> {
     match scale {
-        ExperimentScale::Paper => (0..=10).map(|i| f64::from(i) / 10.0).collect(),
-        ExperimentScale::Smoke => vec![0.0, 0.5, 1.0],
+        ExperimentScale::Paper | ExperimentScale::Scaled => {
+            (0..=10).map(|i| f64::from(i) / 10.0).collect()
+        }
+        ExperimentScale::Smoke | ExperimentScale::ScaledSmoke => vec![0.0, 0.5, 1.0],
     }
 }
 
@@ -93,8 +99,8 @@ pub fn fig08_remote_access(scale: ExperimentScale) -> Vec<RemoteAccessRow> {
         "Out",
     );
     let threads: Vec<usize> = match scale {
-        ExperimentScale::Paper => (5..=30).step_by(5).collect(),
-        ExperimentScale::Smoke => vec![5, 15, 30],
+        ExperimentScale::Paper | ExperimentScale::Scaled => (5..=30).step_by(5).collect(),
+        ExperimentScale::Smoke | ExperimentScale::ScaledSmoke => vec![5, 15, 30],
     };
     threads
         .into_iter()
@@ -707,8 +713,8 @@ pub fn ablation_affinity(scale: ExperimentScale) -> Vec<AffinityRow> {
     // Always run the real engine at a modest size: this ablation is about
     // queue traffic, not data volume.
     let (a_card, b_card) = match scale {
-        ExperimentScale::Paper => (20_000, 2_000),
-        ExperimentScale::Smoke => (4_000, 400),
+        ExperimentScale::Paper | ExperimentScale::Scaled => (20_000, 2_000),
+        ExperimentScale::Smoke | ExperimentScale::ScaledSmoke => (4_000, 400),
     };
     let db = JoinDatabase::generate(a_card, b_card);
     let session = db.session(40, 0.0);
@@ -799,8 +805,10 @@ pub fn ablation_granule(scale: ExperimentScale) -> Vec<GranuleRow> {
     let skewed = db.session(degree, 1.0);
     let unskewed = db.session(degree, 0.0);
     let granules: Vec<Option<usize>> = match scale {
-        ExperimentScale::Paper => vec![None, Some(2_000), Some(500), Some(125), Some(25)],
-        ExperimentScale::Smoke => vec![None, Some(100), Some(25)],
+        ExperimentScale::Paper | ExperimentScale::Scaled => {
+            vec![None, Some(2_000), Some(500), Some(125), Some(25)]
+        }
+        ExperimentScale::Smoke | ExperimentScale::ScaledSmoke => vec![None, Some(100), Some(25)],
     };
 
     granules

@@ -7,13 +7,15 @@
 //! DBS3 keeps a fixed pool alive and schedules *activations*, not threads.
 //! Execution now lives in [`crate::runtime`]: [`Executor::execute`] builds
 //! the query exactly as before (bind operators, create one activation queue
-//! per operation instance, inject triggers), hands it to a transient
-//! [`Runtime`] sized to the schedule's total
-//! thread count, and blocks on the query's completion. Semantics are
-//! unchanged — same results, same logical activation counts, same
-//! per-operation metrics shape — while the execution machinery (condvar
-//! parking, cooperative backpressure, cancellation) is shared with the
-//! persistent multi-query runtime.
+//! per operation instance, inject triggers), hands it to the process-wide
+//! [`Runtime::shared`] pool sized to the schedule's total thread count, and
+//! blocks on the query's completion. The pool is spawned on the first
+//! execution at that width and reused for every later one — spawning and
+//! joining `n` OS threads per blocking call used to rival the cost of a
+//! paper-scale query itself. Semantics are unchanged — same results, same
+//! logical activation counts, same per-operation metrics shape — while the
+//! execution machinery (condvar parking, cooperative backpressure,
+//! cancellation) is shared with the persistent multi-query runtime.
 //!
 //! Callers that want the pool to outlive one query use
 //! [`Runtime`] directly (or the facade's
@@ -79,12 +81,15 @@ impl<'a> Executor<'a> {
     /// Executes `plan` under `schedule` and returns the materialised results
     /// and metrics.
     ///
-    /// The worker pool is transient — spawned for this call with the
-    /// schedule's total thread count and torn down on return — which keeps
-    /// the historical "`n` scheduled threads = `n` OS threads" contract.
+    /// Runs on the lazily-initialized process-wide [`Runtime::shared`] pool
+    /// with the schedule's total thread count — "`n` scheduled threads = `n`
+    /// pool workers" still holds, but repeated executions at the same width
+    /// reuse one pool instead of paying a spawn/join round trip per call.
+    /// Concurrent `execute` calls at the same width share that pool (the
+    /// runtime schedules their activations side by side).
     pub fn execute(&self, plan: &Plan, schedule: &ExecutionSchedule) -> Result<ExecutionOutcome> {
         schedule.validate(plan)?;
-        let runtime = Runtime::new(schedule.total_threads().max(1))?;
+        let runtime = Runtime::shared(schedule.total_threads().max(1))?;
         runtime
             .submit_with(self.catalog, plan, schedule, &self.cost_params)?
             .wait()
@@ -100,6 +105,7 @@ mod tests {
     use dbs3_storage::{
         PartitionSpec, PartitionedRelation, Relation, WisconsinConfig, WisconsinGenerator,
     };
+    use std::sync::Arc;
     use std::time::Duration;
 
     fn build_catalog(
@@ -243,6 +249,31 @@ mod tests {
         }
         assert!(m.elapsed > Duration::ZERO);
         assert!(m.worst_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn repeated_executions_reuse_one_shared_pool() {
+        let (cat, a_ref, b_ref) = build_catalog(400, 40, 6, 0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        // Width 7 is used by no other test in this binary: the final
+        // live_queries() == 0 assertion must not race a concurrently
+        // running test whose execute() shares the same process-wide pool.
+        let schedule = schedule_for(&plan, &cat, 7);
+        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        // The registry hands back the same runtime for the same width...
+        let first = Runtime::shared(7).unwrap();
+        let second = Runtime::shared(7).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_ne!(
+            first.pool_threads(),
+            Runtime::shared(2).unwrap().pool_threads()
+        );
+        // ...and back-to-back executions over it stay correct.
+        for _ in 0..3 {
+            let outcome = Executor::new(&cat).execute(&plan, &schedule).unwrap();
+            assert_eq!(outcome.results["Result"].len(), expected.len());
+        }
+        assert_eq!(first.live_queries(), 0);
     }
 
     #[test]

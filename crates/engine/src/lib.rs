@@ -46,6 +46,7 @@ pub mod queue;
 pub mod runtime;
 pub mod schedule;
 pub mod strategy;
+pub mod sync;
 
 pub use activation::{Activation, TupleBatch};
 pub use error::EngineError;
@@ -55,6 +56,7 @@ pub use queue::{ActivationQueue, TryPushError};
 pub use runtime::{QueryHandle, QueryId, Runtime};
 pub use schedule::{ExecutionSchedule, OperationSchedule, Scheduler, SchedulerOptions};
 pub use strategy::ConsumptionStrategy;
+pub use sync::CachePadded;
 
 /// Convenient `Result` alias for engine operations.
 pub type Result<T> = std::result::Result<T, EngineError>;

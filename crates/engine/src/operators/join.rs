@@ -16,10 +16,14 @@ pub struct TriggeredJoinOperator {
     outer_column: usize,
     inner_column: usize,
     algorithm: JoinAlgorithm,
+    /// Shards each temporary index build is partitioned over
+    /// ([`HashIndex::build_parallel`]); 1 = sequential build.
+    build_shards: usize,
 }
 
 impl TriggeredJoinOperator {
-    /// Creates a bound triggered join.
+    /// Creates a bound triggered join (sequential index builds; see
+    /// [`Self::with_build_shards`]).
     pub fn new(
         outer: Arc<PartitionedRelation>,
         inner: Arc<PartitionedRelation>,
@@ -33,7 +37,15 @@ impl TriggeredJoinOperator {
             outer_column,
             inner_column,
             algorithm,
+            build_shards: 1,
         }
+    }
+
+    /// Partitions every temporary index build over `shards` threads. Probe
+    /// results are identical to the sequential build (same grouped layout).
+    pub fn with_build_shards(mut self, shards: usize) -> Self {
+        self.build_shards = shards.max(1);
+        self
     }
 
     /// Processes one activation for `instance`, returning the output batch.
@@ -67,7 +79,8 @@ impl TriggeredJoinOperator {
                 // it with every outer tuple (the paper's "index built on the
                 // fly" configuration behaves the same way). The probe is an
                 // allocation-free iterator over the matching bucket.
-                let index = HashIndex::build(inner.tuples(), self.inner_column);
+                let index =
+                    HashIndex::build_parallel(inner.tuples(), self.inner_column, self.build_shards);
                 let mut out = Vec::new();
                 for o in outer.tuples() {
                     let key = o.value(self.outer_column);
@@ -96,10 +109,14 @@ pub struct PipelinedJoinOperator {
     /// the index once per instance, on first probe, and reuse it for every
     /// subsequent data activation).
     indexes: Vec<OnceLock<HashIndex>>,
+    /// Shards each lazy index build is partitioned over
+    /// ([`HashIndex::build_parallel`]); 1 = sequential build.
+    build_shards: usize,
 }
 
 impl PipelinedJoinOperator {
-    /// Creates a bound pipelined join.
+    /// Creates a bound pipelined join (sequential index builds; see
+    /// [`Self::with_build_shards`]).
     pub fn new(
         inner: Arc<PartitionedRelation>,
         outer_column: usize,
@@ -113,7 +130,15 @@ impl PipelinedJoinOperator {
             inner_column,
             algorithm,
             indexes,
+            build_shards: 1,
         }
+    }
+
+    /// Partitions every lazy per-instance index build over `shards`
+    /// threads. Probe results are identical to the sequential build.
+    pub fn with_build_shards(mut self, shards: usize) -> Self {
+        self.build_shards = shards.max(1);
+        self
     }
 
     /// Processes one activation for `instance`, returning the output batch.
@@ -142,8 +167,9 @@ impl PipelinedJoinOperator {
                 out
             }
             JoinAlgorithm::Hash | JoinAlgorithm::TempIndex => {
-                let index = self.indexes[instance]
-                    .get_or_init(|| HashIndex::build(inner_tuples, self.inner_column));
+                let index = self.indexes[instance].get_or_init(|| {
+                    HashIndex::build_parallel(inner_tuples, self.inner_column, self.build_shards)
+                });
                 let mut out = Vec::new();
                 for outer_tuple in &batch {
                     let key = outer_tuple.value(self.outer_column);
@@ -276,6 +302,60 @@ mod tests {
         let _ = op.process(1, Activation::single(probe));
         let ptr2 = op.indexes[1].get().unwrap() as *const HashIndex;
         assert_eq!(ptr1, ptr2);
+    }
+
+    #[test]
+    fn sharded_index_builds_do_not_change_join_output() {
+        // Builds happen per *fragment*, and `build_parallel` falls back to
+        // sequential below 4_096 rows per shard — so each inner fragment
+        // must hold >= 8_192 tuples for 2 shards to genuinely engage the
+        // partitioned build. 40_000 over 2 fragments gives ~20_000 per
+        // fragment: 2 shards engage as requested, 8 clamp to 4 (both real
+        // parallel builds, not the sequential fallback).
+        let (_, a) = partitioned("A", 40_000, 2);
+        let u1 = a.schema().column_index("unique1").unwrap();
+        let probes: Vec<Tuple> = a.fragments()[0].tuples()[..500].to_vec();
+        let reference: Vec<Tuple> = {
+            let op = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, JoinAlgorithm::Hash);
+            op.process(0, Activation::Data(TupleBatch::from(probes.clone())))
+        };
+        assert_eq!(reference.len(), 500, "unique1 self-join");
+        for shards in [1usize, 2, 8] {
+            let op = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, JoinAlgorithm::Hash)
+                .with_build_shards(shards);
+            let out = op.process(0, Activation::Data(TupleBatch::from(probes.clone())));
+            assert_eq!(out, reference, "pipelined join diverged at {shards} shards");
+        }
+        // Triggered join with the big relation as the *inner* operand, so
+        // its per-fragment temporary index build also crosses the parallel
+        // threshold; B' (20_000 over 2 => ~10_000/fragment) is the outer.
+        let (_, b) = partitioned("Bprime", 20_000, 2);
+        let expected = {
+            let op = TriggeredJoinOperator::new(
+                Arc::clone(&b),
+                Arc::clone(&a),
+                u1,
+                u1,
+                JoinAlgorithm::Hash,
+            );
+            run_triggered(&op, 2)
+        };
+        assert_eq!(expected, 20_000, "B' joins A fully on unique1");
+        for shards in [2usize, 8] {
+            let op = TriggeredJoinOperator::new(
+                Arc::clone(&b),
+                Arc::clone(&a),
+                u1,
+                u1,
+                JoinAlgorithm::Hash,
+            )
+            .with_build_shards(shards);
+            assert_eq!(
+                run_triggered(&op, 2),
+                expected,
+                "triggered join at {shards} shards"
+            );
+        }
     }
 
     #[test]

@@ -13,20 +13,45 @@
 //!
 //! All accounting — the capacity bound, `len`, and the enqueue/dequeue
 //! totals — is in **logical activations** (tuples + triggers), so the
-//! backpressure a query feels is independent of the batch granularity:
-//! `queue_capacity = 1024` always means "at most ~1024 buffered tuples",
-//! whether they arrive as 1024 singleton activations or as 16 batches of 64.
-//! One push/pop of a batch costs one lock acquisition and at most one condvar
-//! wakeup, which is where batching removes the paper's queue interference.
+//! backpressure a query feels is independent of the batch granularity.
+//! Pushes admit a batch whenever the buffered logical length is *below* the
+//! capacity, and the whole batch then lands (the overfill rule that keeps
+//! oversized batches deadlock-free) — so `queue_capacity` bounds when
+//! producers start blocking, while the instantaneous buffered length can
+//! exceed it by up to one batch. For hash-redistributing hops batches are
+//! at most `CacheSize` tuples; co-located hops ship an operator's whole
+//! output vector as one batch, so their overshoot is bounded by the largest
+//! single output instead. One push/pop of a batch costs one lock
+//! acquisition and at most one condvar wakeup, which is where batching
+//! removes the paper's queue interference.
 //!
 //! The queue also records whether it is *closed* (its producers have
 //! terminated): a consumer popping from an empty closed queue knows the
 //! operation instance has no further work.
+//!
+//! # Lock-free observation fast paths
+//!
+//! The worker scan of the shared-pool runtime asks every queue "anything for
+//! me?" far more often than it moves data, and the termination check asks
+//! `is_exhausted()` once per queue per finished batch. Taking the buffer
+//! mutex just to *look* made those reads contend with the producers and
+//! consumers actually moving tuples. The queue therefore mirrors its logical
+//! length and closed flag in atomics, updated inside the critical section of
+//! every mutation: `len()`, `is_empty()`, `is_closed()` and `is_exhausted()`
+//! are single atomic loads, and an empty-queue [`ActivationQueue::try_pop_batch`]
+//! returns without touching the mutex at all. The mutex remains the sole
+//! guard of buffer *mutation*; the mirrors are observational.
+//!
+//! The mirrors are safe for termination because they are monotone where it
+//! matters: once a queue is closed no push can succeed, so an observed
+//! `closed && len == 0` can never be invalidated later — reading the closed
+//! flag *before* the length makes `is_exhausted()` conservative under races
+//! (a stale read reports "not yet exhausted", never the reverse).
 
 use crate::activation::Activation;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Why [`ActivationQueue::try_push`] refused an activation. The activation is
 /// handed back so the caller can retry (after making room) or drop it.
@@ -64,6 +89,11 @@ pub struct ActivationQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Atomic mirror of `QueueState::logical_len`, written inside the
+    /// critical section of every mutation so observers never lock.
+    atomic_len: AtomicUsize,
+    /// Atomic mirror of `QueueState::closed` (monotone false → true).
+    atomic_closed: AtomicBool,
     /// Total logical activations ever enqueued (metrics).
     enqueued: AtomicU64,
     /// Total logical activations ever dequeued (metrics).
@@ -86,6 +116,8 @@ impl ActivationQueue {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            atomic_len: AtomicUsize::new(0),
+            atomic_closed: AtomicBool::new(false),
             enqueued: AtomicU64::new(0),
             dequeued: AtomicU64::new(0),
         }
@@ -124,7 +156,8 @@ impl ActivationQueue {
         assert!(!state.closed, "push into a closed activation queue");
         state.buffer.push_back(activation);
         state.logical_len += logical;
-        self.enqueued.fetch_add(logical as u64, Ordering::Relaxed);
+        self.atomic_len.store(state.logical_len, Ordering::SeqCst);
+        self.enqueued.fetch_add(logical as u64, Ordering::SeqCst);
         drop(state);
         self.not_empty.notify_one();
     }
@@ -150,7 +183,8 @@ impl ActivationQueue {
         }
         state.buffer.push_back(activation);
         state.logical_len += logical;
-        self.enqueued.fetch_add(logical as u64, Ordering::Relaxed);
+        self.atomic_len.store(state.logical_len, Ordering::SeqCst);
+        self.enqueued.fetch_add(logical as u64, Ordering::SeqCst);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -177,7 +211,8 @@ impl ActivationQueue {
                 state.logical_len += logical;
                 pushed += logical as u64;
             }
-            self.enqueued.fetch_add(pushed, Ordering::Relaxed);
+            self.atomic_len.store(state.logical_len, Ordering::SeqCst);
+            self.enqueued.fetch_add(pushed, Ordering::SeqCst);
             drop(state);
             self.not_empty.notify_all();
         }
@@ -192,6 +227,13 @@ impl ActivationQueue {
     /// not it is closed); use [`ActivationQueue::is_exhausted`] to tell the
     /// difference.
     pub fn try_pop_batch(&self, max_logical: usize) -> Vec<Activation> {
+        // Lock-free fast path: a queue that currently looks empty yields
+        // nothing — identical to arriving at the mutex a moment earlier.
+        // This keeps the runtime's speculative probes (the per-poll op scan)
+        // off the mutex entirely.
+        if self.atomic_len.load(Ordering::SeqCst) == 0 {
+            return Vec::new();
+        }
         let mut state = self.state.lock();
         let mut out = Vec::new();
         let mut popped = 0usize;
@@ -208,9 +250,10 @@ impl ActivationQueue {
                 break;
             }
         }
+        self.atomic_len.store(state.logical_len, Ordering::SeqCst);
         drop(state);
         if popped > 0 {
-            self.dequeued.fetch_add(popped as u64, Ordering::Relaxed);
+            self.dequeued.fetch_add(popped as u64, Ordering::SeqCst);
             self.not_full.notify_all();
         }
         out
@@ -224,7 +267,8 @@ impl ActivationQueue {
             if let Some(a) = state.buffer.pop_front() {
                 let logical = a.logical_len();
                 state.logical_len -= logical;
-                self.dequeued.fetch_add(logical as u64, Ordering::Relaxed);
+                self.atomic_len.store(state.logical_len, Ordering::SeqCst);
+                self.dequeued.fetch_add(logical as u64, Ordering::SeqCst);
                 drop(state);
                 // One popped batch can free many logical slots, so every
                 // blocked producer gets a chance to re-check the capacity.
@@ -243,41 +287,46 @@ impl ActivationQueue {
     pub fn close(&self) {
         let mut state = self.state.lock();
         state.closed = true;
+        self.atomic_closed.store(true, Ordering::SeqCst);
         drop(state);
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
-    /// Whether the queue is closed (producers finished).
+    /// Whether the queue is closed (producers finished). Lock-free.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().closed
+        self.atomic_closed.load(Ordering::SeqCst)
     }
 
-    /// Whether the queue currently holds no activations.
+    /// Whether the queue currently holds no activations. Lock-free.
     pub fn is_empty(&self) -> bool {
-        self.state.lock().buffer.is_empty()
+        self.atomic_len.load(Ordering::SeqCst) == 0
     }
 
-    /// Number of buffered logical activations.
+    /// Number of buffered logical activations. Lock-free.
     pub fn len(&self) -> usize {
-        self.state.lock().logical_len
+        self.atomic_len.load(Ordering::SeqCst)
     }
 
     /// Whether the queue is closed *and* drained: no work will ever come out
-    /// of it again.
+    /// of it again. Lock-free.
+    ///
+    /// The closed flag is read *before* the length: a push can never succeed
+    /// after the queue closed, so "closed, then empty" can only be observed
+    /// when it is permanently true — the read order makes races err on the
+    /// conservative "not yet exhausted" side.
     pub fn is_exhausted(&self) -> bool {
-        let state = self.state.lock();
-        state.closed && state.buffer.is_empty()
+        self.atomic_closed.load(Ordering::SeqCst) && self.atomic_len.load(Ordering::SeqCst) == 0
     }
 
     /// Total logical activations enqueued over the queue's lifetime.
     pub fn total_enqueued(&self) -> u64 {
-        self.enqueued.load(Ordering::Relaxed)
+        self.enqueued.load(Ordering::SeqCst)
     }
 
     /// Total logical activations dequeued over the queue's lifetime.
     pub fn total_dequeued(&self) -> u64 {
-        self.dequeued.load(Ordering::Relaxed)
+        self.dequeued.load(Ordering::SeqCst)
     }
 }
 
@@ -421,6 +470,44 @@ mod tests {
     #[test]
     fn concurrent_producers_and_consumers_lose_nothing() {
         let q = Arc::new(ActivationQueue::new(0, 32, 0.0));
+        // A lock-free observer sampling the atomic mirrors concurrently with
+        // the data movement: totals must be monotonically non-decreasing,
+        // dequeues can never outrun enqueues, and the buffered length always
+        // stays within what the totals allow.
+        let stop_sampling = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop_sampling);
+            thread::spawn(move || {
+                let (mut last_enq, mut last_deq) = (0u64, 0u64);
+                let mut samples = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Read dequeued BEFORE enqueued: each total is monotone,
+                    // so sampling the (earlier) dequeue total against a
+                    // (later, hence >=) enqueue total makes `deq <= enq`
+                    // sound without an atomic snapshot of the pair. The
+                    // totals are SeqCst, so the causal order (a tuple's
+                    // enqueue-increment precedes its dequeue-increment) is
+                    // part of the single total order even for this third
+                    // thread — Relaxed would only be safe on x86-TSO.
+                    let deq = q.total_dequeued();
+                    let enq = q.total_enqueued();
+                    assert!(enq >= last_enq, "enqueued total went backwards");
+                    assert!(deq >= last_deq, "dequeued total went backwards");
+                    assert!(
+                        deq <= enq,
+                        "dequeued {deq} tuples but only {enq} ever enqueued"
+                    );
+                    assert!(
+                        q.len() <= q.capacity() + 2,
+                        "len exceeds capacity + overfill"
+                    );
+                    (last_enq, last_deq) = (enq, deq);
+                    samples += 1;
+                }
+                samples
+            })
+        };
         let producers: Vec<_> = (0..4)
             .map(|p| {
                 let q = Arc::clone(&q);
@@ -454,7 +541,15 @@ mod tests {
         for c in consumers {
             c.join().unwrap();
         }
+        stop_sampling.store(true, Ordering::Relaxed);
+        assert!(
+            sampler.join().unwrap() > 0,
+            "sampler never observed the queue"
+        );
         assert_eq!(consumed.load(Ordering::Relaxed), 2000);
+        assert_eq!(q.total_enqueued(), 2000);
+        assert_eq!(q.total_dequeued(), 2000);
+        assert!(q.is_exhausted());
     }
 
     #[test]

@@ -61,6 +61,7 @@ use crate::operators::{
 use crate::queue::{ActivationQueue, TryPushError};
 use crate::schedule::ExecutionSchedule;
 use crate::strategy::ConsumptionStrategy;
+use crate::sync::CachePadded;
 use crate::Result;
 use dbs3_lera::{CostParameters, ExtendedPlan, NodeId, OperatorKind, OuterInput, Plan};
 use dbs3_storage::{Catalog, Tuple};
@@ -121,17 +122,23 @@ struct OpRuntime {
     lpt_order: Vec<usize>,
     /// Workers currently holding popped activations of this operation (or
     /// probing its queues). The operation cannot finish while non-zero.
-    inflight: AtomicUsize,
+    /// Cache-padded: bumped by every worker touching the operation, and a
+    /// line shared with `pending` (or a neighbouring op's counters) would
+    /// ping-pong between cores on every poll.
+    inflight: CachePadded<AtomicUsize>,
     /// Set exactly once, when the operation's queues are exhausted and no
     /// activation is in flight.
     finished: AtomicBool,
     /// Advisory count of logical activations buffered across the
     /// operation's queues, maintained by the runtime's own pushes and pops.
     /// Lets the work scan skip empty operations with one atomic load
-    /// instead of probing every queue mutex — with many live queries the
-    /// scan is the hot path. Termination never reads this (it re-checks the
-    /// queues themselves), so staleness costs a wasted probe at most.
-    pending: AtomicU64,
+    /// instead of probing every queue — with many live queries the scan is
+    /// the hot path. Termination never reads this (it re-checks the queues
+    /// themselves), so staleness costs a wasted probe at most.
+    /// Cache-padded so producer-side `fetch_add`s don't invalidate the line
+    /// the scanners' read-mostly fields live on (false sharing): the scan
+    /// reads `pending` on every poll of every op, while flushes write it.
+    pending: CachePadded<AtomicU64>,
 }
 
 /// Per-operation, per-worker thread metrics slots of one query.
@@ -304,6 +311,29 @@ impl Runtime {
         self.inner.pool_threads
     }
 
+    /// Returns the process-wide shared runtime with `pool_threads` workers,
+    /// spawning it on first use.
+    ///
+    /// This is the pool behind [`Executor::execute`](crate::Executor):
+    /// repeated blocking runs at the same thread count reuse one long-lived
+    /// pool instead of spawning and joining `n` OS threads per query —
+    /// at paper-scale workloads the spawn/join round trip costs as much as
+    /// the query itself. Shared runtimes live for the rest of the process
+    /// (they are never dropped; idle workers park on a condvar at ~0% CPU),
+    /// and concurrent callers at the same width share one pool — the
+    /// runtime schedules their queries side by side, which is its job.
+    pub fn shared(pool_threads: usize) -> Result<Arc<Runtime>> {
+        static POOLS: std::sync::OnceLock<Mutex<BTreeMap<usize, Arc<Runtime>>>> =
+            std::sync::OnceLock::new();
+        let mut pools = POOLS.get_or_init(|| Mutex::new(BTreeMap::new())).lock();
+        if let Some(runtime) = pools.get(&pool_threads) {
+            return Ok(Arc::clone(runtime));
+        }
+        let runtime = Arc::new(Runtime::new(pool_threads)?);
+        pools.insert(pool_threads, Arc::clone(&runtime));
+        Ok(runtime)
+    }
+
     /// Number of queries currently registered (submitted, not yet completed
     /// or cancelled).
     pub fn live_queries(&self) -> usize {
@@ -369,6 +399,7 @@ impl Runtime {
                 node,
                 ext_op.instance_count(),
                 schedule.discard_results(),
+                schedule.build_parallelism(),
             )?);
             if let OperatorKind::Store { result_name } = &node.kind {
                 stores.push((result_name.clone(), Arc::clone(&operator)));
@@ -403,9 +434,9 @@ impl Runtime {
                 cache_size: op_schedule.cache_size.max(1),
                 consumer: None,
                 lpt_order,
-                inflight: AtomicUsize::new(0),
+                inflight: CachePadded::new(AtomicUsize::new(0)),
                 finished: AtomicBool::new(false),
-                pending: AtomicU64::new(0),
+                pending: CachePadded::new(AtomicU64::new(0)),
             });
         }
 
@@ -617,13 +648,15 @@ fn abort_query(inner: &RuntimeInner, query: &QueryState, error: EngineError) {
 
 /// Binds a plan node to a physical operator over catalog fragments.
 /// `discard_results` selects counting stores (cardinalities without
-/// materialisation).
+/// materialisation); `build_shards` is handed to the join operators'
+/// temporary hash-index builds (`HashIndex::build_parallel`).
 pub(crate) fn bind_operator(
     catalog: &Catalog,
     plan: &Plan,
     node: &dbs3_lera::OperatorNode,
     instance_count: usize,
     discard_results: bool,
+    build_shards: usize,
 ) -> Result<BoundOperator> {
     match &node.kind {
         OperatorKind::Filter {
@@ -650,24 +683,25 @@ pub(crate) fn bind_operator(
                 OuterInput::Fragment { relation } => {
                     let outer_rel = catalog.get(relation)?;
                     let outer_column = outer_rel.schema().column_index(&condition.outer_column)?;
-                    Ok(BoundOperator::TriggeredJoin(TriggeredJoinOperator::new(
-                        outer_rel,
-                        inner,
-                        outer_column,
-                        inner_column,
-                        *algorithm,
-                    )))
+                    Ok(BoundOperator::TriggeredJoin(
+                        TriggeredJoinOperator::new(
+                            outer_rel,
+                            inner,
+                            outer_column,
+                            inner_column,
+                            *algorithm,
+                        )
+                        .with_build_shards(build_shards),
+                    ))
                 }
                 OuterInput::Pipeline => {
                     let producer = node.producer().expect("validated");
                     let incoming_schema = plan.output_schema(producer, catalog)?;
                     let outer_column = incoming_schema.column_index(&condition.outer_column)?;
-                    Ok(BoundOperator::PipelinedJoin(PipelinedJoinOperator::new(
-                        inner,
-                        outer_column,
-                        inner_column,
-                        *algorithm,
-                    )))
+                    Ok(BoundOperator::PipelinedJoin(
+                        PipelinedJoinOperator::new(inner, outer_column, inner_column, *algorithm)
+                            .with_build_shards(build_shards),
+                    ))
                 }
             }
         }
@@ -885,8 +919,18 @@ fn recycle_scatter_buffers(mut buffers: Vec<Vec<Tuple>>) {
 }
 
 /// Processes one popped batch of activations of `op`, scattering the
-/// produced tuples to the consumer's queues in `CacheSize`-tuple transport
-/// batches and recording metrics.
+/// produced tuples to the consumer's queues and recording metrics.
+///
+/// Routing is the producer-side activation cache of the paper, specialised
+/// per [`Router`]:
+///
+/// * [`Router::SameInstance`] (co-located stores): the operator's whole
+///   output vector ships to the one destination queue **as-is** — one
+///   transport activation per processed activation, no per-tuple re-collect
+///   through an intermediate buffer.
+/// * [`Router::HashColumn`] (dynamic redistribution): tuples scatter into
+///   per-destination buffers flushed at `CacheSize` tuples, so `CacheSize`
+///   stays the transport-batch granularity of every redistributing hop.
 ///
 /// The caller holds the operation's in-flight guard, so the producer-side
 /// scatter buffers live entirely within this call — nothing can be stranded
@@ -906,7 +950,20 @@ fn process_batch(
         .as_ref()
         .map(|link| query.ops[link.consumer_index].queues.len())
         .unwrap_or(0);
-    let mut buffers = take_scatter_buffers(consumer_degree);
+    // Scatter buffers exist only for hash redistribution; a co-located
+    // consumer receives output vectors directly. Ops that need no buffers
+    // must not touch the thread-local scratch at all — popping the warm set
+    // just to truncate it to zero would throw away the grown buffer
+    // capacities the cache exists to preserve.
+    let needs_buffers = matches!(
+        op.consumer.as_ref().map(|link| &link.router),
+        Some(Router::HashColumn { .. })
+    );
+    let mut buffers = if needs_buffers {
+        take_scatter_buffers(consumer_degree)
+    } else {
+        Vec::new()
+    };
     let mut flushes = 0u64;
     let mut logical = 0u64;
     let mut tuples_out = 0u64;
@@ -929,50 +986,46 @@ fn process_batch(
         let out = op.operator.process(queue_index, activation);
         tuples_out += out.len() as u64;
         let Some(link) = &op.consumer else { continue };
-        // Co-located output that forms exactly one full batch skips the
-        // buffer: the operator's output vector ships as-is.
-        let same_dest = match &link.router {
-            Router::SameInstance => Some(queue_index % consumer_degree.max(1)),
-            Router::HashColumn { .. } => None,
-        };
-        if let Some(dest) = same_dest {
-            if buffers[dest].is_empty() && out.len() == op.cache_size {
-                flush_to(
-                    inner,
-                    query,
-                    link.consumer_index,
-                    dest,
-                    out,
-                    worker,
-                    &mut helped,
-                );
-                flushes += 1;
-                continue;
-            }
-        }
-        for tuple in out {
-            let dest = match &link.router {
-                Router::HashColumn { column, degree } => {
-                    (tuple.hash_key(&[*column]) % *degree as u64) as usize
+        match &link.router {
+            Router::SameInstance => {
+                // Direct ship: the whole output batch has exactly one
+                // destination, so it becomes one transport activation
+                // without being re-collected tuple by tuple.
+                if !out.is_empty() {
+                    let dest = queue_index % consumer_degree.max(1);
+                    flush_to(
+                        inner,
+                        query,
+                        link.consumer_index,
+                        dest,
+                        out,
+                        worker,
+                        &mut helped,
+                    );
+                    flushes += 1;
                 }
-                Router::SameInstance => same_dest.expect("set for SameInstance"),
-            };
-            buffers[dest].push(tuple);
-            if buffers[dest].len() >= op.cache_size {
-                let full = std::mem::replace(
-                    &mut buffers[dest],
-                    Vec::with_capacity(op.cache_size.min(1024)),
-                );
-                flush_to(
-                    inner,
-                    query,
-                    link.consumer_index,
-                    dest,
-                    full,
-                    worker,
-                    &mut helped,
-                );
-                flushes += 1;
+            }
+            Router::HashColumn { column, degree } => {
+                for tuple in out {
+                    let dest = (tuple.hash_key(&[*column]) % *degree as u64) as usize;
+                    buffers[dest].push(tuple);
+                    if buffers[dest].len() >= op.cache_size {
+                        let full = std::mem::replace(
+                            &mut buffers[dest],
+                            Vec::with_capacity(op.cache_size.min(1024)),
+                        );
+                        flush_to(
+                            inner,
+                            query,
+                            link.consumer_index,
+                            dest,
+                            full,
+                            worker,
+                            &mut helped,
+                        );
+                        flushes += 1;
+                    }
+                }
             }
         }
     }
@@ -992,7 +1045,9 @@ fn process_batch(
             }
         }
     }
-    recycle_scatter_buffers(buffers);
+    if needs_buffers {
+        recycle_scatter_buffers(buffers);
+    }
 
     // Merge this batch's contribution into the worker's metrics slot. Time
     // spent helping a congested downstream operation is charged to that

@@ -43,16 +43,34 @@ pub struct ExecutionSchedule {
     per_node: BTreeMap<NodeId, OperationSchedule>,
     /// Store operators count result tuples instead of materialising them.
     discard_results: bool,
+    /// Shards a temporary hash-index build is partitioned over
+    /// (`HashIndex::build_parallel`); sized from the schedule's total thread
+    /// count unless the caller overrode it.
+    build_parallelism: usize,
 }
 
 impl ExecutionSchedule {
     /// Builds a schedule from explicit per-node parameters (results are
-    /// materialised; see [`Self::with_discard_results`]).
+    /// materialised and index builds are sequential; see
+    /// [`Self::with_discard_results`] / [`Self::with_build_parallelism`]).
     pub fn from_parts(per_node: BTreeMap<NodeId, OperationSchedule>) -> Self {
         ExecutionSchedule {
             per_node,
             discard_results: false,
+            build_parallelism: 1,
         }
+    }
+
+    /// Sets how many shards temporary hash-index builds are partitioned
+    /// over (clamped to at least 1).
+    pub fn with_build_parallelism(mut self, shards: usize) -> Self {
+        self.build_parallelism = shards.max(1);
+        self
+    }
+
+    /// Shards used for temporary hash-index builds.
+    pub fn build_parallelism(&self) -> usize {
+        self.build_parallelism
     }
 
     /// Makes store operators count result tuples instead of materialising
@@ -149,6 +167,15 @@ pub struct SchedulerOptions {
     /// Count result tuples in the store operators instead of materialising
     /// them (for workloads that only need cardinalities and metrics).
     pub discard_results: bool,
+    /// Shards a temporary hash-index build is partitioned over. `None`
+    /// (default) derives it from the schedule: the resolved total thread
+    /// count divided by the number of join instances that build
+    /// concurrently (so a saturated pool gets sequential per-instance
+    /// builds, while scarce instances absorb the idle threads).
+    /// `Some(n)` pins every build to `n` shards; `Some(1)` forces
+    /// sequential builds. Zero is rejected by [`Self::validate`] — no
+    /// silent clamping.
+    pub build_threads: Option<usize>,
 }
 
 impl Default for SchedulerOptions {
@@ -162,6 +189,7 @@ impl Default for SchedulerOptions {
             strategy_override: None,
             lpt_skew_threshold: 3.0,
             discard_results: false,
+            build_threads: None,
         }
     }
 }
@@ -207,6 +235,11 @@ impl SchedulerOptions {
         if self.max_threads == 0 {
             return Err(EngineError::InvalidOptions(
                 "max_threads must be at least 1".to_string(),
+            ));
+        }
+        if self.build_threads == Some(0) {
+            return Err(EngineError::InvalidOptions(
+                "build_threads must be at least 1".to_string(),
             ));
         }
         Ok(())
@@ -278,9 +311,38 @@ impl Scheduler {
             }
         }
 
+        // Index-build parallelism: the caller's pin wins verbatim; the
+        // derived default divides the thread budget across the operation
+        // instances that build *concurrently*. One temporary index is built
+        // per join instance, and with instances >= threads the pool is
+        // already saturated by whole builds — sharding each build further
+        // would spawn threads× extra workers and re-scan the hash array
+        // shards× for no wall-clock gain. Only when instances are scarcer
+        // than threads (low degree, single-fragment inners) do the idle
+        // threads go into each build.
+        let build_parallelism = match options.build_threads {
+            Some(n) => n.max(1),
+            None => {
+                let max_building_instances = plan
+                    .nodes()
+                    .iter()
+                    .filter(|n| {
+                        matches!(
+                            &n.kind,
+                            dbs3_lera::OperatorKind::Join { algorithm, .. }
+                                if !matches!(algorithm, dbs3_lera::JoinAlgorithm::NestedLoop)
+                        )
+                    })
+                    .filter_map(|n| extended.operation(n.id).map(|op| op.instance_count()))
+                    .max()
+                    .unwrap_or(1);
+                (total_threads / max_building_instances.max(1)).max(1)
+            }
+        };
         let schedule = ExecutionSchedule {
             per_node,
             discard_results: options.discard_results,
+            build_parallelism,
         };
         schedule.validate(plan)?;
         Ok(schedule)
@@ -522,6 +584,74 @@ mod tests {
             Err(EngineError::InvalidOptions(_))
         ));
         assert!(SchedulerOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn build_parallelism_follows_thread_count_unless_pinned() {
+        let cat = catalog(0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let ext = extended(&cat, &plan);
+        // 40 join instances build concurrently across 6 threads: each build
+        // is sequential (sharding it would only oversubscribe the pool).
+        let derived = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(6),
+        )
+        .unwrap();
+        assert_eq!(derived.build_parallelism(), 1);
+        // With fewer instances than threads, the idle budget goes into each
+        // build: 2 instances × 6 threads => 3 shards per build.
+        let narrow_cat = {
+            let gen = WisconsinGenerator::new();
+            let a = gen.generate(&WisconsinConfig::narrow("A", 5000)).unwrap();
+            let b = gen
+                .generate(&WisconsinConfig::narrow("Bprime", 500))
+                .unwrap();
+            let spec = PartitionSpec::on("unique1", 2, 2);
+            let mut cat = Catalog::new();
+            cat.register(PartitionedRelation::from_relation(&a, spec.clone()).unwrap())
+                .unwrap();
+            cat.register(PartitionedRelation::from_relation(&b, spec).unwrap())
+                .unwrap();
+            cat
+        };
+        let narrow_ext = extended(&narrow_cat, &plan);
+        let narrow = Scheduler::build(
+            &plan,
+            &narrow_ext,
+            &SchedulerOptions::default().with_total_threads(6),
+        )
+        .unwrap();
+        assert_eq!(narrow.build_parallelism(), 3);
+        let pinned = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions {
+                build_threads: Some(2),
+                ..SchedulerOptions::default().with_total_threads(6)
+            },
+        )
+        .unwrap();
+        assert_eq!(pinned.build_parallelism(), 2);
+        // Explicit zero is a typed error, not a silent clamp.
+        let err = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions {
+                build_threads: Some(0),
+                ..SchedulerOptions::default().with_total_threads(6)
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::InvalidOptions(msg) if msg.contains("build_threads")),
+            "got {err:?}"
+        );
+        // Hand-built schedules default to sequential builds and can opt in.
+        let manual = ExecutionSchedule::from_parts(BTreeMap::new());
+        assert_eq!(manual.build_parallelism(), 1);
+        assert_eq!(manual.with_build_parallelism(8).build_parallelism(), 8);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Property-based tests of the [`ActivationQueue`]: under arbitrary
+//! interleavings of `push` / `push_batch` / `try_push` / `try_pop_batch` /
+//! `close`, no tuple is ever lost or duplicated, and the lock-free
+//! observation mirrors (`len` / `is_empty` / `is_closed` / `is_exhausted`
+//! and the enqueue/dequeue totals) always agree with the data that actually
+//! moved.
+//!
+//! Two complementary properties:
+//!
+//! * a **sequential model check** drives one queue and an exact in-memory
+//!   model through a random operation script (including mid-script closes)
+//!   and asserts every observable — popped values, lengths, closed state,
+//!   totals — matches the model after every step;
+//! * a **concurrent interleaving check** runs random multi-producer scripts
+//!   against racing consumers and asserts the multiset of consumed tuples
+//!   equals the multiset of successfully pushed ones, with monotone totals.
+
+use dbs3_engine::{Activation, ActivationQueue, TryPushError, TupleBatch};
+use dbs3_storage::tuple::int_tuple;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread;
+
+/// Builds a data activation carrying `count` tuples with ascending payloads
+/// starting at `base`.
+fn batch_of(base: i64, count: usize) -> Activation {
+    Activation::Data(TupleBatch::from(
+        (0..count as i64)
+            .map(|i| int_tuple(&[base + i]))
+            .collect::<Vec<_>>(),
+    ))
+}
+
+/// Flattens popped activations into their tuple payloads.
+fn payloads(batch: &[Activation]) -> Vec<i64> {
+    batch
+        .iter()
+        .flat_map(|a| a.batch().expect("data only").iter())
+        .map(|t| t.value(0).as_int().unwrap())
+        .collect()
+}
+
+/// An exact reference model of the queue: activation batches with the same
+/// overfill, at-least-one-per-pop and close semantics.
+#[derive(Default)]
+struct Model {
+    buffer: VecDeque<Vec<i64>>,
+    closed: bool,
+    enqueued: u64,
+    dequeued: u64,
+}
+
+impl Model {
+    fn len(&self) -> usize {
+        self.buffer.iter().map(Vec::len).sum()
+    }
+
+    /// Mirrors `try_pop_batch(max_logical)`.
+    fn pop(&mut self, max_logical: usize) -> Vec<i64> {
+        let mut out = Vec::new();
+        let mut popped = 0usize;
+        while let Some(front) = self.buffer.front() {
+            let logical = front.len();
+            if !out.is_empty() && popped + logical > max_logical {
+                break;
+            }
+            let batch = self.buffer.pop_front().expect("front exists");
+            popped += batch.len();
+            out.extend(batch);
+            if popped >= max_logical {
+                break;
+            }
+        }
+        self.dequeued += popped as u64;
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sequential model check over random op scripts. Ops are encoded as
+    /// `(kind, size)`; blocking entry points (`push`, `push_batch`) are only
+    /// issued when the model proves they cannot block or panic, exactly as
+    /// the engine's producers do (they never push after closing).
+    #[test]
+    fn queue_matches_reference_model(
+        ops in proptest::collection::vec((0u8..6, 1usize..8), 1..150),
+        capacity in 1usize..24,
+    ) {
+        let q = ActivationQueue::new(0, capacity, 0.0);
+        let mut model = Model::default();
+        let mut next_payload = 0i64;
+        for (kind, size) in ops {
+            match kind {
+                // try_push: always safe; refused on full/closed.
+                0 => {
+                    let result = q.try_push(batch_of(next_payload, size));
+                    if model.closed {
+                        prop_assert!(matches!(result, Err(TryPushError::Closed(_))));
+                    } else if model.len() >= capacity {
+                        prop_assert!(matches!(result, Err(TryPushError::Full(_))));
+                    } else {
+                        prop_assert!(result.is_ok());
+                        model.buffer.push_back((next_payload..next_payload + size as i64).collect());
+                        model.enqueued += size as u64;
+                        next_payload += size as i64;
+                    }
+                }
+                // push: blocking; issued only when it will be accepted
+                // immediately (below capacity, not closed).
+                1 if !model.closed && model.len() < capacity => {
+                    q.push(batch_of(next_payload, size));
+                    model.buffer.push_back((next_payload..next_payload + size as i64).collect());
+                    model.enqueued += size as u64;
+                    next_payload += size as i64;
+                }
+                // push_batch of singletons; issued only when the whole batch
+                // fits (so no acquisition can block).
+                2 if !model.closed && model.len() + size <= capacity => {
+                    let singles: Vec<Activation> =
+                        (0..size as i64).map(|i| Activation::single(int_tuple(&[next_payload + i]))).collect();
+                    q.push_batch(singles);
+                    for i in 0..size as i64 {
+                        model.buffer.push_back(vec![next_payload + i]);
+                    }
+                    model.enqueued += size as u64;
+                    next_payload += size as i64;
+                }
+                // try_pop_batch with a random logical budget.
+                3 => {
+                    let got = payloads(&q.try_pop_batch(size));
+                    let want = model.pop(size);
+                    prop_assert_eq!(got, want, "pop diverged from the model");
+                }
+                // close (possibly mid-script, possibly repeated).
+                4 => {
+                    q.close();
+                    model.closed = true;
+                }
+                _ => {} // guarded push variants that would block: skip.
+            }
+            // The lock-free observers agree with the model after every op.
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.len() == 0);
+            prop_assert_eq!(q.is_closed(), model.closed);
+            prop_assert_eq!(q.is_exhausted(), model.closed && model.len() == 0);
+            prop_assert_eq!(q.total_enqueued(), model.enqueued);
+            prop_assert_eq!(q.total_dequeued(), model.dequeued);
+        }
+        // Drain: everything enqueued comes back out exactly once.
+        let rest = payloads(&q.try_pop_batch(usize::MAX));
+        prop_assert_eq!(rest, model.pop(usize::MAX));
+        prop_assert_eq!(q.total_dequeued(), q.total_enqueued());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent interleavings: random producer scripts (mixing blocking
+    /// pushes, batch pushes and lossy try_pushes) race two consumers. The
+    /// multiset of consumed payloads must equal the multiset of payloads
+    /// whose push was *accepted* — nothing lost, nothing duplicated — and
+    /// the totals must match exactly once the dust settles.
+    #[test]
+    fn concurrent_interleavings_lose_and_duplicate_nothing(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, 1usize..6), 5..40),
+            1..4,
+        ),
+        capacity in 2usize..32,
+        budget in 1usize..12,
+    ) {
+        let q = Arc::new(ActivationQueue::new(0, capacity, 0.0));
+
+        // Consumers: mix non-blocking batch pops with blocking pops until
+        // the queue is closed and drained; collect every payload seen.
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut seen: Vec<i64> = Vec::new();
+                    loop {
+                        let batch = q.try_pop_batch(budget);
+                        if batch.is_empty() {
+                            // Fall back to a blocking pop: returns None only
+                            // when the queue is exhausted.
+                            match q.pop_blocking() {
+                                Some(a) => seen.extend(payloads(std::slice::from_ref(&a))),
+                                None => break,
+                            }
+                        } else {
+                            seen.extend(payloads(&batch));
+                        }
+                        // Totals are monotone and never cross: reading the
+                        // dequeue total first makes the comparison sound.
+                        let deq = q.total_dequeued();
+                        let enq = q.total_enqueued();
+                        assert!(deq <= enq, "dequeued {deq} > enqueued {enq}");
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        // Producers: each runs its random script with a disjoint payload
+        // namespace and reports which payloads were actually accepted.
+        let producers: Vec<_> = scripts
+            .into_iter()
+            .enumerate()
+            .map(|(p, script)| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut accepted: Vec<i64> = Vec::new();
+                    let mut next = (p as i64 + 1) * 1_000_000;
+                    for (kind, size) in script {
+                        let base = next;
+                        next += size as i64;
+                        match kind {
+                            // Blocking push of one batch: always accepted.
+                            0 => {
+                                q.push(batch_of(base, size));
+                                accepted.extend(base..base + size as i64);
+                            }
+                            // push_batch of singletons: always accepted.
+                            1 => {
+                                let singles: Vec<Activation> = (0..size as i64)
+                                    .map(|i| Activation::single(int_tuple(&[base + i])))
+                                    .collect();
+                                q.push_batch(singles);
+                                accepted.extend(base..base + size as i64);
+                            }
+                            // try_push: accepted only if the queue had room.
+                            _ => {
+                                if q.try_push(batch_of(base, size)).is_ok() {
+                                    accepted.extend(base..base + size as i64);
+                                }
+                            }
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+
+        let mut pushed: Vec<i64> = Vec::new();
+        for producer in producers {
+            pushed.extend(producer.join().unwrap());
+        }
+        q.close();
+        let mut consumed: Vec<i64> = Vec::new();
+        for consumer in consumers {
+            consumed.extend(consumer.join().unwrap());
+        }
+
+        pushed.sort_unstable();
+        consumed.sort_unstable();
+        prop_assert_eq!(
+            consumed, pushed,
+            "consumed multiset differs from accepted-push multiset"
+        );
+        prop_assert_eq!(q.total_enqueued(), q.total_dequeued());
+        prop_assert!(q.is_exhausted());
+    }
+}

@@ -87,6 +87,128 @@ impl HashIndex {
         }
     }
 
+    /// Builds the same index as [`HashIndex::build`], partitioning the work
+    /// over `shards` scoped threads.
+    ///
+    /// Each shard owns a contiguous range of hash buckets: every shard scans
+    /// the (parallel-computed) key hashes, counts and scatters only the
+    /// entries whose bucket falls in its range, and writes them into the
+    /// disjoint slice of the grouped table that range maps to. Because every
+    /// shard visits tuple positions in ascending order, the produced
+    /// `starts`/`positions`/`hashes` arrays are **identical** to the
+    /// sequential build's — same probe results, same duplicate-key order —
+    /// which `tests` and `crates/engine`'s equivalence suite pin.
+    ///
+    /// Small inputs (or `shards <= 1`) fall back to the sequential build:
+    /// below a few thousand rows the scoped-thread spawn/join costs more
+    /// than the build itself.
+    pub fn build_parallel(tuples: &[Tuple], key_index: usize, shards: usize) -> Self {
+        // Cap the useful shard count: each extra shard re-scans the hash
+        // array once per pass, so past ~64 shards the scan cost dominates.
+        let shards = shards.min(64).min(tuples.len() / Self::MIN_ROWS_PER_SHARD);
+        if shards <= 1 {
+            return Self::build(tuples, key_index);
+        }
+        let buckets = tuples.len().next_power_of_two().max(1);
+        let mask = buckets - 1;
+
+        // Pass 1 (parallel over tuple chunks): hash every key once.
+        let mut hashes_by_pos = vec![0u64; tuples.len()];
+        let chunk = tuples.len().div_ceil(shards);
+        std::thread::scope(|scope| {
+            for (t_chunk, h_chunk) in tuples.chunks(chunk).zip(hashes_by_pos.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (t, h) in t_chunk.iter().zip(h_chunk.iter_mut()) {
+                        *h = t.value(key_index).stable_hash();
+                    }
+                });
+            }
+        });
+        let hashes_by_pos = &hashes_by_pos;
+
+        // Shard `s` owns buckets `[bounds[s], bounds[s + 1])`.
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * buckets / shards).collect();
+
+        // Pass 2 (parallel over bucket ranges): count each shard's buckets
+        // into its disjoint slice of `starts`.
+        let mut starts = vec![0u32; buckets + 1];
+        std::thread::scope(|scope| {
+            let mut rest: &mut [u32] = &mut starts[1..];
+            for w in bounds.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let (counts, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                if lo == hi {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for &h in hashes_by_pos {
+                        let b = bucket_of(h, mask);
+                        if (lo..hi).contains(&b) {
+                            counts[b - lo] += 1;
+                        }
+                    }
+                });
+            }
+        });
+        let occupied = starts.iter().skip(1).filter(|&&c| c > 0).count();
+        for b in 0..buckets {
+            starts[b + 1] += starts[b];
+        }
+
+        // Pass 3 (parallel over bucket ranges): scatter positions and hashes.
+        // Shard `s`'s buckets occupy the contiguous entry range
+        // `[starts[bounds[s]], starts[bounds[s + 1]])`, so the output arrays
+        // split into per-shard disjoint slices.
+        let mut positions = vec![0u32; tuples.len()];
+        let mut hashes = vec![0u64; tuples.len()];
+        let starts_ref = &starts;
+        std::thread::scope(|scope| {
+            let mut pos_rest: &mut [u32] = &mut positions;
+            let mut hash_rest: &mut [u64] = &mut hashes;
+            for w in bounds.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let (out_lo, out_hi) = (starts_ref[lo] as usize, starts_ref[hi] as usize);
+                let (pos_mine, pos_tail) = pos_rest.split_at_mut(out_hi - out_lo);
+                let (hash_mine, hash_tail) = hash_rest.split_at_mut(out_hi - out_lo);
+                pos_rest = pos_tail;
+                hash_rest = hash_tail;
+                if lo == hi || out_lo == out_hi {
+                    continue;
+                }
+                scope.spawn(move || {
+                    // Per-bucket write cursors, relative to the shard slice.
+                    let mut cursor: Vec<u32> = starts_ref[lo..hi]
+                        .iter()
+                        .map(|&s| s - out_lo as u32)
+                        .collect();
+                    for (pos, &h) in hashes_by_pos.iter().enumerate() {
+                        let b = bucket_of(h, mask);
+                        if (lo..hi).contains(&b) {
+                            let slot = &mut cursor[b - lo];
+                            pos_mine[*slot as usize] = pos as u32;
+                            hash_mine[*slot as usize] = h;
+                            *slot += 1;
+                        }
+                    }
+                });
+            }
+        });
+
+        HashIndex {
+            key_index,
+            mask,
+            starts,
+            positions,
+            hashes,
+            occupied,
+        }
+    }
+
+    /// Below this many rows per shard a parallel build is slower than the
+    /// sequential two-pass build (thread spawn/join dominates).
+    const MIN_ROWS_PER_SHARD: usize = 4_096;
+
     /// Builds an index over a fragment (the common case: one temporary index
     /// per join operation instance).
     pub fn build_for_fragment(fragment: &Fragment, key_index: usize) -> Self {
@@ -224,6 +346,95 @@ mod tests {
             .map(|t| t.value(1).as_int().unwrap())
             .collect();
         assert_eq!(payloads, vec![0, 2, 3]);
+    }
+
+    /// Asserts two indexes are identical: same grouped-table layout, hence
+    /// byte-identical probe behaviour (order of duplicates included).
+    fn assert_same_index(a: &HashIndex, b: &HashIndex) {
+        assert_eq!(a.key_index, b.key_index);
+        assert_eq!(a.mask, b.mask);
+        assert_eq!(a.starts, b.starts);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.hashes, b.hashes);
+        assert_eq!(a.occupied, b.occupied);
+    }
+
+    /// A skewed key set: key `k` (of `ranks` distinct keys) appears with
+    /// Zipf(theta) frequency, mirroring the paper's skewed databases.
+    fn zipf_rows(total: usize, ranks: usize, theta: f64) -> Vec<(i64, i64)> {
+        let zipf = crate::zipf::Zipf::new(theta, ranks).unwrap();
+        let mut rows = Vec::with_capacity(total);
+        for (rank, count) in zipf.cardinalities(total).into_iter().enumerate() {
+            for _ in 0..count {
+                rows.push((rank as i64, rows.len() as i64));
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        // 20_000 rows clears MIN_ROWS_PER_SHARD for up to 4 shards; the
+        // requested shard counts 1/2/8 exercise the fallback (1), a real
+        // split (2) and a clamped request (8 -> 4 effective shards).
+        let rows: Vec<(i64, i64)> = (0..20_000).map(|i| (i % 1_337, i)).collect();
+        let rel = test_relation("r", &rows);
+        let sequential = HashIndex::build(rel.tuples(), 0);
+        for shards in [1usize, 2, 8] {
+            let parallel = HashIndex::build_parallel(rel.tuples(), 0, shards);
+            assert_same_index(&sequential, &parallel);
+            // Spot-check probes anyway (belt and braces over the layout
+            // equality): duplicates must come back in build order.
+            let expected: Vec<i64> = sequential
+                .probe(rel.tuples(), &Value::Int(42))
+                .map(|t| t.value(1).as_int().unwrap())
+                .collect();
+            let got: Vec<i64> = parallel
+                .probe(rel.tuples(), &Value::Int(42))
+                .map(|t| t.value(1).as_int().unwrap())
+                .collect();
+            assert_eq!(expected, got, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_on_skewed_zipf_keys() {
+        // Zipf(1.0) over 64 ranks: the hottest key holds a large fraction of
+        // all rows, so shard bucket ranges are heavily imbalanced — exactly
+        // the layout-preservation case worth pinning.
+        let rows = zipf_rows(30_000, 64, 1.0);
+        let rel = test_relation("z", &rows);
+        let sequential = HashIndex::build(rel.tuples(), 0);
+        for shards in [2usize, 8] {
+            let parallel = HashIndex::build_parallel(rel.tuples(), 0, shards);
+            assert_same_index(&sequential, &parallel);
+            for key in [0i64, 1, 63] {
+                let expected: Vec<i64> = sequential
+                    .probe(rel.tuples(), &Value::Int(key))
+                    .map(|t| t.value(1).as_int().unwrap())
+                    .collect();
+                let got: Vec<i64> = parallel
+                    .probe(rel.tuples(), &Value::Int(key))
+                    .map(|t| t.value(1).as_int().unwrap())
+                    .collect();
+                assert_eq!(expected, got, "key {key} shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_small_inputs_fall_back_to_sequential() {
+        // Below MIN_ROWS_PER_SHARD per shard the parallel entry point must
+        // still produce the same index (via the sequential path).
+        let rows: Vec<(i64, i64)> = (0..500).map(|i| (i % 7, i)).collect();
+        let rel = test_relation("s", &rows);
+        let sequential = HashIndex::build(rel.tuples(), 0);
+        for shards in [0usize, 1, 2, 8] {
+            let parallel = HashIndex::build_parallel(rel.tuples(), 0, shards);
+            assert_same_index(&sequential, &parallel);
+        }
+        let empty = HashIndex::build_parallel(&[], 0, 8);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -146,6 +146,16 @@ impl<'a> Query<'a> {
         self
     }
 
+    /// Partitions every temporary hash-index build over `shards` threads
+    /// (`HashIndex::build_parallel`). Unset, builds are sized from the
+    /// query's resolved thread count divided across the join instances
+    /// that build concurrently; probe results are identical either way.
+    /// Zero is rejected with a typed error when the query runs.
+    pub fn build_threads(mut self, shards: usize) -> Self {
+        self.options.build_threads = Some(shards);
+        self
+    }
+
     /// Counts result tuples in the store operators instead of materialising
     /// them: `QueryOutcome::results` stays empty while `cardinalities` and
     /// every metric stay exact. For benches and workloads that only need

@@ -161,6 +161,80 @@ fn batching_never_changes_logical_work() {
     }
 }
 
+/// Hash joins at every build-parallelism regime (sequential, 2-shard,
+/// 8-shard temporary index builds), across Threaded, Pooled and Simulated
+/// backends: cardinalities must be identical everywhere, and the
+/// Threaded/Pooled engines must also agree on per-operation logical
+/// activation counts — the partitioned build changes *when* index entries
+/// are written, never what a probe returns. (The simulator is excluded from
+/// the per-op comparison for hash joins only because it deliberately models
+/// index builds as one extra activation per instance; its *result* must
+/// still match.)
+///
+/// Sizing is load-bearing: `build_parallel` falls back to a sequential
+/// build below 4_096 rows per shard, so the *inner* relation of both plans
+/// is A at 40_000 tuples over 4 fragments (~10_000 per per-instance build)
+/// — `build_threads` 2 and 8 genuinely run the partitioned build.
+#[test]
+fn parallel_index_builds_are_invisible_across_all_backends() {
+    /// Pinned reference: (cardinalities per store, per-op activation counts).
+    type Pinned = (std::collections::BTreeMap<String, usize>, Vec<Option<u64>>);
+    let session = session(40_000, 4_000, 4, 0.0);
+    let runtime = std::sync::Arc::new(Runtime::new(4).unwrap());
+    for plan in [
+        plans::ideal_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
+        plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
+    ] {
+        let mut reference: Option<Pinned> = None;
+        for build_threads in [1usize, 2, 8] {
+            for backend in [
+                Backend::Threaded,
+                Backend::Pooled(std::sync::Arc::clone(&runtime)),
+                Backend::Simulated(SimConfig::ksr1()),
+            ] {
+                let outcome = session
+                    .query(&plan)
+                    .threads(4)
+                    .build_threads(build_threads)
+                    .on(backend)
+                    .run()
+                    .unwrap();
+                let is_engine = outcome.metrics.backend_name() != "simulated";
+                let counts: Vec<Option<u64>> = plan
+                    .nodes()
+                    .iter()
+                    .filter(|n| !matches!(n.kind, OperatorKind::Store { .. }))
+                    .map(|n| outcome.metrics.activations(n.id))
+                    .collect();
+                match &reference {
+                    None => reference = Some((outcome.cardinalities.clone(), counts)),
+                    Some((ref_cards, ref_counts)) => {
+                        assert_eq!(
+                            ref_cards,
+                            &outcome.cardinalities,
+                            "cardinalities diverge on {} ({} build threads, {})",
+                            plan.name(),
+                            build_threads,
+                            outcome.metrics.backend_name()
+                        );
+                        if is_engine {
+                            assert_eq!(
+                                ref_counts,
+                                &counts,
+                                "activation counts diverge on {} ({} build threads, {})",
+                                plan.name(),
+                                build_threads,
+                                outcome.metrics.backend_name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(runtime.live_queries(), 0);
+}
+
 #[test]
 fn selection_is_backend_equivalent_on_cardinality() {
     let session = session(2_000, 200, 10, 0.0);
