@@ -253,10 +253,12 @@ pub fn to_json(
         out.push_str(",\n  \"concurrent\": [\n");
         for (i, c) in concurrent.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"pool_threads\": {}, \"queries\": {}, \
+                "    {{\"workload\": \"{}\", \"scale\": \"{}\", \"pool_threads\": {}, \
+                 \"queries\": {}, \
                  \"elapsed_s\": {:.6}, \"total_logical_activations\": {}, \
                  \"aggregate_activations_per_second\": {:.1}}}{}\n",
                 c.workload,
+                c.scale,
                 c.pool_threads,
                 c.queries,
                 c.elapsed_s,
@@ -370,6 +372,7 @@ mod tests {
     fn json_includes_concurrent_section_and_reference_stripping_survives_it() {
         let concurrent = vec![crate::concurrent::ConcurrentRun {
             workload: "fig14_assoc_join",
+            scale: "paper",
             pool_threads: 4,
             queries: 16,
             elapsed_s: 0.5,
@@ -380,6 +383,7 @@ mod tests {
         let tiers = [sample_tier(ExperimentScale::Paper)];
         let json = to_json(&tiers, &concurrent, None);
         assert!(json.contains("\"concurrent\": ["));
+        assert!(json.contains("\"scale\": \"paper\""));
         assert!(json.contains("\"queries\": 16"));
         assert!(json.contains("\"aggregate_activations_per_second\": 1286400.0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

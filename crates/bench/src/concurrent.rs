@@ -21,6 +21,10 @@ use std::time::Instant;
 pub struct ConcurrentRun {
     /// Workload identifier (the plan shape all queries share).
     pub workload: &'static str,
+    /// Tier the workload data was generated at (`paper`, `scaled`, ...);
+    /// [`run_concurrent`] itself doesn't know, so it stamps `"unscaled"`
+    /// and [`run_concurrent_baseline`] overwrites it.
+    pub scale: &'static str,
     /// Number of worker threads in the shared pool.
     pub pool_threads: usize,
     /// Number of concurrently submitted queries.
@@ -77,6 +81,7 @@ pub fn run_concurrent(
     };
     Ok(ConcurrentRun {
         workload,
+        scale: "unscaled",
         pool_threads,
         queries,
         elapsed_s,
@@ -94,7 +99,7 @@ pub const CONCURRENT_POOL_THREADS: usize = 4;
 
 /// Measures the multi-query throughput shape of `BENCH_engine.json`: the
 /// fig14 AssocJoin (hash) workload at 1, 4 and 16 concurrent queries on a
-/// 4-worker pool, best of `repetitions` per level.
+/// 4-worker pool, best of `repetitions` per level, at the given tier.
 pub fn run_concurrent_baseline(
     scale: crate::ExperimentScale,
     repetitions: usize,
@@ -107,7 +112,7 @@ pub fn run_concurrent_baseline(
         .map(|&queries| {
             let mut best: Option<ConcurrentRun> = None;
             for _ in 0..repetitions.max(1) {
-                let run = run_concurrent(
+                let mut run = run_concurrent(
                     &session,
                     &plan,
                     "fig14_assoc_join",
@@ -115,6 +120,7 @@ pub fn run_concurrent_baseline(
                     queries,
                 )
                 .expect("baseline workload executes on the shared pool");
+                run.scale = scale.name();
                 if best.as_ref().is_none_or(|b| run.elapsed_s < b.elapsed_s) {
                     best = Some(run);
                 }
@@ -122,6 +128,31 @@ pub fn run_concurrent_baseline(
             best.expect("at least one repetition ran")
         })
         .collect()
+}
+
+/// Whether aggregate throughput holds up as concurrency rises: every
+/// successive concurrency level of each scale must keep at least
+/// `min_ratio` of the *best* aggregate acts/s seen at any lower level of
+/// that scale. This is the shape of the 4-query anomaly the ready-deque
+/// scheduler fixed — aggregate throughput at 4 concurrent queries dropped
+/// to a quarter of the 1-query figure because workers stuck to one query's
+/// longest queues — phrased loosely enough to tolerate bench noise.
+pub fn is_non_collapsing(runs: &[ConcurrentRun], min_ratio: f64) -> bool {
+    let scales: Vec<&'static str> = {
+        let mut s: Vec<&'static str> = runs.iter().map(|r| r.scale).collect();
+        s.dedup();
+        s
+    };
+    scales.iter().all(|&scale| {
+        let mut best_so_far = 0.0f64;
+        for run in runs.iter().filter(|r| r.scale == scale) {
+            if run.aggregate_activations_per_second < best_so_far * min_ratio {
+                return false;
+            }
+            best_so_far = best_so_far.max(run.aggregate_activations_per_second);
+        }
+        true
+    })
 }
 
 #[cfg(test)]
@@ -157,9 +188,78 @@ mod tests {
         for (run, &queries) in runs.iter().zip(&CONCURRENT_QUERIES) {
             assert_eq!(run.queries, queries);
             assert_eq!(run.pool_threads, CONCURRENT_POOL_THREADS);
+            assert_eq!(run.scale, "smoke");
             assert!(run.total_logical_activations > 0);
             let first = run.cardinalities[0];
             assert!(run.cardinalities.iter().all(|&c| c == first));
         }
+    }
+
+    /// Builds a throwaway run with the given scale and throughput for shape
+    /// tests of the gate predicate.
+    fn run_at(scale: &'static str, acts_per_s: f64) -> ConcurrentRun {
+        ConcurrentRun {
+            workload: "test",
+            scale,
+            pool_threads: 4,
+            queries: 1,
+            elapsed_s: 1.0,
+            total_logical_activations: acts_per_s as u64,
+            aggregate_activations_per_second: acts_per_s,
+            cardinalities: vec![],
+        }
+    }
+
+    #[test]
+    fn non_collapsing_accepts_monotone_and_noisy_flat_shapes() {
+        // Strictly rising.
+        let rising = [
+            run_at("paper", 1.0e6),
+            run_at("paper", 1.5e6),
+            run_at("paper", 2.0e6),
+        ];
+        assert!(is_non_collapsing(&rising, 0.75));
+        // A noisy dip within tolerance of the best-so-far.
+        let noisy = [
+            run_at("paper", 1.0e6),
+            run_at("paper", 0.8e6),
+            run_at("paper", 1.1e6),
+        ];
+        assert!(is_non_collapsing(&noisy, 0.75));
+        // Empty and single-run inputs trivially hold.
+        assert!(is_non_collapsing(&[], 0.75));
+        assert!(is_non_collapsing(&[run_at("paper", 1.0)], 0.75));
+    }
+
+    #[test]
+    fn non_collapsing_rejects_the_four_query_collapse_shape() {
+        // The pre-fix BENCH_engine.json shape: 1.84M -> 0.45M -> 0.88M.
+        let collapse = [
+            run_at("paper", 1.84e6),
+            run_at("paper", 0.45e6),
+            run_at("paper", 0.88e6),
+        ];
+        assert!(!is_non_collapsing(&collapse, 0.75));
+    }
+
+    #[test]
+    fn non_collapsing_judges_each_scale_independently() {
+        // Scaled tier runs slower in absolute terms; the drop across the
+        // scale boundary must not trip the check, but a collapse inside one
+        // scale must.
+        let ok = [
+            run_at("paper", 2.0e6),
+            run_at("paper", 2.1e6),
+            run_at("scaled", 0.5e6),
+            run_at("scaled", 0.6e6),
+        ];
+        assert!(is_non_collapsing(&ok, 0.75));
+        let bad = [
+            run_at("paper", 2.0e6),
+            run_at("paper", 2.1e6),
+            run_at("scaled", 0.6e6),
+            run_at("scaled", 0.2e6),
+        ];
+        assert!(!is_non_collapsing(&bad, 0.75));
     }
 }

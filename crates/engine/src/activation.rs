@@ -104,8 +104,25 @@ impl<'a> IntoIterator for &'a TupleBatch {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Activation {
     /// A control activation: start the operation instance on its associated
-    /// fragment. A triggered queue receives exactly one of these.
+    /// fragment. A triggered queue receives exactly one of these (unless the
+    /// fragment was split into [`Activation::Morsel`]s instead).
     Trigger,
+    /// A control activation covering the fragment row range `start..end` —
+    /// one morsel of a fragment split for intra-operator parallelism (the
+    /// engine-side counterpart of the simulator's `triggered_granule`).
+    ///
+    /// Exactly one morsel per fragment is the *lead* morsel; only it carries
+    /// the fragment's single logical trigger activation, so however finely a
+    /// fragment is split, the per-operation logical activation count stays
+    /// what the paper's model (and the simulator) report for one trigger.
+    Morsel {
+        /// First fragment row covered (inclusive).
+        start: usize,
+        /// One past the last fragment row covered.
+        end: usize,
+        /// Whether this morsel carries the fragment's logical trigger.
+        lead: bool,
+    },
     /// A data activation: a batch of tuples flowing through a pipeline
     /// (logically, one per-tuple activation per batched tuple).
     Data(TupleBatch),
@@ -118,20 +135,43 @@ impl Activation {
         Activation::Data(TupleBatch::from(tuple))
     }
 
-    /// Whether this is a control activation.
+    /// Whether this is a whole-fragment control activation.
     pub fn is_trigger(&self) -> bool {
         matches!(self, Activation::Trigger)
     }
 
+    /// Whether this is a control activation (a trigger or a morsel).
+    pub fn is_control(&self) -> bool {
+        matches!(self, Activation::Trigger | Activation::Morsel { .. })
+    }
+
     /// Number of *logical* (paper-model, per-tuple) activations this
     /// transport activation stands for: a trigger is one unit of work, a
-    /// data batch is one unit per tuple. Queue accounting and execution
-    /// metrics count logical activations so they are independent of the
-    /// transport batch granularity.
+    /// data batch is one unit per tuple, and of a split fragment's morsels
+    /// only the lead one counts (the whole fragment is still one logical
+    /// trigger). Execution metrics count logical activations so they are
+    /// independent of both the transport batch granularity and the morsel
+    /// granularity.
     #[inline]
     pub fn logical_len(&self) -> usize {
         match self {
             Activation::Trigger => 1,
+            Activation::Morsel { lead, .. } => usize::from(*lead),
+            Activation::Data(batch) => batch.len(),
+        }
+    }
+
+    /// Queue-transport weight: what this activation occupies in a queue.
+    /// Every control activation weighs one unit (a non-lead morsel is real
+    /// schedulable work even though it is logically weightless), a data
+    /// batch weighs one unit per tuple. Queue accounting — capacity,
+    /// `len()`, the enqueue/dequeue totals and the runtime's pending-work
+    /// counters — uses this weight, so morsels stay visible to the
+    /// scheduler; metrics use [`Activation::logical_len`].
+    #[inline]
+    pub fn queue_weight(&self) -> usize {
+        match self {
+            Activation::Trigger | Activation::Morsel { .. } => 1,
             Activation::Data(batch) => batch.len(),
         }
     }
@@ -139,7 +179,7 @@ impl Activation {
     /// The batch carried by a data activation.
     pub fn batch(&self) -> Option<&TupleBatch> {
         match self {
-            Activation::Trigger => None,
+            Activation::Trigger | Activation::Morsel { .. } => None,
             Activation::Data(batch) => Some(batch),
         }
     }
@@ -147,7 +187,7 @@ impl Activation {
     /// Consumes the activation, returning the batch of a data activation.
     pub fn into_batch(self) -> Option<TupleBatch> {
         match self {
-            Activation::Trigger => None,
+            Activation::Trigger | Activation::Morsel { .. } => None,
             Activation::Data(batch) => Some(batch),
         }
     }
@@ -174,9 +214,33 @@ mod tests {
     fn trigger_has_no_batch() {
         let a = Activation::Trigger;
         assert!(a.is_trigger());
+        assert!(a.is_control());
         assert_eq!(a.logical_len(), 1);
+        assert_eq!(a.queue_weight(), 1);
         assert!(a.batch().is_none());
         assert!(a.into_batch().is_none());
+    }
+
+    #[test]
+    fn morsels_weigh_one_in_queues_but_only_the_lead_counts_logically() {
+        let lead = Activation::Morsel {
+            start: 0,
+            end: 128,
+            lead: true,
+        };
+        let tail = Activation::Morsel {
+            start: 128,
+            end: 200,
+            lead: false,
+        };
+        for a in [&lead, &tail] {
+            assert!(a.is_control());
+            assert!(!a.is_trigger());
+            assert_eq!(a.queue_weight(), 1);
+            assert!(a.batch().is_none());
+        }
+        assert_eq!(lead.logical_len(), 1);
+        assert_eq!(tail.logical_len(), 0);
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub use executor::{ExecutionOutcome, Executor};
 pub use metrics::{ExecutionMetrics, OperationMetrics};
 pub use queue::{ActivationQueue, TryPushError};
 pub use runtime::{QueryHandle, QueryId, Runtime};
-pub use schedule::{ExecutionSchedule, OperationSchedule, Scheduler, SchedulerOptions};
+pub use schedule::{
+    ExecutionSchedule, OperationSchedule, Scheduler, SchedulerOptions, DEFAULT_MORSEL_ROWS,
+};
 pub use strategy::ConsumptionStrategy;
 pub use sync::CachePadded;
 

@@ -24,24 +24,34 @@ impl FilterOperator {
     }
 
     /// Processes one activation for `instance`, returning the output batch.
+    /// A trigger scans the whole fragment; a morsel scans its row range.
     ///
     /// Data activations are ignored (a filter is always triggered); the
     /// executor never routes them here, but being lenient keeps the operator
     /// harmless under misuse.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
-        if !activation.is_trigger() {
-            return Vec::new();
-        }
         let fragment = self
             .relation
             .fragment(instance)
             .expect("executor only routes activations to existing instances");
-        fragment
-            .tuples()
+        let tuples = fragment.tuples();
+        let Some((start, end)) = super::control_range(&activation, tuples.len()) else {
+            return Vec::new();
+        };
+        tuples[start..end]
             .iter()
             .filter(|t| self.predicate.eval(t))
             .cloned()
             .collect()
+    }
+
+    /// Rows instance `instance` scans when triggered (its fragment's
+    /// cardinality).
+    pub fn triggered_rows(&self, instance: usize) -> Option<usize> {
+        self.relation
+            .fragment(instance)
+            .ok()
+            .map(|f| f.cardinality())
     }
 }
 
@@ -92,6 +102,23 @@ mod tests {
         let op = FilterOperator::new(Arc::clone(&rel), pred);
         let some_tuple = rel.fragments()[0].tuples()[0].clone();
         assert!(op.process(0, Activation::single(some_tuple)).is_empty());
+    }
+
+    #[test]
+    fn morsels_cover_the_fragment_exactly_once() {
+        let rel = relation();
+        let pred = Predicate::True.bind("A", rel.schema()).unwrap();
+        let op = FilterOperator::new(Arc::clone(&rel), pred);
+        let whole = op.process(2, Activation::Trigger);
+        let len = rel.fragment(2).unwrap().cardinality();
+        // Split at an uneven boundary, with the last morsel overshooting the
+        // fragment (clamped): the concatenation must equal the full scan.
+        let mut pieces = Vec::new();
+        for (start, end, lead) in [(0, 7, true), (7, len, false), (len, len + 50, false)] {
+            pieces.extend(op.process(2, Activation::Morsel { start, end, lead }));
+        }
+        assert_eq!(pieces, whole);
+        assert_eq!(op.triggered_rows(2), Some(len));
     }
 
     #[test]

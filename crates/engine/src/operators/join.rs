@@ -16,6 +16,11 @@ pub struct TriggeredJoinOperator {
     outer_column: usize,
     inner_column: usize,
     algorithm: JoinAlgorithm,
+    /// Lazily built per-instance temporary indexes over the inner fragments.
+    /// Built once on the first (trigger or morsel) activation of an
+    /// instance and shared by every morsel of the fragment — splitting the
+    /// outer scan must not multiply the build work.
+    indexes: Vec<OnceLock<HashIndex>>,
     /// Shards each temporary index build is partitioned over
     /// ([`HashIndex::build_parallel`]); 1 = sequential build.
     build_shards: usize,
@@ -31,12 +36,14 @@ impl TriggeredJoinOperator {
         inner_column: usize,
         algorithm: JoinAlgorithm,
     ) -> Self {
+        let indexes = (0..inner.degree()).map(|_| OnceLock::new()).collect();
         TriggeredJoinOperator {
             outer,
             inner,
             outer_column,
             inner_column,
             algorithm,
+            indexes,
             build_shards: 1,
         }
     }
@@ -49,14 +56,17 @@ impl TriggeredJoinOperator {
     }
 
     /// Processes one activation for `instance`, returning the output batch.
+    /// A trigger joins the whole outer fragment against the co-partitioned
+    /// inner fragment; a morsel joins only its outer row range.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
-        if !activation.is_trigger() {
-            return Vec::new();
-        }
         let outer = self
             .outer
             .fragment(instance)
             .expect("co-partitioned operands share the degree of partitioning");
+        let outer_tuples = outer.tuples();
+        let Some((start, end)) = super::control_range(&activation, outer_tuples.len()) else {
+            return Vec::new();
+        };
         let inner = self
             .inner
             .fragment(instance)
@@ -64,7 +74,7 @@ impl TriggeredJoinOperator {
         match self.algorithm {
             JoinAlgorithm::NestedLoop => {
                 let mut out = Vec::new();
-                for o in outer.tuples() {
+                for o in &outer_tuples[start..end] {
                     let key = o.value(self.outer_column);
                     for i in inner.tuples() {
                         if i.value(self.inner_column) == key {
@@ -76,19 +86,28 @@ impl TriggeredJoinOperator {
             }
             JoinAlgorithm::Hash | JoinAlgorithm::TempIndex => {
                 // Build a temporary index over the inner fragment, then probe
-                // it with every outer tuple (the paper's "index built on the
-                // fly" configuration behaves the same way). The probe is an
-                // allocation-free iterator over the matching bucket.
-                let index =
-                    HashIndex::build_parallel(inner.tuples(), self.inner_column, self.build_shards);
+                // it with every outer tuple of the covered range (the paper's
+                // "index built on the fly" configuration behaves the same
+                // way). The index is built once per instance and reused by
+                // every sibling morsel; the probe is an allocation-free
+                // iterator over the matching bucket.
+                let index = self.indexes[instance].get_or_init(|| {
+                    HashIndex::build_parallel(inner.tuples(), self.inner_column, self.build_shards)
+                });
                 let mut out = Vec::new();
-                for o in outer.tuples() {
+                for o in &outer_tuples[start..end] {
                     let key = o.value(self.outer_column);
                     out.extend(index.probe(inner.tuples(), key).map(|m| o.concat(m)));
                 }
                 out
             }
         }
+    }
+
+    /// Rows instance `instance` scans when triggered (its outer fragment's
+    /// cardinality).
+    pub fn triggered_rows(&self, instance: usize) -> Option<usize> {
+        self.outer.fragment(instance).ok().map(|f| f.cardinality())
     }
 }
 
@@ -356,6 +375,65 @@ mod tests {
                 "triggered join at {shards} shards"
             );
         }
+    }
+
+    #[test]
+    fn triggered_join_morsels_union_to_the_whole_trigger() {
+        let (_, a) = partitioned("A", 400, 4);
+        let (_, b) = partitioned("Bprime", 40, 4);
+        let u1 = a.schema().column_index("unique1").unwrap();
+        for algorithm in [JoinAlgorithm::NestedLoop, JoinAlgorithm::Hash] {
+            let whole = {
+                let op =
+                    TriggeredJoinOperator::new(Arc::clone(&a), Arc::clone(&b), u1, u1, algorithm);
+                op.process(1, Activation::Trigger)
+            };
+            let op = TriggeredJoinOperator::new(Arc::clone(&a), Arc::clone(&b), u1, u1, algorithm);
+            let rows = op.triggered_rows(1).unwrap();
+            let mut pieces = Vec::new();
+            let mut start = 0usize;
+            while start < rows {
+                let end = (start + 13).min(rows);
+                pieces.extend(op.process(
+                    1,
+                    Activation::Morsel {
+                        start,
+                        end,
+                        lead: start == 0,
+                    },
+                ));
+                start = end;
+            }
+            assert_eq!(pieces, whole, "algorithm {algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn triggered_join_reuses_per_instance_index_across_morsels() {
+        let (_, a) = partitioned("A", 100, 4);
+        let (_, b) = partitioned("Bprime", 100, 4);
+        let u1 = a.schema().column_index("unique1").unwrap();
+        let op =
+            TriggeredJoinOperator::new(Arc::clone(&a), Arc::clone(&b), u1, u1, JoinAlgorithm::Hash);
+        let _ = op.process(
+            1,
+            Activation::Morsel {
+                start: 0,
+                end: 5,
+                lead: true,
+            },
+        );
+        let ptr1 = op.indexes[1].get().unwrap() as *const HashIndex;
+        let _ = op.process(
+            1,
+            Activation::Morsel {
+                start: 5,
+                end: 10,
+                lead: false,
+            },
+        );
+        let ptr2 = op.indexes[1].get().unwrap() as *const HashIndex;
+        assert_eq!(ptr1, ptr2, "morsels of one fragment share one build");
     }
 
     #[test]

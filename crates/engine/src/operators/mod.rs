@@ -19,6 +19,24 @@ pub use transmit::TransmitOperator;
 use crate::activation::Activation;
 use dbs3_storage::Tuple;
 
+/// Resolves a control activation to the fragment row range it covers, given
+/// the fragment's cardinality: a trigger covers the whole fragment, a morsel
+/// covers its `start..end` slice (clamped to the fragment). Data activations
+/// resolve to `None` — they carry tuples, not a scan range.
+pub(crate) fn control_range(
+    activation: &Activation,
+    fragment_len: usize,
+) -> Option<(usize, usize)> {
+    match activation {
+        Activation::Trigger => Some((0, fragment_len)),
+        Activation::Morsel { start, end, .. } => {
+            let end = (*end).min(fragment_len);
+            Some(((*start).min(end), end))
+        }
+        Activation::Data(_) => None,
+    }
+}
+
 /// A bound physical operator: given an activation for one of its instances,
 /// produce the output tuples.
 #[derive(Debug)]
@@ -46,6 +64,20 @@ impl BoundOperator {
             BoundOperator::TriggeredJoin(op) => op.process(instance, activation),
             BoundOperator::PipelinedJoin(op) => op.process(instance, activation),
             BoundOperator::Store(op) => op.process(instance, activation),
+        }
+    }
+
+    /// For triggered operators, the number of fragment rows instance
+    /// `instance` scans when triggered — the cardinality the runtime splits
+    /// into morsels at submit time. `None` for pipelined/store operators
+    /// (they are driven by data activations, not triggers) or when the
+    /// instance has no fragment.
+    pub fn triggered_rows(&self, instance: usize) -> Option<usize> {
+        match self {
+            BoundOperator::Filter(op) => op.triggered_rows(instance),
+            BoundOperator::Transmit(op) => op.triggered_rows(instance),
+            BoundOperator::TriggeredJoin(op) => op.triggered_rows(instance),
+            BoundOperator::PipelinedJoin(_) | BoundOperator::Store(_) => None,
         }
     }
 

@@ -23,15 +23,27 @@ impl TransmitOperator {
     }
 
     /// Processes one activation for `instance`, returning the output batch.
+    /// A trigger forwards the whole fragment; a morsel forwards its row
+    /// range.
     pub fn process(&self, instance: usize, activation: Activation) -> Vec<Tuple> {
-        if !activation.is_trigger() {
-            return Vec::new();
-        }
-        self.relation
+        let tuples = self
+            .relation
             .fragment(instance)
             .expect("executor only routes activations to existing instances")
-            .tuples()
-            .to_vec()
+            .tuples();
+        let Some((start, end)) = super::control_range(&activation, tuples.len()) else {
+            return Vec::new();
+        };
+        tuples[start..end].to_vec()
+    }
+
+    /// Rows instance `instance` forwards when triggered (its fragment's
+    /// cardinality).
+    pub fn triggered_rows(&self, instance: usize) -> Option<usize> {
+        self.relation
+            .fragment(instance)
+            .ok()
+            .map(|f| f.cardinality())
     }
 }
 

@@ -12,9 +12,12 @@
 //!   vs logical-activation distinction).
 //!
 //! All accounting — the capacity bound, `len`, and the enqueue/dequeue
-//! totals — is in **logical activations** (tuples + triggers), so the
-//! backpressure a query feels is independent of the batch granularity.
-//! Pushes admit a batch whenever the buffered logical length is *below* the
+//! totals — is in **queue weight** ([`Activation::queue_weight`]: one unit
+//! per tuple, one per control activation — morsels included, even the
+//! logically weightless non-lead ones), so the backpressure a query feels is
+//! independent of the batch granularity while split fragments stay visible
+//! to the scheduler morsel by morsel.
+//! Pushes admit a batch whenever the buffered weight is *below* the
 //! capacity, and the whole batch then lands (the overfill rule that keeps
 //! oversized batches deadlock-free) — so `queue_capacity` bounds when
 //! producers start blocking, while the instantaneous buffered length can
@@ -69,8 +72,8 @@ pub enum TryPushError {
 #[derive(Debug)]
 struct QueueState {
     buffer: VecDeque<Activation>,
-    /// Logical activations currently buffered (sum of `logical_len`).
-    logical_len: usize,
+    /// Queue weight currently buffered (sum of `queue_weight`).
+    weight: usize,
     closed: bool,
 }
 
@@ -79,24 +82,24 @@ struct QueueState {
 pub struct ActivationQueue {
     /// Instance this queue belongs to (fragment id).
     instance: usize,
-    /// Maximum number of buffered logical activations before producers
-    /// block. A single batch larger than the capacity is still accepted once
-    /// the queue drains below the bound (the queue briefly overfills rather
-    /// than deadlocking).
+    /// Maximum buffered queue weight before producers block. A single batch
+    /// larger than the capacity is still accepted once the queue drains
+    /// below the bound (the queue briefly overfills rather than
+    /// deadlocking).
     capacity: usize,
     /// Static cost estimate of the work behind this queue, used by LPT.
     estimated_cost: f64,
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
-    /// Atomic mirror of `QueueState::logical_len`, written inside the
-    /// critical section of every mutation so observers never lock.
+    /// Atomic mirror of `QueueState::weight`, written inside the critical
+    /// section of every mutation so observers never lock.
     atomic_len: AtomicUsize,
     /// Atomic mirror of `QueueState::closed` (monotone false → true).
     atomic_closed: AtomicBool,
-    /// Total logical activations ever enqueued (metrics).
+    /// Total queue weight ever enqueued (metrics).
     enqueued: AtomicU64,
-    /// Total logical activations ever dequeued (metrics).
+    /// Total queue weight ever dequeued (metrics).
     dequeued: AtomicU64,
 }
 
@@ -111,7 +114,7 @@ impl ActivationQueue {
             estimated_cost,
             state: Mutex::new(QueueState {
                 buffer: VecDeque::with_capacity(capacity.min(1024)),
-                logical_len: 0,
+                weight: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -133,31 +136,31 @@ impl ActivationQueue {
         self.estimated_cost
     }
 
-    /// Queue capacity in logical activations.
+    /// Queue capacity in queue weight (see [`Activation::queue_weight`]).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Pushes one activation (a trigger or a whole tuple batch), blocking
-    /// while the queue is at capacity.
+    /// Pushes one activation (a control activation or a whole tuple batch),
+    /// blocking while the queue is at capacity.
     ///
     /// Pushing to a closed queue is a logic error in the engine (producers
     /// close queues only after they have all finished producing) and panics.
-    /// Empty data batches are ignored: they carry no logical work.
+    /// Empty data batches are ignored: they carry no work.
     pub fn push(&self, activation: Activation) {
-        let logical = activation.logical_len();
-        if logical == 0 {
+        let weight = activation.queue_weight();
+        if weight == 0 {
             return;
         }
         let mut state = self.state.lock();
-        while state.logical_len >= self.capacity {
+        while state.weight >= self.capacity {
             self.not_full.wait(&mut state);
         }
         assert!(!state.closed, "push into a closed activation queue");
         state.buffer.push_back(activation);
-        state.logical_len += logical;
-        self.atomic_len.store(state.logical_len, Ordering::SeqCst);
-        self.enqueued.fetch_add(logical as u64, Ordering::SeqCst);
+        state.weight += weight;
+        self.atomic_len.store(state.weight, Ordering::SeqCst);
+        self.enqueued.fetch_add(weight as u64, Ordering::SeqCst);
         drop(state);
         self.not_empty.notify_one();
     }
@@ -165,26 +168,26 @@ impl ActivationQueue {
     /// Attempts to push one activation without ever blocking.
     ///
     /// Mirrors [`ActivationQueue::push`]'s overfill rule: the activation is
-    /// accepted whenever the buffered logical length is below the capacity,
-    /// even if the batch itself overshoots the bound. On refusal the
-    /// activation is handed back in the [`TryPushError`] so no tuple is ever
-    /// lost. Empty data batches are accepted and dropped (no logical work).
+    /// accepted whenever the buffered weight is below the capacity, even if
+    /// the batch itself overshoots the bound. On refusal the activation is
+    /// handed back in the [`TryPushError`] so no tuple is ever lost. Empty
+    /// data batches are accepted and dropped (no work).
     pub fn try_push(&self, activation: Activation) -> std::result::Result<(), TryPushError> {
-        let logical = activation.logical_len();
-        if logical == 0 {
+        let weight = activation.queue_weight();
+        if weight == 0 {
             return Ok(());
         }
         let mut state = self.state.lock();
         if state.closed {
             return Err(TryPushError::Closed(activation));
         }
-        if state.logical_len >= self.capacity {
+        if state.weight >= self.capacity {
             return Err(TryPushError::Full(activation));
         }
         state.buffer.push_back(activation);
-        state.logical_len += logical;
-        self.atomic_len.store(state.logical_len, Ordering::SeqCst);
-        self.enqueued.fetch_add(logical as u64, Ordering::SeqCst);
+        state.weight += weight;
+        self.atomic_len.store(state.weight, Ordering::SeqCst);
+        self.enqueued.fetch_add(weight as u64, Ordering::SeqCst);
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -193,44 +196,50 @@ impl ActivationQueue {
     /// Pushes several activations under one lock acquisition, blocking (and
     /// splitting across acquisitions) whenever the capacity bound is hit.
     pub fn push_batch(&self, batch: Vec<Activation>) {
-        let mut remaining = batch.into_iter().filter(|a| a.logical_len() > 0).peekable();
+        let mut remaining = batch
+            .into_iter()
+            .filter(|a| a.queue_weight() > 0)
+            .peekable();
         while remaining.peek().is_some() {
             let mut state = self.state.lock();
-            while state.logical_len >= self.capacity {
+            while state.weight >= self.capacity {
                 self.not_full.wait(&mut state);
             }
             assert!(!state.closed, "push into a closed activation queue");
             let mut pushed = 0u64;
             // Always accept at least one activation per acquisition, then
             // keep going while the capacity allows.
-            while let Some(a) =
-                remaining.next_if(|_| pushed == 0 || state.logical_len < self.capacity)
-            {
-                let logical = a.logical_len();
+            while let Some(a) = remaining.next_if(|_| pushed == 0 || state.weight < self.capacity) {
+                let weight = a.queue_weight();
                 state.buffer.push_back(a);
-                state.logical_len += logical;
-                pushed += logical as u64;
+                state.weight += weight;
+                pushed += weight as u64;
             }
-            self.atomic_len.store(state.logical_len, Ordering::SeqCst);
+            self.atomic_len.store(state.weight, Ordering::SeqCst);
             self.enqueued.fetch_add(pushed, Ordering::SeqCst);
             drop(state);
             self.not_empty.notify_all();
         }
     }
 
-    /// Attempts to pop activations worth up to `max_logical` logical
-    /// activations without blocking. At least one activation is returned
-    /// when the queue is non-empty, even if its batch alone exceeds the
-    /// budget; popping whole activations keeps batches intact.
+    /// Attempts to pop activations worth up to `max_weight` queue weight
+    /// without blocking. At least one activation is returned when the queue
+    /// is non-empty, even if its batch alone exceeds the budget; popping
+    /// whole activations keeps batches intact.
+    ///
+    /// A popped *control* activation (trigger or morsel) ends the pop: a
+    /// control activation stands for a fragment-sized (or morsel-sized)
+    /// scan, so claiming several under one pop would serialise work the
+    /// morsel split exists to spread across workers.
     ///
     /// Returns an empty vector when the queue is currently empty (whether or
     /// not it is closed); use [`ActivationQueue::is_exhausted`] to tell the
     /// difference.
-    pub fn try_pop_batch(&self, max_logical: usize) -> Vec<Activation> {
+    pub fn try_pop_batch(&self, max_weight: usize) -> Vec<Activation> {
         // Lock-free fast path: a queue that currently looks empty yields
         // nothing — identical to arriving at the mutex a moment earlier.
-        // This keeps the runtime's speculative probes (the per-poll op scan)
-        // off the mutex entirely.
+        // This keeps the runtime's speculative probes off the mutex
+        // entirely.
         if self.atomic_len.load(Ordering::SeqCst) == 0 {
             return Vec::new();
         }
@@ -238,19 +247,20 @@ impl ActivationQueue {
         let mut out = Vec::new();
         let mut popped = 0usize;
         while let Some(front) = state.buffer.front() {
-            let logical = front.logical_len();
-            if !out.is_empty() && popped + logical > max_logical {
+            let weight = front.queue_weight();
+            if !out.is_empty() && popped + weight > max_weight {
                 break;
             }
             let a = state.buffer.pop_front().expect("front exists");
-            state.logical_len -= logical;
-            popped += logical;
+            state.weight -= weight;
+            popped += weight;
+            let control = a.is_control();
             out.push(a);
-            if popped >= max_logical {
+            if control || popped >= max_weight {
                 break;
             }
         }
-        self.atomic_len.store(state.logical_len, Ordering::SeqCst);
+        self.atomic_len.store(state.weight, Ordering::SeqCst);
         drop(state);
         if popped > 0 {
             self.dequeued.fetch_add(popped as u64, Ordering::SeqCst);
@@ -265,10 +275,10 @@ impl ActivationQueue {
         let mut state = self.state.lock();
         loop {
             if let Some(a) = state.buffer.pop_front() {
-                let logical = a.logical_len();
-                state.logical_len -= logical;
-                self.atomic_len.store(state.logical_len, Ordering::SeqCst);
-                self.dequeued.fetch_add(logical as u64, Ordering::SeqCst);
+                let weight = a.queue_weight();
+                state.weight -= weight;
+                self.atomic_len.store(state.weight, Ordering::SeqCst);
+                self.dequeued.fetch_add(weight as u64, Ordering::SeqCst);
                 drop(state);
                 // One popped batch can free many logical slots, so every
                 // blocked producer gets a chance to re-check the capacity.
@@ -303,7 +313,7 @@ impl ActivationQueue {
         self.atomic_len.load(Ordering::SeqCst) == 0
     }
 
-    /// Number of buffered logical activations. Lock-free.
+    /// Buffered queue weight (tuples + control activations). Lock-free.
     pub fn len(&self) -> usize {
         self.atomic_len.load(Ordering::SeqCst)
     }
@@ -319,12 +329,12 @@ impl ActivationQueue {
         self.atomic_closed.load(Ordering::SeqCst) && self.atomic_len.load(Ordering::SeqCst) == 0
     }
 
-    /// Total logical activations enqueued over the queue's lifetime.
+    /// Total queue weight enqueued over the queue's lifetime.
     pub fn total_enqueued(&self) -> u64 {
         self.enqueued.load(Ordering::SeqCst)
     }
 
-    /// Total logical activations dequeued over the queue's lifetime.
+    /// Total queue weight dequeued over the queue's lifetime.
     pub fn total_dequeued(&self) -> u64 {
         self.dequeued.load(Ordering::SeqCst)
     }
@@ -383,6 +393,41 @@ mod tests {
         assert_eq!(popped[0].logical_len(), 3);
         assert_eq!(q.len(), 1);
         assert_eq!(q.total_dequeued(), 3);
+    }
+
+    #[test]
+    fn control_activations_end_a_pop() {
+        let q = ActivationQueue::new(0, 64, 0.0);
+        q.push(Activation::Trigger);
+        q.push(Activation::Morsel {
+            start: 0,
+            end: 10,
+            lead: false,
+        });
+        q.push(Activation::Data(TupleBatch::from(vec![
+            int_tuple(&[1]),
+            int_tuple(&[2]),
+        ])));
+        q.push(Activation::Morsel {
+            start: 10,
+            end: 20,
+            lead: true,
+        });
+        assert_eq!(q.len(), 5, "every control activation weighs one unit");
+        // A huge budget still claims control activations one at a time, so
+        // sibling workers can pick up the remaining morsels concurrently.
+        let popped = q.try_pop_batch(usize::MAX);
+        assert_eq!(popped.len(), 1);
+        assert!(popped[0].is_trigger());
+        let popped = q.try_pop_batch(usize::MAX);
+        assert_eq!(popped.len(), 1);
+        assert!(popped[0].is_control());
+        // Data batches still coalesce, stopping at the next control.
+        let popped = q.try_pop_batch(usize::MAX);
+        assert_eq!(popped.len(), 2);
+        assert!(!popped[0].is_control());
+        assert!(popped[1].is_control());
+        assert_eq!(q.total_dequeued(), 5);
     }
 
     #[test]

@@ -14,6 +14,45 @@
 //! per operation), so the intra-query scheduling of Section 3 extends to
 //! inter-query scheduling without new mechanism.
 //!
+//! # Work finding: the global ready-op deque
+//!
+//! Workers do not scan the registry for work. A single FIFO deque of
+//! *ready operations* (one `(query, op)` entry per operation that has
+//! buffered activations) is the only structure a worker consults: pop the
+//! front entry, put it straight back at the tail, process one batch. The
+//! re-push-before-processing move does three jobs at once:
+//!
+//! * **O(1) work finding** — idle-probe cost is independent of how many
+//!   queries or operations are live (and the idle path allocates nothing);
+//! * **cross-query fairness** — entries rotate through the deque, so no
+//!   query can starve another however long its own queues are (the
+//!   pathology the old sticky-cursor registry scan produced at 4
+//!   concurrent queries);
+//! * **intra-operator parallelism** — the entry is back in the deque while
+//!   the batch is processed, so sibling workers converge on the same
+//!   operation when it is the only one with work (this is what makes
+//!   fragment morsels actually run in parallel).
+//!
+//! The invariant is *at most one deque entry per operation*, maintained by
+//! the per-op `announced` flag: producers announce an operation on every
+//! successful push (the CAS makes duplicates impossible), and a worker that
+//! pops an entry whose operation has no buffered work left clears the flag,
+//! then re-checks and re-announces if a push raced the clear — the classic
+//! lost-wakeup two-step. Within an operation, *which queue* to pop stays
+//! exactly the paper's machinery (main/secondary split, `Random`/`LPT`).
+//!
+//! # Morsels
+//!
+//! Triggered operations receive their control activations at submit time.
+//! A fragment larger than the schedule's `morsel_rows` is split into
+//! [`Activation::Morsel`]s — contiguous row ranges, claimed one per pop —
+//! instead of a single whole-fragment [`Activation::Trigger`], so several
+//! workers can scan one fragment concurrently (the engine-side counterpart
+//! of the simulator's `triggered_granule`). Only the lead morsel carries
+//! logical weight: per-operation logical activation counts are identical
+//! whatever the morsel size, which `tests/backend_equivalence.rs` pins
+//! across backends.
+//!
 //! # Differences from the per-query scoped-thread executor
 //!
 //! * **Thread ownership is inverted.** Threads belong to the runtime, not
@@ -69,7 +108,7 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -129,15 +168,22 @@ struct OpRuntime {
     /// Set exactly once, when the operation's queues are exhausted and no
     /// activation is in flight.
     finished: AtomicBool,
-    /// Advisory count of logical activations buffered across the
-    /// operation's queues, maintained by the runtime's own pushes and pops.
-    /// Lets the work scan skip empty operations with one atomic load
-    /// instead of probing every queue — with many live queries the scan is
-    /// the hot path. Termination never reads this (it re-checks the queues
-    /// themselves), so staleness costs a wasted probe at most.
+    /// Whether the operation currently holds its (single) entry in the
+    /// runtime's ready deque. Producers CAS this `false → true` on every
+    /// successful push, so an operation is announced at most once however
+    /// many flushes race; a worker that finds the operation drained clears
+    /// it and re-checks `pending` (see [`retire_ready_entry`]).
+    announced: AtomicBool,
+    /// Advisory count of *queue weight* (control activations count one,
+    /// data activations count their tuples) buffered across the operation's
+    /// queues, maintained by the runtime's own pushes and pops. Gates the
+    /// ready-deque announcements and lets workers skip drained operations
+    /// with one atomic load instead of probing every queue. Termination
+    /// never reads this (it re-checks the queues themselves), so staleness
+    /// costs a wasted probe at most.
     /// Cache-padded so producer-side `fetch_add`s don't invalidate the line
-    /// the scanners' read-mostly fields live on (false sharing): the scan
-    /// reads `pending` on every poll of every op, while flushes write it.
+    /// the consumers' read-mostly fields live on (false sharing): workers
+    /// read `pending` on every poll of the op, while flushes write it.
     pending: CachePadded<AtomicU64>,
 }
 
@@ -237,23 +283,64 @@ impl IdleParking {
 /// [`QueryHandle`].
 struct RuntimeInner {
     pool_threads: usize,
+    /// Bookkeeping registry of live queries (for `live_queries`, shutdown
+    /// and abort). Workers never scan it for work — they pop the ready
+    /// deque instead.
     queries: Mutex<Vec<Arc<QueryState>>>,
-    /// Bumped on every registry change so workers refresh their snapshot
-    /// lazily instead of locking the registry per batch.
-    registry_version: AtomicU64,
+    /// The global ready-op deque: at most one `(query, op)` entry per
+    /// operation that has buffered activations (see the module docs).
+    /// Workers pop the front; producers announce at the back.
+    ready: Mutex<VecDeque<(Arc<QueryState>, usize)>>,
     next_query: AtomicU64,
     shutdown: AtomicBool,
     idle: IdleParking,
 }
 
 impl RuntimeInner {
-    fn snapshot(&self) -> Vec<Arc<QueryState>> {
-        self.queries.lock().clone()
-    }
-
     fn remove_query(&self, id: QueryId) {
         self.queries.lock().retain(|q| q.id != id);
-        self.registry_version.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn pop_ready(&self) -> Option<(Arc<QueryState>, usize)> {
+        self.ready.lock().pop_front()
+    }
+
+    fn push_ready(&self, query: Arc<QueryState>, op_index: usize) {
+        self.ready.lock().push_back((query, op_index));
+    }
+}
+
+/// Puts `op_index` of `query` into the ready deque unless it is already
+/// there (the `announced` CAS enforces the one-entry-per-op invariant) and
+/// wakes parked workers. Called by every producer-side push.
+fn announce_op(inner: &RuntimeInner, query: &Arc<QueryState>, op_index: usize) {
+    let op = &query.ops[op_index];
+    if op.finished.load(Ordering::SeqCst) {
+        return;
+    }
+    if op
+        .announced
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        inner.push_ready(Arc::clone(query), op_index);
+        inner.idle.wake_all();
+    }
+}
+
+/// Drops an op's claim on its ready-deque entry after a worker popped the
+/// entry and found the operation drained (or its query dead). Clearing the
+/// flag opens the classic lost-wakeup window — a producer may have pushed
+/// between the drain check and the clear, with its CAS failing against the
+/// still-set flag — so the op is re-checked and re-announced afterwards.
+fn retire_ready_entry(inner: &RuntimeInner, query: &Arc<QueryState>, op_index: usize) {
+    let op = &query.ops[op_index];
+    op.announced.store(false, Ordering::SeqCst);
+    if query.is_live()
+        && !op.finished.load(Ordering::SeqCst)
+        && op.pending.load(Ordering::SeqCst) > 0
+    {
+        announce_op(inner, query, op_index);
     }
 }
 
@@ -289,7 +376,7 @@ impl Runtime {
         let inner = Arc::new(RuntimeInner {
             pool_threads,
             queries: Mutex::new(Vec::new()),
-            registry_version: AtomicU64::new(0),
+            ready: Mutex::new(VecDeque::new()),
             next_query: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             idle: IdleParking::new(),
@@ -436,6 +523,7 @@ impl Runtime {
                 lpt_order,
                 inflight: CachePadded::new(AtomicUsize::new(0)),
                 finished: AtomicBool::new(false),
+                announced: AtomicBool::new(false),
                 pending: CachePadded::new(AtomicU64::new(0)),
             });
         }
@@ -469,17 +557,49 @@ impl Runtime {
             }
         }
 
-        // Inject triggers into triggered operations and close their queues
-        // (no more activations will ever arrive there). Workers cannot see
-        // the query yet, so the pending counts need no ordering care.
+        // Inject control activations into triggered operations and close
+        // their queues (no more activations will ever arrive there). A
+        // fragment larger than the schedule's morsel size is split into
+        // morsels — contiguous row ranges claimed one per pop — so several
+        // workers can scan it concurrently; only the lead morsel counts as
+        // a logical activation, keeping per-op activation counts identical
+        // to the single-trigger model. Workers cannot see the query yet, so
+        // the pending counts need no ordering care.
+        let morsel_rows = schedule.morsel_rows().max(1);
         for op in &ops {
             let node = plan.node(op.node)?;
             if node.producer().is_none() {
+                let mut pending = 0u64;
                 for q in &op.queues {
-                    q.push(Activation::Trigger);
+                    let rows = op.operator.triggered_rows(q.instance());
+                    match rows {
+                        Some(card) if card > morsel_rows => {
+                            // Queues are sized before workers can drain
+                            // them, so never split past the capacity —
+                            // pushing more than fits would block forever.
+                            let step = morsel_rows.max(card.div_ceil(q.capacity()));
+                            let mut start = 0;
+                            while start < card {
+                                let end = (start + step).min(card);
+                                q.push(Activation::Morsel {
+                                    start,
+                                    end,
+                                    lead: start == 0,
+                                });
+                                pending += 1;
+                                start = end;
+                            }
+                        }
+                        _ => {
+                            // Small, empty or unsized fragments keep the
+                            // paper's one whole-fragment trigger.
+                            q.push(Activation::Trigger);
+                            pending += 1;
+                        }
+                    }
                     q.close();
                 }
-                op.pending.store(op.queues.len() as u64, Ordering::SeqCst);
+                op.pending.store(pending, Ordering::SeqCst);
             }
         }
 
@@ -508,8 +628,13 @@ impl Runtime {
         });
 
         self.inner.queries.lock().push(Arc::clone(&query));
-        self.inner.registry_version.fetch_add(1, Ordering::SeqCst);
-        self.inner.idle.wake_all();
+        // Announce the triggered leaves (the only ops with queued work at
+        // submit time); announce_op wakes the parked workers.
+        for op_index in 0..query.ops.len() {
+            if query.ops[op_index].pending.load(Ordering::SeqCst) > 0 {
+                announce_op(&self.inner, &query, op_index);
+            }
+        }
         Ok(QueryHandle {
             query,
             inner: Arc::clone(&self.inner),
@@ -528,7 +653,7 @@ impl Runtime {
             let mut queries = self.inner.queries.lock();
             queries.drain(..).collect()
         };
-        self.inner.registry_version.fetch_add(1, Ordering::SeqCst);
+        self.inner.ready.lock().clear();
         for query in leftover {
             query.complete(Err(EngineError::RuntimeShutdown));
         }
@@ -714,71 +839,48 @@ pub(crate) fn bind_operator(
 }
 
 /// Per-worker scan state: the worker's RNG (for the `Random` strategy's
-/// per-poll shuffle), a reused visit-order buffer, and the round-robin
-/// cursor over live queries.
+/// per-poll shuffle) and a reused visit-order buffer.
 struct WorkerCtx {
     id: usize,
     rng: StdRng,
     scratch: Vec<usize>,
-    cursor: usize,
 }
 
-/// The body of one pool worker.
+/// The body of one pool worker: pop the front ready-deque entry, re-push
+/// it at the tail, process one batch. Work finding is O(1) in live
+/// queries and operations, and the idle path allocates nothing. The
+/// re-push *before* processing keeps the op discoverable while this batch
+/// runs, so sibling workers converge on the same operation (morsel
+/// parallelism) and entries rotate FIFO across every ready op of every
+/// query (cross-query fairness).
 fn worker_loop(inner: &Arc<RuntimeInner>, worker: usize) {
     let mut ctx = WorkerCtx {
         id: worker,
         rng: StdRng::seed_from_u64(0x5eed_0000 ^ worker as u64),
         scratch: Vec::new(),
-        // Stagger starting points so a burst of submissions spreads over
-        // the pool instead of piling every worker onto the first query.
-        cursor: worker,
     };
-    let mut local: Vec<Arc<QueryState>> = Vec::new();
-    let mut seen_version = u64::MAX;
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // The epoch is snapshotted *before* the registry version: a submit
-        // bumps the version first and the epoch last, so a submission
-        // landing after this epoch read makes park() return immediately,
-        // and one landing before it is caught by the version refresh —
-        // either way no wakeup between scan and park is lost.
+        // Epoch before the pop: an announcement landing after this read
+        // makes park() return immediately, so no wakeup between the empty
+        // pop and the park is lost.
         let epoch = inner.idle.current();
-        let version = inner.registry_version.load(Ordering::SeqCst);
-        if version != seen_version {
-            local = inner.snapshot();
-            seen_version = version;
-        }
-        let mut did_work = false;
-        let live = local.len();
-        for offset in 0..live {
-            let index = (ctx.cursor + offset) % live;
-            let query = &local[index];
-            if !query.is_live() {
-                continue;
-            }
-            // Scan downstream-first (reverse topological order): draining
-            // consumers before feeding them keeps queues short and lets
-            // pipelines terminate promptly.
-            for op_index in (0..query.ops.len()).rev() {
-                if try_process_op(inner, query, op_index, &mut ctx) {
-                    did_work = true;
-                    break;
-                }
-            }
-            if did_work {
-                // Sticky cursor: keep consuming this query while it has
-                // poppable work (locality, short scans); move on only when
-                // it runs dry. Cross-query sharing still happens whenever a
-                // query stalls on its pipeline or completes.
-                ctx.cursor = index;
-                break;
-            }
-        }
-        if !did_work {
+        let Some((query, op_index)) = inner.pop_ready() else {
             inner.idle.park(epoch);
+            continue;
+        };
+        let op = &query.ops[op_index];
+        if !query.is_live()
+            || op.finished.load(Ordering::SeqCst)
+            || op.pending.load(Ordering::SeqCst) == 0
+        {
+            retire_ready_entry(inner, &query, op_index);
+            continue;
         }
+        inner.push_ready(Arc::clone(&query), op_index);
+        try_process_op(inner, &query, op_index, &mut ctx);
     }
 }
 
@@ -877,8 +979,8 @@ fn select_and_pop(
             let queue_index = ctx.scratch[i];
             let popped = op.queues[queue_index].try_pop_batch(op.cache_size);
             if !popped.is_empty() {
-                let logical: u64 = popped.iter().map(|a| a.logical_len() as u64).sum();
-                op.pending.fetch_sub(logical, Ordering::SeqCst);
+                let weight: u64 = popped.iter().map(|a| a.queue_weight() as u64).sum();
+                op.pending.fetch_sub(weight, Ordering::SeqCst);
                 return Some((queue_index, popped));
             }
         }
@@ -1084,25 +1186,25 @@ fn flush_to(
 ) {
     let consumer = &query.ops[consumer_index];
     let mut activation = Activation::Data(TupleBatch::new(tuples));
-    let logical = activation.logical_len() as u64;
+    let weight = activation.queue_weight() as u64;
     loop {
         if query.cancelled.load(Ordering::Relaxed) || inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
         // The pending count goes up before the push so a concurrent popper
         // can never decrement it below zero; a refused push takes it back.
-        consumer.pending.fetch_add(logical, Ordering::SeqCst);
+        consumer.pending.fetch_add(weight, Ordering::SeqCst);
         match consumer.queues[dest].try_push(activation) {
             Ok(()) => {
-                inner.idle.wake_all();
+                announce_op(inner, query, consumer_index);
                 return;
             }
             Err(TryPushError::Closed(_)) => {
-                consumer.pending.fetch_sub(logical, Ordering::SeqCst);
+                consumer.pending.fetch_sub(weight, Ordering::SeqCst);
                 return;
             }
             Err(TryPushError::Full(back)) => {
-                consumer.pending.fetch_sub(logical, Ordering::SeqCst);
+                consumer.pending.fetch_sub(weight, Ordering::SeqCst);
                 activation = back;
                 let help_started = Instant::now();
                 help_drain(inner, query, consumer_index, dest, worker);
@@ -1129,8 +1231,8 @@ fn help_drain(
         // Another worker drained it first; capacity will free up shortly.
         std::thread::yield_now();
     } else {
-        let logical: u64 = popped.iter().map(|a| a.logical_len() as u64).sum();
-        consumer.pending.fetch_sub(logical, Ordering::SeqCst);
+        let weight: u64 = popped.iter().map(|a| a.queue_weight() as u64).sum();
+        consumer.pending.fetch_sub(weight, Ordering::SeqCst);
         process_batch(inner, query, consumer_index, dest, popped, worker);
     }
     if consumer.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -1189,10 +1291,13 @@ fn finalize_query(inner: &Arc<RuntimeInner>, query: &Arc<QueryState>) {
         .iter()
         .enumerate()
         .map(|(op_index, op)| {
+            // A slot counts if it recorded any work at all: a thread that
+            // only processed non-lead morsels has zero logical activations
+            // but real busy time and output tuples.
             let mut threads: Vec<ThreadMetrics> = query.metrics[op_index]
                 .iter()
                 .map(|slot| slot.lock().clone())
-                .filter(|tm| tm.activations > 0)
+                .filter(|tm| tm.activations > 0 || tm.tuples_out > 0 || tm.busy > Duration::ZERO)
                 .collect();
             if threads.is_empty() {
                 // No worker ever touched the operation (an empty pipeline);

@@ -37,6 +37,13 @@ pub struct OperationSchedule {
     pub cache_size: usize,
 }
 
+/// Default morsel size: fragment rows per control activation when a
+/// triggered fragment is split for intra-operator parallelism. Sized so a
+/// morsel's working set stays cache-resident while still amortising the
+/// queue round-trip over thousands of rows; paper-scale fragments (~1k
+/// rows) stay below it and keep their single whole-fragment trigger.
+pub const DEFAULT_MORSEL_ROWS: usize = 4_096;
+
 /// Execution parameters for a whole plan.
 #[derive(Debug, Clone)]
 pub struct ExecutionSchedule {
@@ -47,6 +54,10 @@ pub struct ExecutionSchedule {
     /// (`HashIndex::build_parallel`); sized from the schedule's total thread
     /// count unless the caller overrode it.
     build_parallelism: usize,
+    /// Fragment rows per morsel for triggered operations
+    /// ([`DEFAULT_MORSEL_ROWS`] unless overridden). Fragments at or below
+    /// this size keep a single whole-fragment trigger.
+    morsel_rows: usize,
 }
 
 impl ExecutionSchedule {
@@ -58,7 +69,20 @@ impl ExecutionSchedule {
             per_node,
             discard_results: false,
             build_parallelism: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
+    }
+
+    /// Sets the morsel size (fragment rows per control activation) for
+    /// triggered operations (clamped to at least 1).
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// Fragment rows per morsel for triggered operations.
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
     }
 
     /// Sets how many shards temporary hash-index builds are partitioned
@@ -176,6 +200,13 @@ pub struct SchedulerOptions {
     /// sequential builds. Zero is rejected by [`Self::validate`] — no
     /// silent clamping.
     pub build_threads: Option<usize>,
+    /// Fragment rows per morsel for triggered operations. `None` (default)
+    /// uses [`DEFAULT_MORSEL_ROWS`]; `Some(n)` pins the morsel size (a
+    /// fragment of `r` rows is split into `ceil(r / n)` control
+    /// activations, only the first carrying logical weight — morsel size is
+    /// invisible to logical activation counts). Zero is rejected by
+    /// [`Self::validate`].
+    pub morsel_rows: Option<usize>,
 }
 
 impl Default for SchedulerOptions {
@@ -190,6 +221,7 @@ impl Default for SchedulerOptions {
             lpt_skew_threshold: 3.0,
             discard_results: false,
             build_threads: None,
+            morsel_rows: None,
         }
     }
 }
@@ -240,6 +272,11 @@ impl SchedulerOptions {
         if self.build_threads == Some(0) {
             return Err(EngineError::InvalidOptions(
                 "build_threads must be at least 1".to_string(),
+            ));
+        }
+        if self.morsel_rows == Some(0) {
+            return Err(EngineError::InvalidOptions(
+                "morsel_rows must be at least 1".to_string(),
             ));
         }
         Ok(())
@@ -343,6 +380,7 @@ impl Scheduler {
             per_node,
             discard_results: options.discard_results,
             build_parallelism,
+            morsel_rows: options.morsel_rows.unwrap_or(DEFAULT_MORSEL_ROWS).max(1),
         };
         schedule.validate(plan)?;
         Ok(schedule)
@@ -652,6 +690,46 @@ mod tests {
         let manual = ExecutionSchedule::from_parts(BTreeMap::new());
         assert_eq!(manual.build_parallelism(), 1);
         assert_eq!(manual.with_build_parallelism(8).build_parallelism(), 8);
+    }
+
+    #[test]
+    fn morsel_rows_default_pin_and_zero_rejection() {
+        let cat = catalog(0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let ext = extended(&cat, &plan);
+        let derived = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions::default().with_total_threads(4),
+        )
+        .unwrap();
+        assert_eq!(derived.morsel_rows(), DEFAULT_MORSEL_ROWS);
+        let pinned = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions {
+                morsel_rows: Some(512),
+                ..SchedulerOptions::default().with_total_threads(4)
+            },
+        )
+        .unwrap();
+        assert_eq!(pinned.morsel_rows(), 512);
+        let err = Scheduler::build(
+            &plan,
+            &ext,
+            &SchedulerOptions {
+                morsel_rows: Some(0),
+                ..SchedulerOptions::default().with_total_threads(4)
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::InvalidOptions(msg) if msg.contains("morsel_rows")),
+            "got {err:?}"
+        );
+        let manual = ExecutionSchedule::from_parts(BTreeMap::new());
+        assert_eq!(manual.morsel_rows(), DEFAULT_MORSEL_ROWS);
+        assert_eq!(manual.with_morsel_rows(64).morsel_rows(), 64);
     }
 
     #[test]

@@ -41,11 +41,48 @@ fn payloads(batch: &[Activation]) -> Vec<i64> {
         .collect()
 }
 
-/// An exact reference model of the queue: activation batches with the same
-/// overfill, at-least-one-per-pop and close semantics.
+/// Observable form of one queue entry, shared by the queue side and the
+/// model side so popped sequences compare exactly (kind included).
+#[derive(Debug, Clone, PartialEq)]
+enum Entry {
+    /// A control activation (trigger or whole-fragment/morsel range);
+    /// weighs one queue unit whatever range it covers.
+    Control(&'static str),
+    /// A data activation; weighs one unit per tuple.
+    Data(Vec<i64>),
+}
+
+impl Entry {
+    fn weight(&self) -> usize {
+        match self {
+            Entry::Control(_) => 1,
+            Entry::Data(v) => v.len(),
+        }
+    }
+}
+
+/// Renders popped activations into comparable entries.
+fn render(batch: &[Activation]) -> Vec<Entry> {
+    batch
+        .iter()
+        .map(|a| match a {
+            Activation::Trigger => Entry::Control("trigger"),
+            Activation::Morsel { .. } => Entry::Control("morsel"),
+            Activation::Data(b) => Entry::Data(
+                b.iter()
+                    .map(|t| t.value(0).as_int().unwrap())
+                    .collect::<Vec<_>>(),
+            ),
+        })
+        .collect()
+}
+
+/// An exact reference model of the queue: activation entries with the same
+/// queue-weight accounting, overfill, at-least-one-per-pop,
+/// one-control-per-pop and close semantics.
 #[derive(Default)]
 struct Model {
-    buffer: VecDeque<Vec<i64>>,
+    buffer: VecDeque<Entry>,
     closed: bool,
     enqueued: u64,
     dequeued: u64,
@@ -53,22 +90,26 @@ struct Model {
 
 impl Model {
     fn len(&self) -> usize {
-        self.buffer.iter().map(Vec::len).sum()
+        self.buffer.iter().map(Entry::weight).sum()
     }
 
-    /// Mirrors `try_pop_batch(max_logical)`.
-    fn pop(&mut self, max_logical: usize) -> Vec<i64> {
+    /// Mirrors `try_pop_batch(max_weight)`: pops whole activations while
+    /// the accumulated queue weight stays within budget (the first always
+    /// comes out), and a popped control activation ends the pop — they are
+    /// claimed one at a time.
+    fn pop(&mut self, max_weight: usize) -> Vec<Entry> {
         let mut out = Vec::new();
         let mut popped = 0usize;
         while let Some(front) = self.buffer.front() {
-            let logical = front.len();
-            if !out.is_empty() && popped + logical > max_logical {
+            let weight = front.weight();
+            if !out.is_empty() && popped + weight > max_weight {
                 break;
             }
-            let batch = self.buffer.pop_front().expect("front exists");
-            popped += batch.len();
-            out.extend(batch);
-            if popped >= max_logical {
+            let entry = self.buffer.pop_front().expect("front exists");
+            popped += weight;
+            let control = matches!(entry, Entry::Control(_));
+            out.push(entry);
+            if control || popped >= max_weight {
                 break;
             }
         }
@@ -103,7 +144,7 @@ proptest! {
                         prop_assert!(matches!(result, Err(TryPushError::Full(_))));
                     } else {
                         prop_assert!(result.is_ok());
-                        model.buffer.push_back((next_payload..next_payload + size as i64).collect());
+                        model.buffer.push_back(Entry::Data((next_payload..next_payload + size as i64).collect()));
                         model.enqueued += size as u64;
                         next_payload += size as i64;
                     }
@@ -112,7 +153,7 @@ proptest! {
                 // immediately (below capacity, not closed).
                 1 if !model.closed && model.len() < capacity => {
                     q.push(batch_of(next_payload, size));
-                    model.buffer.push_back((next_payload..next_payload + size as i64).collect());
+                    model.buffer.push_back(Entry::Data((next_payload..next_payload + size as i64).collect()));
                     model.enqueued += size as u64;
                     next_payload += size as i64;
                 }
@@ -123,14 +164,14 @@ proptest! {
                         (0..size as i64).map(|i| Activation::single(int_tuple(&[next_payload + i]))).collect();
                     q.push_batch(singles);
                     for i in 0..size as i64 {
-                        model.buffer.push_back(vec![next_payload + i]);
+                        model.buffer.push_back(Entry::Data(vec![next_payload + i]));
                     }
                     model.enqueued += size as u64;
                     next_payload += size as i64;
                 }
-                // try_pop_batch with a random logical budget.
+                // try_pop_batch with a random weight budget.
                 3 => {
-                    let got = payloads(&q.try_pop_batch(size));
+                    let got = render(&q.try_pop_batch(size));
                     let want = model.pop(size);
                     prop_assert_eq!(got, want, "pop diverged from the model");
                 }
@@ -138,6 +179,19 @@ proptest! {
                 4 => {
                     q.close();
                     model.closed = true;
+                }
+                // push of a control activation (trigger or a non-lead
+                // morsel — both weigh one queue unit and end any pop that
+                // claims them); issued only when it cannot block.
+                5 if !model.closed && model.len() < capacity => {
+                    let (activation, tag) = if size % 2 == 0 {
+                        (Activation::Trigger, "trigger")
+                    } else {
+                        (Activation::Morsel { start: size, end: size * 2, lead: false }, "morsel")
+                    };
+                    q.push(activation);
+                    model.buffer.push_back(Entry::Control(tag));
+                    model.enqueued += 1;
                 }
                 _ => {} // guarded push variants that would block: skip.
             }
@@ -149,9 +203,17 @@ proptest! {
             prop_assert_eq!(q.total_enqueued(), model.enqueued);
             prop_assert_eq!(q.total_dequeued(), model.dequeued);
         }
-        // Drain: everything enqueued comes back out exactly once.
-        let rest = payloads(&q.try_pop_batch(usize::MAX));
-        prop_assert_eq!(rest, model.pop(usize::MAX));
+        // Drain: everything enqueued comes back out exactly once. A pop
+        // ends at each control activation, so drain in rounds.
+        loop {
+            let rest = render(&q.try_pop_batch(usize::MAX));
+            let want = model.pop(usize::MAX);
+            let drained = rest.is_empty();
+            prop_assert_eq!(rest, want);
+            if drained {
+                break;
+            }
+        }
         prop_assert_eq!(q.total_dequeued(), q.total_enqueued());
     }
 }

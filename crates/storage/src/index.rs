@@ -88,23 +88,31 @@ impl HashIndex {
     }
 
     /// Builds the same index as [`HashIndex::build`], partitioning the work
-    /// over `shards` scoped threads.
+    /// over `shards` scoped threads with a **single pass over the data**.
     ///
-    /// Each shard owns a contiguous range of hash buckets: every shard scans
-    /// the (parallel-computed) key hashes, counts and scatters only the
-    /// entries whose bucket falls in its range, and writes them into the
-    /// disjoint slice of the grouped table that range maps to. Because every
-    /// shard visits tuple positions in ascending order, the produced
-    /// `starts`/`positions`/`hashes` arrays are **identical** to the
-    /// sequential build's — same probe results, same duplicate-key order —
-    /// which `tests` and `crates/engine`'s equivalence suite pin.
+    /// Phase one (parallel over row chunks) hashes every key once and bins
+    /// the `(hash, position)` entry by the shard owning its bucket — shard
+    /// `s` owns the contiguous bucket range `[bounds[s], bounds[s + 1])`.
+    /// Phase two (parallel over shards) then touches **only the shard's own
+    /// binned entries**: count its buckets, prefix-sum into its disjoint
+    /// slice of `starts`, scatter into its disjoint slice of the grouped
+    /// table. Total work is `O(rows + buckets)` — the earlier formulation
+    /// re-scanned the full hash array once per shard per pass, so its cost
+    /// grew as `O(shards × rows)` and sharding past a handful of threads
+    /// made the build *slower*.
+    ///
+    /// Chunks are visited in order and each chunk bins in scan order, so
+    /// every shard sees its entries in ascending tuple position: the
+    /// produced `starts`/`positions`/`hashes` arrays are **identical** to
+    /// the sequential build's — same probe results, same duplicate-key
+    /// order — which `tests` and `crates/engine`'s equivalence suite pin.
     ///
     /// Small inputs (or `shards <= 1`) fall back to the sequential build:
     /// below a few thousand rows the scoped-thread spawn/join costs more
     /// than the build itself.
     pub fn build_parallel(tuples: &[Tuple], key_index: usize, shards: usize) -> Self {
-        // Cap the useful shard count: each extra shard re-scans the hash
-        // array once per pass, so past ~64 shards the scan cost dominates.
+        // Cap the shard count: the sequential stitches (entry bases,
+        // occupied count) and the per-chunk bin bookkeeping grow with it.
         let shards = shards.min(64).min(tuples.len() / Self::MIN_ROWS_PER_SHARD);
         if shards <= 1 {
             return Self::build(tuples, key_index);
@@ -112,81 +120,102 @@ impl HashIndex {
         let buckets = tuples.len().next_power_of_two().max(1);
         let mask = buckets - 1;
 
-        // Pass 1 (parallel over tuple chunks): hash every key once.
-        let mut hashes_by_pos = vec![0u64; tuples.len()];
+        // Shard `s` owns buckets `[bounds[s], bounds[s + 1])`.
+        let bounds: Vec<usize> = (0..=shards).map(|s| s * buckets / shards).collect();
+        let shard_of = |b: usize| -> usize {
+            // Guess from the near-uniform split, fixed up against the
+            // floor-rounded bounds (off by at most one step).
+            let mut s = (b * shards / buckets).min(shards - 1);
+            while b < bounds[s] {
+                s -= 1;
+            }
+            while b >= bounds[s + 1] {
+                s += 1;
+            }
+            s
+        };
+
+        // Phase 1 (parallel over row chunks): hash every key once, binning
+        // each entry by owning shard. `parts[c][s]` holds chunk `c`'s
+        // entries for shard `s`, in ascending tuple position.
         let chunk = tuples.len().div_ceil(shards);
+        let n_chunks = tuples.len().div_ceil(chunk);
+        let mut parts: Vec<Vec<Vec<(u64, u32)>>> =
+            (0..n_chunks).map(|_| vec![Vec::new(); shards]).collect();
         std::thread::scope(|scope| {
-            for (t_chunk, h_chunk) in tuples.chunks(chunk).zip(hashes_by_pos.chunks_mut(chunk)) {
+            for (c, (t_chunk, part)) in tuples.chunks(chunk).zip(parts.iter_mut()).enumerate() {
+                let shard_of = &shard_of;
                 scope.spawn(move || {
-                    for (t, h) in t_chunk.iter().zip(h_chunk.iter_mut()) {
-                        *h = t.value(key_index).stable_hash();
+                    for bin in part.iter_mut() {
+                        bin.reserve(t_chunk.len() / shards + 8);
+                    }
+                    let base = c * chunk;
+                    for (i, t) in t_chunk.iter().enumerate() {
+                        let h = t.value(key_index).stable_hash();
+                        part[shard_of(bucket_of(h, mask))].push((h, (base + i) as u32));
                     }
                 });
             }
         });
-        let hashes_by_pos = &hashes_by_pos;
+        let parts = &parts;
 
-        // Shard `s` owns buckets `[bounds[s], bounds[s + 1])`.
-        let bounds: Vec<usize> = (0..=shards).map(|s| s * buckets / shards).collect();
+        // Shard `s`'s entries occupy `[entry_base[s], entry_base[s + 1])`
+        // of the grouped table (buckets are laid out in order, so a bucket
+        // range maps to a contiguous entry range).
+        let mut entry_base = vec![0usize; shards + 1];
+        for s in 0..shards {
+            entry_base[s + 1] = entry_base[s] + parts.iter().map(|p| p[s].len()).sum::<usize>();
+        }
 
-        // Pass 2 (parallel over bucket ranges): count each shard's buckets
-        // into its disjoint slice of `starts`.
+        // Phase 2 (parallel over bucket ranges): each shard counts,
+        // prefix-sums and scatters only its own binned entries, writing the
+        // disjoint `starts[lo + 1 ..= hi]` and entry slices its range maps
+        // to.
         let mut starts = vec![0u32; buckets + 1];
+        let mut positions = vec![0u32; tuples.len()];
+        let mut hashes = vec![0u64; tuples.len()];
         std::thread::scope(|scope| {
-            let mut rest: &mut [u32] = &mut starts[1..];
-            for w in bounds.windows(2) {
+            let mut starts_rest: &mut [u32] = &mut starts[1..];
+            let mut pos_rest: &mut [u32] = &mut positions;
+            let mut hash_rest: &mut [u64] = &mut hashes;
+            for (s, w) in bounds.windows(2).enumerate() {
                 let (lo, hi) = (w[0], w[1]);
-                let (counts, tail) = rest.split_at_mut(hi - lo);
-                rest = tail;
+                let (starts_mine, starts_tail) = starts_rest.split_at_mut(hi - lo);
+                starts_rest = starts_tail;
+                let span = entry_base[s + 1] - entry_base[s];
+                let (pos_mine, pos_tail) = pos_rest.split_at_mut(span);
+                let (hash_mine, hash_tail) = hash_rest.split_at_mut(span);
+                pos_rest = pos_tail;
+                hash_rest = hash_tail;
                 if lo == hi {
                     continue;
                 }
+                let base = entry_base[s] as u32;
                 scope.spawn(move || {
-                    for &h in hashes_by_pos {
-                        let b = bucket_of(h, mask);
-                        if (lo..hi).contains(&b) {
-                            counts[b - lo] += 1;
+                    // Count the shard's buckets (starts_mine[b - lo] will
+                    // end up holding the global starts[b + 1]).
+                    for part in parts {
+                        for &(h, _) in &part[s] {
+                            starts_mine[bucket_of(h, mask) - lo] += 1;
                         }
                     }
-                });
-            }
-        });
-        let occupied = starts.iter().skip(1).filter(|&&c| c > 0).count();
-        for b in 0..buckets {
-            starts[b + 1] += starts[b];
-        }
-
-        // Pass 3 (parallel over bucket ranges): scatter positions and hashes.
-        // Shard `s`'s buckets occupy the contiguous entry range
-        // `[starts[bounds[s]], starts[bounds[s + 1]])`, so the output arrays
-        // split into per-shard disjoint slices.
-        let mut positions = vec![0u32; tuples.len()];
-        let mut hashes = vec![0u64; tuples.len()];
-        let starts_ref = &starts;
-        std::thread::scope(|scope| {
-            let mut pos_rest: &mut [u32] = &mut positions;
-            let mut hash_rest: &mut [u64] = &mut hashes;
-            for w in bounds.windows(2) {
-                let (lo, hi) = (w[0], w[1]);
-                let (out_lo, out_hi) = (starts_ref[lo] as usize, starts_ref[hi] as usize);
-                let (pos_mine, pos_tail) = pos_rest.split_at_mut(out_hi - out_lo);
-                let (hash_mine, hash_tail) = hash_rest.split_at_mut(out_hi - out_lo);
-                pos_rest = pos_tail;
-                hash_rest = hash_tail;
-                if lo == hi || out_lo == out_hi {
-                    continue;
-                }
-                scope.spawn(move || {
-                    // Per-bucket write cursors, relative to the shard slice.
-                    let mut cursor: Vec<u32> = starts_ref[lo..hi]
-                        .iter()
-                        .map(|&s| s - out_lo as u32)
+                    // Prefix within the shard; offsetting by the shard's
+                    // entry base makes the slice globally identical to the
+                    // sequential build's running totals.
+                    let mut acc = base;
+                    for slot in starts_mine.iter_mut() {
+                        acc += *slot;
+                        *slot = acc;
+                    }
+                    // Scatter through per-bucket cursors relative to the
+                    // shard's entry slice: cursor[k] = starts[lo + k] - base.
+                    let mut cursor: Vec<u32> = std::iter::once(0)
+                        .chain(starts_mine[..hi - lo - 1].iter().map(|&v| v - base))
                         .collect();
-                    for (pos, &h) in hashes_by_pos.iter().enumerate() {
-                        let b = bucket_of(h, mask);
-                        if (lo..hi).contains(&b) {
-                            let slot = &mut cursor[b - lo];
-                            pos_mine[*slot as usize] = pos as u32;
+                    for part in parts {
+                        for &(h, pos) in &part[s] {
+                            let slot = &mut cursor[bucket_of(h, mask) - lo];
+                            pos_mine[*slot as usize] = pos;
                             hash_mine[*slot as usize] = h;
                             *slot += 1;
                         }
@@ -194,6 +223,7 @@ impl HashIndex {
                 });
             }
         });
+        let occupied = (0..buckets).filter(|&b| starts[b + 1] > starts[b]).count();
 
         HashIndex {
             key_index,

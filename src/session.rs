@@ -156,6 +156,18 @@ impl<'a> Query<'a> {
         self
     }
 
+    /// Pins the morsel size: fragment rows per control activation when a
+    /// triggered fragment is split for intra-operator parallelism. Unset,
+    /// the engine uses its default (`dbs3_engine::DEFAULT_MORSEL_ROWS`).
+    /// Morsel size changes how many workers can share one fragment scan,
+    /// never the result or the logical activation counts; the simulated
+    /// backend ignores it. Zero is rejected with a typed error when the
+    /// query runs.
+    pub fn morsel_rows(mut self, rows: usize) -> Self {
+        self.options.morsel_rows = Some(rows);
+        self
+    }
+
     /// Counts result tuples in the store operators instead of materialising
     /// them: `QueryOutcome::results` stays empty while `cardinalities` and
     /// every metric stay exact. For benches and workloads that only need

@@ -235,6 +235,94 @@ fn parallel_index_builds_are_invisible_across_all_backends() {
     assert_eq!(runtime.live_queries(), 0);
 }
 
+/// Morsel-granularity invisibility: splitting triggered fragments into
+/// cache-sized morsels changes which worker scans which rows *when*, never
+/// what the query computes or how much logical work it reports. Every
+/// morsel size — splitting a fragment into dozens of pieces, an uneven
+/// divisor, the default, and "never split" — must produce identical
+/// cardinalities and identical per-operation logical activation counts
+/// across Threaded, Pooled and Simulated backends (only the lead morsel of
+/// a fragment carries logical weight, so counts stay pinned to the
+/// simulator's one-activation-per-fragment model; the simulated backend
+/// ignores the knob entirely).
+///
+/// Sizing is load-bearing: A partitions into 6_000-row fragments and
+/// Bprime into 600-row fragments, so morsel sizes 512 and 1_999 genuinely
+/// split the triggered scans of every plan below, while 1_000_000 pins the
+/// no-split fallback. The hash-join plans are excluded from the simulator
+/// per-op comparison for the same reason as the parallel-build test (the
+/// simulator models index builds as one extra activation per instance);
+/// the nested-loop plan is compared exactly on all three backends.
+#[test]
+fn morsel_granularity_is_invisible_across_all_backends() {
+    /// Pinned reference: (cardinalities per store, per-op activation counts).
+    type Pinned = (std::collections::BTreeMap<String, usize>, Vec<Option<u64>>);
+    let session = session(24_000, 2_400, 4, 0.0);
+    let runtime = std::sync::Arc::new(Runtime::new(4).unwrap());
+    for (plan, sim_counts_exact) in [
+        (
+            plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop),
+            true,
+        ),
+        (
+            plans::ideal_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
+            false,
+        ),
+        (
+            plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
+            false,
+        ),
+    ] {
+        let mut reference: Option<Pinned> = None;
+        for morsel_rows in [512usize, 1_999, 4_096, 1_000_000] {
+            for backend in [
+                Backend::Threaded,
+                Backend::Pooled(std::sync::Arc::clone(&runtime)),
+                Backend::Simulated(SimConfig::ksr1()),
+            ] {
+                let outcome = session
+                    .query(&plan)
+                    .threads(4)
+                    .morsel_rows(morsel_rows)
+                    .on(backend)
+                    .run()
+                    .unwrap();
+                let is_engine = outcome.metrics.backend_name() != "simulated";
+                let counts: Vec<Option<u64>> = plan
+                    .nodes()
+                    .iter()
+                    .filter(|n| !matches!(n.kind, OperatorKind::Store { .. }))
+                    .map(|n| outcome.metrics.activations(n.id))
+                    .collect();
+                match &reference {
+                    None => reference = Some((outcome.cardinalities.clone(), counts)),
+                    Some((ref_cards, ref_counts)) => {
+                        assert_eq!(
+                            ref_cards,
+                            &outcome.cardinalities,
+                            "cardinalities diverge on {} (morsel_rows {}, {})",
+                            plan.name(),
+                            morsel_rows,
+                            outcome.metrics.backend_name()
+                        );
+                        if is_engine || sim_counts_exact {
+                            assert_eq!(
+                                ref_counts,
+                                &counts,
+                                "logical activation counts diverge on {} (morsel_rows {}, {})",
+                                plan.name(),
+                                morsel_rows,
+                                outcome.metrics.backend_name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(runtime.live_queries(), 0);
+}
+
 #[test]
 fn selection_is_backend_equivalent_on_cardinality() {
     let session = session(2_000, 200, 10, 0.0);
