@@ -196,13 +196,17 @@ pub fn without_reference(doc: &str) -> String {
 /// configuration under `"runs"` and per-shape `speedup_4t`/`speedup_8t`
 /// rows under `"speedups"` — one object per concurrency level under
 /// `"concurrent"` (the multi-query throughput shape of the shared
-/// [`dbs3::Runtime`] pool), and the measuring host's parallelism under
-/// `"host_cpus"` (a flat speedup curve on a 1-core host is expected, not a
-/// regression). `reference` optionally carries the previous baseline
-/// forward (the before/after record of a perf PR).
+/// [`dbs3::Runtime`] pool), one object per client count under `"serve"`
+/// (closed-loop latency percentiles through the `dbs3-serve` network front
+/// door, with `shed_requests` recorded explicitly — zero means *measured*
+/// zero), and the measuring host's parallelism under `"host_cpus"` (a flat
+/// speedup curve on a 1-core host is expected, not a regression).
+/// `reference` optionally carries the previous baseline forward (the
+/// before/after record of a perf PR).
 pub fn to_json(
     tiers: &[BaselineTier],
     concurrent: &[crate::concurrent::ConcurrentRun],
+    serve: &[crate::serve::ServeRun],
     reference: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
@@ -269,6 +273,15 @@ pub fn to_json(
         }
         out.push_str("  ]");
     }
+    if !serve.is_empty() {
+        out.push_str(",\n  \"serve\": [\n");
+        for (i, s) in serve.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&s.to_json_row());
+            out.push_str(if i + 1 < serve.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+    }
     if let Some(reference) = reference {
         out.push_str(",\n  \"reference\": ");
         out.push_str(reference.trim_end());
@@ -328,7 +341,7 @@ mod tests {
             sample_tier(ExperimentScale::Smoke),
             sample_tier(ExperimentScale::ScaledSmoke),
         ];
-        let json = to_json(&tiers, &[], None);
+        let json = to_json(&tiers, &[], &[], None);
         // One "shape" per run object plus one per speedup row, per tier.
         assert_eq!(json.matches("\"shape\"").count(), 2 * (5 + 2));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -345,8 +358,8 @@ mod tests {
     #[test]
     fn json_embeds_reference_document() {
         let tiers = [sample_tier(ExperimentScale::Paper)];
-        let previous = to_json(&tiers, &[], None);
-        let json = to_json(&tiers, &[], Some(&previous));
+        let previous = to_json(&tiers, &[], &[], None);
+        let json = to_json(&tiers, &[], &[], Some(&previous));
         assert!(json.contains("\"reference\": {"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches("\"schema_version\"").count(), 2);
@@ -355,15 +368,15 @@ mod tests {
     #[test]
     fn without_reference_round_trips() {
         let tiers = [sample_tier(ExperimentScale::Paper)];
-        let bare = to_json(&tiers, &[], None);
+        let bare = to_json(&tiers, &[], &[], None);
         // A document without a reference passes through untouched.
         assert_eq!(without_reference(&bare), bare);
         // Regenerating drops exactly the old nested reference, so chaining
         // emissions never accumulates history.
-        let older = to_json(&tiers[..1], &[], None);
-        let with_ref = to_json(&tiers, &[], Some(&older));
+        let older = to_json(&tiers[..1], &[], &[], None);
+        let with_ref = to_json(&tiers, &[], &[], Some(&older));
         assert_eq!(without_reference(&with_ref), bare);
-        let chained = to_json(&tiers, &[], Some(&without_reference(&with_ref)));
+        let chained = to_json(&tiers, &[], &[], Some(&without_reference(&with_ref)));
         assert_eq!(chained.matches("\"schema_version\"").count(), 2);
         assert_eq!(chained.matches('{').count(), chained.matches('}').count());
     }
@@ -381,14 +394,49 @@ mod tests {
             cardinalities: vec![20_000; 16],
         }];
         let tiers = [sample_tier(ExperimentScale::Paper)];
-        let json = to_json(&tiers, &concurrent, None);
+        let json = to_json(&tiers, &concurrent, &[], None);
         assert!(json.contains("\"concurrent\": ["));
         assert!(json.contains("\"scale\": \"paper\""));
         assert!(json.contains("\"queries\": 16"));
         assert!(json.contains("\"aggregate_activations_per_second\": 1286400.0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        let with_ref = to_json(&tiers, &concurrent, Some(&json));
+        let with_ref = to_json(&tiers, &concurrent, &[], Some(&json));
+        assert_eq!(without_reference(&with_ref), json);
+    }
+
+    #[test]
+    fn json_includes_serve_section_with_explicit_shed_counts() {
+        let serve = vec![crate::serve::ServeRun {
+            scale: "paper",
+            clients: 64,
+            queries_per_client: 8,
+            requests: 512,
+            ok: 512,
+            shed_requests: 0,
+            protocol_errors: 0,
+            elapsed_s: 3.2,
+            queries_per_second: 160.0,
+            p50_ms: 11.5,
+            p95_ms: 42.25,
+            p99_ms: 55.125,
+            workers: 8,
+            max_inflight: 128,
+        }];
+        let tiers = [sample_tier(ExperimentScale::Paper)];
+        let json = to_json(&tiers, &[], &serve, None);
+        assert!(json.contains("\"serve\": ["));
+        assert!(json.contains("\"clients\": 64"));
+        // Shed counts are explicit: zero is a measurement, not an omission.
+        assert!(json.contains("\"shed_requests\": 0"));
+        assert!(json.contains("\"p50_ms\": 11.500"));
+        assert!(json.contains("\"p95_ms\": 42.250"));
+        assert!(json.contains("\"p99_ms\": 55.125"));
+        assert!(json.contains("\"queries_per_second\": 160.00"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Reference stripping is unaffected by the new trailing section.
+        let with_ref = to_json(&tiers, &[], &serve, Some(&json));
         assert_eq!(without_reference(&with_ref), json);
     }
 

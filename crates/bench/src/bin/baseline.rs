@@ -33,6 +33,7 @@ use dbs3_bench::baseline::{
 use dbs3_bench::concurrent::{
     is_non_collapsing, run_concurrent_baseline, ConcurrentRun, CONCURRENT_QUERIES,
 };
+use dbs3_bench::serve::{run_serve_baseline, ServeRun, SERVE_CLIENTS, SERVE_QUERIES_PER_CLIENT};
 use dbs3_bench::ExperimentScale;
 
 /// Minimum 4-thread speedup the scaled fig14 shape must reach under
@@ -128,6 +129,34 @@ fn main() {
         concurrent.extend(runs);
     }
 
+    // The serving tier: closed-loop clients through the dbs3-serve TCP
+    // front door, measured at the base tier only (the serve layer's own
+    // overhead — framing, session threads, admission — does not change
+    // with tuple volume, and the 32× tier would just re-measure the join).
+    eprintln!(
+        "# measuring serve baseline ({} tier, clients {SERVE_CLIENTS:?}, \
+         {SERVE_QUERIES_PER_CLIENT} queries/client)...",
+        base_tier.name()
+    );
+    let serve: Vec<ServeRun> =
+        run_serve_baseline(base_tier, &SERVE_CLIENTS, SERVE_QUERIES_PER_CLIENT);
+    for s in &serve {
+        eprintln!(
+            "#   serve scale={} clients={:<2} ok={}/{} shed={} proto_errs={} \
+             q/s={:.1} p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+            s.scale,
+            s.clients,
+            s.ok,
+            s.requests,
+            s.shed_requests,
+            s.protocol_errors,
+            s.queries_per_second,
+            s.p50_ms,
+            s.p95_ms,
+            s.p99_ms
+        );
+    }
+
     let mut tiers: Vec<BaselineTier> = Vec::new();
     for &scale in &scales {
         eprintln!(
@@ -151,7 +180,7 @@ fn main() {
         tiers.push(tier);
     }
 
-    let json = to_json(&tiers, &concurrent, reference.as_deref());
+    let json = to_json(&tiers, &concurrent, &serve, reference.as_deref());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -170,10 +199,16 @@ fn main() {
         eprintln!("error: {out_path} is malformed");
         std::process::exit(1);
     }
+    if written.matches("\"clients\"").count() < serve.len() {
+        eprintln!("error: {out_path} is missing serve-tier rows");
+        std::process::exit(1);
+    }
     eprintln!(
-        "# wrote {out_path} ({} tiers, {expected_runs} runs, {} concurrency levels)",
+        "# wrote {out_path} ({} tiers, {expected_runs} runs, {} concurrency levels, \
+         {} serve levels)",
         tiers.len(),
-        concurrent.len()
+        concurrent.len(),
+        serve.len()
     );
 
     if gate {

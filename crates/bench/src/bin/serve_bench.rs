@@ -1,0 +1,178 @@
+//! `serve_bench` — closed-loop traffic generator for an already-running
+//! `dbs3-serve` server (the CI `serve-smoke` driver).
+//!
+//! ```text
+//! serve_bench --addr HOST:PORT [--smoke] [--clients N] [--queries N]
+//!             [--scale paper|smoke] [--threads N] [--out PATH]
+//! ```
+//!
+//! Runs `--clients` client threads against the server at `--addr`, each
+//! issuing `--queries` fig14 AssocJoin queries back to back, and checks
+//! every response's cardinality against the scale's expected join size
+//! (the server must have been started with the matching `--scale`).
+//! `--smoke` is shorthand for the CI shape: 8 clients × 4 queries at smoke
+//! scale. `--out` writes a serve-only JSON document (same row schema as the
+//! `"serve"` tier of `BENCH_engine.json`) for the schema check.
+//!
+//! Exits non-zero when any request came back wrong (transport error,
+//! unexpected error frame, cardinality mismatch) or when nothing succeeded
+//! at all, so the CI job fails loudly instead of averaging over garbage.
+
+use dbs3_bench::serve::{generate_traffic, serve_only_json, summarize};
+use dbs3_lera::{plans, JoinAlgorithm};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+struct Args {
+    addr: SocketAddr,
+    clients: usize,
+    queries: usize,
+    scale: &'static str,
+    threads: usize,
+    out: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: serve_bench --addr HOST:PORT [--smoke] [--clients N] [--queries N] \
+     [--scale paper|smoke] [--threads N] [--out PATH]"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut clients = 8usize;
+    let mut queries = 4usize;
+    let mut scale = "smoke";
+    let mut threads = 2usize;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => {
+                let raw = value("--addr")?;
+                addr = Some(
+                    raw.to_socket_addrs()
+                        .map_err(|e| format!("--addr {raw:?}: {e}"))?
+                        .next()
+                        .ok_or_else(|| format!("--addr {raw:?}: resolved to nothing"))?,
+                );
+            }
+            // The CI shape: matches the serve-smoke job's expectations.
+            "--smoke" => {
+                clients = 8;
+                queries = 4;
+                scale = "smoke";
+            }
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--queries" => {
+                queries = value("--queries")?
+                    .parse()
+                    .map_err(|e| format!("--queries: {e}"))?;
+            }
+            "--scale" => {
+                scale = match value("--scale")?.as_str() {
+                    "paper" => "paper",
+                    "smoke" => "smoke",
+                    other => return Err(format!("--scale: unknown scale {other:?}")),
+                };
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}; {}", usage())),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("--addr is required; {}", usage()))?;
+    if clients == 0 || queries == 0 {
+        return Err("--clients and --queries must be at least 1".to_string());
+    }
+    Ok(Args {
+        addr,
+        clients,
+        queries,
+        scale,
+        threads,
+        out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve_bench: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // The fig14 AssocJoin result cardinality equals |Bprime|, which the
+    // dbs3-serve binary sizes per scale (paper 20K, smoke 1K).
+    let expected: u64 = match args.scale {
+        "paper" => 20_000,
+        _ => 1_000,
+    };
+    let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+
+    eprintln!(
+        "serve_bench: {} clients x {} queries against {} ({} scale, expecting {} rows)",
+        args.clients, args.queries, args.addr, args.scale, expected
+    );
+    let summary = generate_traffic(
+        args.addr,
+        &plan,
+        expected,
+        args.clients,
+        args.queries,
+        args.threads,
+    );
+    let run = summarize(
+        args.scale,
+        args.clients,
+        args.queries,
+        0, // remote server: worker count unknown to the client
+        0, // remote server: admission limit unknown to the client
+        &summary,
+    );
+    eprintln!(
+        "serve_bench: ok={}/{} shed={} protocol_errors={} q/s={:.1} \
+         p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+        run.ok,
+        run.requests,
+        run.shed_requests,
+        run.protocol_errors,
+        run.queries_per_second,
+        run.p50_ms,
+        run.p95_ms,
+        run.p99_ms
+    );
+
+    if let Some(path) = &args.out {
+        let doc = serve_only_json(std::slice::from_ref(&run));
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("serve_bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serve_bench: wrote {path}");
+    }
+
+    if run.protocol_errors > 0 || run.ok == 0 {
+        eprintln!(
+            "serve_bench: FAILED — {} protocol errors, {} ok",
+            run.protocol_errors, run.ok
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

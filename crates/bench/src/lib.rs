@@ -20,5 +20,6 @@ pub mod baseline;
 pub mod concurrent;
 pub mod data;
 pub mod experiments;
+pub mod serve;
 
 pub use data::{ExperimentScale, JoinDatabase};

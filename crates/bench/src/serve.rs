@@ -1,0 +1,319 @@
+//! Closed-loop traffic generation against the `dbs3-serve` network front
+//! door: the serving-layer tier of `BENCH_engine.json`.
+//!
+//! The generator models the paper's multi-user setting end to end: N client
+//! threads each hold one TCP connection and issue M queries back to back
+//! (closed loop — a client never has more than one request outstanding, so
+//! offered load scales with the client count). Every response's cardinality
+//! is checked against the expected join size, per-request latency is
+//! recorded, and the run reports nearest-rank p50/p95/p99 latencies plus
+//! aggregate queries/s.
+//!
+//! Shed requests (typed `ServerBusy` refusals) are counted **explicitly**:
+//! a run that says `shed_requests: 0` measured zero sheds, which is not the
+//! same as not having measured admission control at all.
+
+use crate::{ExperimentScale, JoinDatabase};
+use dbs3_lera::{plans, JoinAlgorithm, Plan};
+use dbs3_serve::{RemoteSession, ServeError, Server, ServerConfig, ServerStats};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Client counts of the full serve tier.
+pub const SERVE_CLIENTS: [usize; 3] = [1, 8, 64];
+
+/// Queries per client in the full tier.
+pub const SERVE_QUERIES_PER_CLIENT: usize = 8;
+
+/// Worker threads of the measured server pool.
+pub const SERVE_WORKERS: usize = 8;
+
+/// Admission limit of the measured server. Sized above the largest client
+/// count so the committed baseline measures latency, not shed-and-retry;
+/// the admission path itself is exercised by the serve crate's e2e tests.
+pub const SERVE_MAX_INFLIGHT: u64 = 128;
+
+/// One measured concurrency level of the serve tier.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Tier name (`paper` / `smoke`).
+    pub scale: &'static str,
+    /// Concurrent closed-loop client connections.
+    pub clients: usize,
+    /// Queries each client issued.
+    pub queries_per_client: usize,
+    /// Total requests sent (`clients * queries_per_client`).
+    pub requests: usize,
+    /// Requests answered with a correct cardinality.
+    pub ok: usize,
+    /// Requests shed with a typed `ServerBusy` frame. Explicitly zero when
+    /// no shedding happened.
+    pub shed_requests: u64,
+    /// Responses that were wrong in any way: transport errors, malformed
+    /// frames, unexpected error frames, cardinality mismatches.
+    pub protocol_errors: usize,
+    /// Wall-clock duration of the whole level.
+    pub elapsed_s: f64,
+    /// Completed queries per second of wall-clock time, aggregated over all
+    /// clients.
+    pub queries_per_second: f64,
+    /// Nearest-rank latency percentiles over successful requests, in
+    /// milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_ms: f64,
+    /// Worker threads the server pool ran.
+    pub workers: usize,
+    /// The server's admission limit during the run.
+    pub max_inflight: u64,
+}
+
+impl ServeRun {
+    /// One JSON object literal for this row — the element format of the
+    /// `"serve"` array in `BENCH_engine.json` and of the standalone
+    /// document `serve_bench --out` writes. Keeping a single formatter
+    /// guarantees the CI schema check validates the same shape both paths
+    /// emit.
+    pub fn to_json_row(&self) -> String {
+        format!(
+            "{{\"scale\": \"{}\", \"clients\": {}, \"queries_per_client\": {}, \
+             \"requests\": {}, \"ok\": {}, \"shed_requests\": {}, \
+             \"protocol_errors\": {}, \"workers\": {}, \"max_inflight\": {}, \
+             \"elapsed_s\": {:.6}, \"queries_per_second\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            self.scale,
+            self.clients,
+            self.queries_per_client,
+            self.requests,
+            self.ok,
+            self.shed_requests,
+            self.protocol_errors,
+            self.workers,
+            self.max_inflight,
+            self.elapsed_s,
+            self.queries_per_second,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+        )
+    }
+}
+
+/// A standalone serve-only JSON document (the `serve_bench` output format):
+/// the same `"serve"` array `BENCH_engine.json` carries, without the
+/// engine tiers.
+pub fn serve_only_json(runs: &[ServeRun]) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 2,\n");
+    out.push_str("  \"bench\": \"dbs3-serve closed-loop traffic generator\",\n");
+    out.push_str("  \"serve\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&run.to_json_row());
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** slice; 0.0 when empty.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// What one measurement against a (local or remote) server produced.
+#[derive(Debug, Clone)]
+pub struct TrafficSummary {
+    /// Sorted latencies of successful requests, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Successful requests.
+    pub ok: usize,
+    /// Requests shed with `ServerBusy` (counted client-side).
+    pub shed: u64,
+    /// Everything else that went wrong.
+    pub protocol_errors: usize,
+    /// Wall-clock time of the level.
+    pub elapsed_s: f64,
+}
+
+/// Runs `clients` closed-loop client threads against the server at `addr`,
+/// each issuing `queries_per_client` requests of `plan`, and checks every
+/// successful response against `expected_cardinality`.
+pub fn generate_traffic(
+    addr: SocketAddr,
+    plan: &Plan,
+    expected_cardinality: u64,
+    clients: usize,
+    queries_per_client: usize,
+    query_threads: usize,
+) -> TrafficSummary {
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let plan = plan.clone();
+            std::thread::spawn(move || {
+                let mut latencies_ms = Vec::with_capacity(queries_per_client);
+                let (mut ok, mut shed, mut protocol_errors) = (0usize, 0u64, 0usize);
+                let mut session = match RemoteSession::connect(addr) {
+                    Ok(session) => session,
+                    Err(_) => return (latencies_ms, ok, shed, queries_per_client),
+                };
+                for _ in 0..queries_per_client {
+                    let sent = Instant::now();
+                    match session.query(&plan).threads(query_threads).run() {
+                        Ok(outcome) => {
+                            if outcome.result_cardinality() == Some(expected_cardinality) {
+                                latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                                ok += 1;
+                            } else {
+                                protocol_errors += 1;
+                            }
+                        }
+                        Err(ServeError::ServerBusy { .. }) => shed += 1,
+                        Err(_) => protocol_errors += 1,
+                    }
+                }
+                (latencies_ms, ok, shed, protocol_errors)
+            })
+        })
+        .collect();
+
+    let mut latencies_ms = Vec::new();
+    let (mut ok, mut shed, mut protocol_errors) = (0usize, 0u64, 0usize);
+    for worker in workers {
+        let (lat, o, s, p) = worker.join().expect("client thread");
+        latencies_ms.extend(lat);
+        ok += o;
+        shed += s;
+        protocol_errors += p;
+    }
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    TrafficSummary {
+        latencies_ms,
+        ok,
+        shed,
+        protocol_errors,
+        elapsed_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Folds a traffic summary into a serve-tier row.
+pub fn summarize(
+    scale: &'static str,
+    clients: usize,
+    queries_per_client: usize,
+    workers: usize,
+    max_inflight: u64,
+    summary: &TrafficSummary,
+) -> ServeRun {
+    ServeRun {
+        scale,
+        clients,
+        queries_per_client,
+        requests: clients * queries_per_client,
+        ok: summary.ok,
+        shed_requests: summary.shed,
+        protocol_errors: summary.protocol_errors,
+        elapsed_s: summary.elapsed_s,
+        queries_per_second: if summary.elapsed_s > 0.0 {
+            summary.ok as f64 / summary.elapsed_s
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&summary.latencies_ms, 50.0),
+        p95_ms: percentile(&summary.latencies_ms, 95.0),
+        p99_ms: percentile(&summary.latencies_ms, 99.0),
+        workers,
+        max_inflight,
+    }
+}
+
+/// Measures the full serve tier at `scale`: for each client count, a fresh
+/// in-process server (so shed counters start at zero) takes
+/// `queries_per_client` queries per client of the fig14 AssocJoin shape,
+/// and the server's own shed counter cross-checks the client-side count.
+pub fn run_serve_baseline(
+    scale: ExperimentScale,
+    client_levels: &[usize],
+    queries_per_client: usize,
+) -> Vec<ServeRun> {
+    let db = JoinDatabase::generate(scale.cardinality(200_000), scale.cardinality(20_000));
+    let expected = db.b_cardinality() as u64;
+    let degree = scale.degree(200);
+    let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+    let mut runs = Vec::new();
+    for &clients in client_levels {
+        let server = Server::bind(
+            db.catalog(degree, 0.0),
+            ("127.0.0.1", 0),
+            ServerConfig {
+                workers: SERVE_WORKERS,
+                max_inflight: SERVE_MAX_INFLIGHT,
+                drain_grace: Duration::from_millis(50),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind ephemeral serve-bench server");
+        let addr = server.addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run().expect("serve-bench server run"));
+
+        let summary = generate_traffic(addr, &plan, expected, clients, queries_per_client, 4);
+
+        handle.stop();
+        let stats: ServerStats = runner.join().expect("server thread");
+        let mut run = summarize(
+            scale.name(),
+            clients,
+            queries_per_client,
+            SERVE_WORKERS,
+            SERVE_MAX_INFLIGHT,
+            &summary,
+        );
+        // The server's own counter is authoritative; a disagreement with
+        // the client-side count is itself a protocol error.
+        if stats.shed != summary.shed {
+            run.protocol_errors += 1;
+        }
+        run.shed_requests = stats.shed;
+        runs.push(run);
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        // Small samples round up to the next rank.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 50.0), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 99.0), 3.0);
+    }
+
+    #[test]
+    fn smoke_serve_baseline_round_trips_through_real_sockets() {
+        let runs = run_serve_baseline(ExperimentScale::Smoke, &[1, 4], 2);
+        assert_eq!(runs.len(), 2);
+        for run in &runs {
+            assert_eq!(run.protocol_errors, 0, "{run:?}");
+            assert_eq!(run.ok, run.requests, "{run:?}");
+            assert_eq!(run.shed_requests, 0, "{run:?}");
+            assert!(run.p50_ms > 0.0 && run.p50_ms <= run.p95_ms && run.p95_ms <= run.p99_ms);
+            assert!(run.queries_per_second > 0.0);
+        }
+    }
+}

@@ -30,6 +30,10 @@ pub enum EngineError {
     /// The query outcome was already taken from its handle (a second
     /// `wait()` after a successful `try_outcome()`).
     OutcomeTaken,
+    /// A bounded wait on a [`QueryHandle`](crate::runtime::QueryHandle)
+    /// elapsed before the query completed. The query keeps running and the
+    /// handle stays usable (wait again, or cancel).
+    WaitTimeout,
 }
 
 impl fmt::Display for EngineError {
@@ -56,6 +60,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::OutcomeTaken => {
                 write!(f, "the query outcome was already taken from the handle")
+            }
+            EngineError::WaitTimeout => {
+                write!(f, "timed out waiting for the query to complete")
             }
         }
     }
@@ -93,6 +100,7 @@ mod tests {
             .contains('7'));
         assert!(EngineError::RuntimeShutdown.to_string().contains("shut"));
         assert!(EngineError::OutcomeTaken.to_string().contains("taken"));
+        assert!(EngineError::WaitTimeout.to_string().contains("timed out"));
     }
 
     #[test]

@@ -347,11 +347,15 @@ fn retire_ready_entry(inner: &RuntimeInner, query: &Arc<QueryState>, op_index: u
 /// A long-lived shared worker pool executing concurrently submitted
 /// queries. See the [module docs](self) for the execution model.
 ///
-/// Dropping the runtime signals shutdown, joins the workers and fails any
-/// query still in flight with [`EngineError::RuntimeShutdown`].
+/// [`Runtime::shutdown`] (or dropping the runtime) signals shutdown, joins
+/// the workers and fails any query still in flight with
+/// [`EngineError::RuntimeShutdown`].
 pub struct Runtime {
     inner: Arc<RuntimeInner>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker join handles, behind a mutex so `shutdown(&self)` can retire
+    /// the pool through a shared reference (servers hold `Arc<Runtime>`).
+    /// Emptied exactly once — by the first shutdown.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl fmt::Debug for Runtime {
@@ -390,7 +394,10 @@ impl Runtime {
                     .expect("spawning a runtime worker thread")
             })
             .collect();
-        Ok(Runtime { inner, workers })
+        Ok(Runtime {
+            inner,
+            workers: Mutex::new(workers),
+        })
     }
 
     /// Number of worker threads in the pool.
@@ -425,6 +432,25 @@ impl Runtime {
     /// or cancelled).
     pub fn live_queries(&self) -> usize {
         self.inner.queries.lock().len()
+    }
+
+    /// Total buffered logical activations across every live query's
+    /// operations — the pool's backlog, read from the per-op advisory
+    /// `pending` counters the ready-deque machinery already maintains (one
+    /// relaxed-cost atomic load per operation; no queue locks taken).
+    ///
+    /// This is an admission-control signal, not an exact count: the
+    /// counters are advisory (see their field docs) and can run slightly
+    /// ahead of or behind the queues. Zero with [`Runtime::live_queries`]
+    /// positive means queries exist whose remaining work is all in flight
+    /// on workers.
+    pub fn queue_pressure(&self) -> u64 {
+        let queries = self.inner.queries.lock();
+        queries
+            .iter()
+            .flat_map(|q| q.ops.iter())
+            .map(|op| op.pending.load(Ordering::SeqCst))
+            .sum()
     }
 
     /// Submits `plan` for execution under `schedule` and returns
@@ -628,6 +654,16 @@ impl Runtime {
         });
 
         self.inner.queries.lock().push(Arc::clone(&query));
+        // Re-check the shutdown flag now that the query is visible: a
+        // concurrent `shutdown()` that drained the registry between the
+        // check at the top of this method and the push above would leave
+        // this query registered with no workers to run it — abort it
+        // (idempotent against the race where shutdown DID see it) so the
+        // caller gets the typed error either way instead of a hang.
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            abort_query(&self.inner, &query, EngineError::RuntimeShutdown);
+            return Err(EngineError::RuntimeShutdown);
+        }
         // Announce the triggered leaves (the only ops with queued work at
         // submit time); announce_op wakes the parked workers.
         for op_index in 0..query.ops.len() {
@@ -642,10 +678,23 @@ impl Runtime {
         })
     }
 
-    fn shutdown_now(&mut self) {
+    /// Retires the pool: rejects further submissions, wakes and joins every
+    /// worker, and fails any query still registered with
+    /// [`EngineError::RuntimeShutdown`] so no waiter ever hangs.
+    ///
+    /// In-flight queries are *not* drained to completion — callers that want
+    /// a graceful drain (e.g. a server handling SIGTERM) stop submitting,
+    /// wait for [`Runtime::live_queries`] to reach zero, then call this.
+    /// Idempotent: the first call joins the workers, later calls (and the
+    /// implicit one in `Drop`) are no-ops.
+    pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.idle.wake_all();
-        for handle in self.workers.drain(..) {
+        let workers: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock();
+            workers.drain(..).collect()
+        };
+        for handle in workers {
             let _ = handle.join();
         }
         // Fail whatever is still registered so no waiter ever hangs.
@@ -658,11 +707,17 @@ impl Runtime {
             query.complete(Err(EngineError::RuntimeShutdown));
         }
     }
+
+    /// Whether [`Runtime::shutdown`] was called (or the runtime is mid-drop):
+    /// submissions are being rejected with [`EngineError::RuntimeShutdown`].
+    pub fn is_shut_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        self.shutdown_now();
+        self.shutdown();
     }
 }
 
@@ -713,6 +768,34 @@ impl QueryHandle {
                 return result;
             }
             self.query.cell.done.wait(&mut slot);
+        }
+    }
+
+    /// Like [`QueryHandle::wait`] with a deadline: blocks for at most
+    /// `timeout` and returns [`EngineError::WaitTimeout`] if the query has
+    /// not completed by then. On timeout the query keeps running and the
+    /// handle stays fully usable — wait again, poll, or [`cancel`] it (a
+    /// server enforcing request deadlines does exactly that). On any other
+    /// return the outcome is consumed: a later wait reports
+    /// [`EngineError::OutcomeTaken`].
+    ///
+    /// [`cancel`]: QueryHandle::cancel
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<ExecutionOutcome> {
+        if self.taken {
+            return Err(EngineError::OutcomeTaken);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.query.cell.outcome.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                self.taken = true;
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(EngineError::WaitTimeout);
+            }
+            self.query.cell.done.wait_for(&mut slot, deadline - now);
         }
     }
 
@@ -1622,5 +1705,103 @@ mod tests {
         let rendered = format!("{runtime:?}");
         assert!(rendered.contains("pool_threads"));
         assert!(rendered.contains('2'));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_rejects_later_submissions() {
+        let (cat, _, _) = build_catalog(400, 40, 4);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        // A completed query before shutdown works normally.
+        runtime
+            .submit(&cat, &plan, &schedule)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!runtime.is_shut_down());
+        runtime.shutdown();
+        assert!(runtime.is_shut_down());
+        // Second (and third) shutdown is a no-op, not a panic or a hang.
+        runtime.shutdown();
+        runtime.shutdown();
+        match runtime.submit(&cat, &plan, &schedule) {
+            Err(EngineError::RuntimeShutdown) => {}
+            other => panic!("expected RuntimeShutdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_fails_inflight_queries_typed() {
+        // A deliberately slow query: nested-loop join so the workers are
+        // still busy when shutdown lands.
+        let (cat, _, _) = build_catalog(20_000, 2_000, 4);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let handle = runtime.submit(&cat, &plan, &schedule).unwrap();
+        runtime.shutdown();
+        match handle.wait() {
+            // Workers may have finished the query before the flag landed.
+            Ok(_) | Err(EngineError::RuntimeShutdown) => {}
+            other => panic!("expected Ok or RuntimeShutdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_returns_typed_and_keeps_the_handle_usable() {
+        let (cat, a_ref, b_ref) = build_catalog(20_000, 2_000, 4);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let mut handle = runtime.submit(&cat, &plan, &schedule).unwrap();
+        // A zero timeout on a 20k x 2k nested-loop join cannot succeed.
+        match handle.wait_timeout(Duration::ZERO) {
+            Err(EngineError::WaitTimeout) => {}
+            other => panic!("expected WaitTimeout, got {other:?}"),
+        }
+        // The handle survives the timeout: a blocking wait still gets the
+        // real outcome.
+        let outcome = handle.wait().unwrap();
+        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        assert_eq!(outcome.results["Result"].len(), expected.len());
+    }
+
+    #[test]
+    fn wait_timeout_consumes_the_outcome_on_success() {
+        let (cat, _, _) = build_catalog(400, 40, 4);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let mut handle = runtime.submit(&cat, &plan, &schedule).unwrap();
+        let outcome = handle.wait_timeout(Duration::from_secs(60)).unwrap();
+        assert!(!outcome.cardinalities.is_empty());
+        match handle.wait_timeout(Duration::from_secs(60)) {
+            Err(EngineError::OutcomeTaken) => {}
+            other => panic!("expected OutcomeTaken, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_pressure_tracks_the_backlog() {
+        let (cat, _, _) = build_catalog(400, 40, 4);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(1).unwrap();
+        assert_eq!(runtime.queue_pressure(), 0);
+        let handles: Vec<QueryHandle> = (0..4)
+            .map(|_| runtime.submit(&cat, &plan, &schedule).unwrap())
+            .collect();
+        // With 4 queries just submitted on a 1-worker pool, at least one
+        // still has buffered triggers (its own submit stored them before
+        // the handle returned). Exact values are advisory — only the
+        // "work exists" signal is contractual.
+        assert!(runtime.live_queries() > 0);
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        // Drained pool: no live queries, no pressure.
+        assert_eq!(runtime.live_queries(), 0);
+        assert_eq!(runtime.queue_pressure(), 0);
     }
 }

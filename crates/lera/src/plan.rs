@@ -27,6 +27,40 @@ impl Plan {
         }
     }
 
+    /// Creates a plan directly from nodes, checking the structural
+    /// invariants [`crate::builder::PlanBuilder`] guarantees by
+    /// construction: the plan is non-empty, node `i` carries id `i` (ids
+    /// are dense and double as indexes), and every pipeline input
+    /// references an *earlier* node (the graph is acyclic by ordering).
+    ///
+    /// This is the reconstruction path for plans that arrive from outside
+    /// the process — e.g. decoded off a wire — where the original node
+    /// names must survive (rebuilding through the builder would regenerate
+    /// them). Catalog-dependent checks still go through
+    /// [`Plan::validate`].
+    pub fn from_nodes(name: impl Into<String>, nodes: Vec<OperatorNode>) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(PlanError::EmptyPlan);
+        }
+        for (index, node) in nodes.iter().enumerate() {
+            if node.id.0 != index {
+                return Err(PlanError::UnknownNode(node.id.0));
+            }
+            if let Some(producer) = node.producer() {
+                if producer.0 >= index {
+                    return Err(PlanError::InputMismatch {
+                        node: index,
+                        reason: format!(
+                            "pipeline input references node {} which is not an earlier node",
+                            producer.0
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(Plan::new(name, nodes))
+    }
+
     /// Plan name.
     pub fn name(&self) -> &str {
         &self.name
@@ -339,6 +373,36 @@ mod tests {
         )
         .unwrap();
         cat
+    }
+
+    #[test]
+    fn from_nodes_round_trips_a_builder_plan_and_checks_invariants() {
+        let built = plans::ideal_join("A", "Bprime", "unique1", crate::ops::JoinAlgorithm::Hash);
+        // Reconstructing from the same nodes yields an equal plan (names
+        // included) — the wire-decode path relies on this.
+        let rebuilt = Plan::from_nodes(built.name(), built.nodes().to_vec()).unwrap();
+        assert_eq!(rebuilt, built);
+
+        assert!(matches!(
+            Plan::from_nodes("empty", vec![]),
+            Err(PlanError::EmptyPlan)
+        ));
+        // A node stored at the wrong index is rejected.
+        let mut shifted = built.nodes().to_vec();
+        shifted[0].id = NodeId(7);
+        assert!(matches!(
+            Plan::from_nodes("shifted", shifted),
+            Err(PlanError::UnknownNode(7))
+        ));
+        // A pipeline input pointing forward (or at itself) is rejected.
+        let mut cyclic = built.nodes().to_vec();
+        cyclic[1].input = InputSource::Pipeline {
+            producer: NodeId(1),
+        };
+        assert!(matches!(
+            Plan::from_nodes("cyclic", cyclic),
+            Err(PlanError::InputMismatch { node: 1, .. })
+        ));
     }
 
     #[test]

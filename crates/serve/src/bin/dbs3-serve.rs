@@ -1,0 +1,190 @@
+//! `dbs3-serve` — the DBS3 query server.
+//!
+//! Loads the Wisconsin join database (`A` ⋈ `Bprime` partitioned on
+//! `unique1`), binds a framed-TCP listener and serves queries from a shared
+//! worker pool until SIGTERM/SIGINT or a shutdown control frame, then
+//! drains gracefully and exits 0.
+//!
+//! ```text
+//! dbs3-serve [--port N] [--workers N] [--max-inflight N] [--scale paper|smoke]
+//! ```
+
+use dbs3_serve::{Server, ServerConfig};
+use dbs3_storage::{
+    Catalog, PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
+};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; watched by the drain thread.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: flip the flag, nothing else.
+    TERMINATE.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGTERM and SIGINT via the libc `signal(2)`
+/// already linked by std — no external crate needed.
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+struct Args {
+    port: u16,
+    workers: usize,
+    max_inflight: u64,
+    scale: Scale,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scale {
+    Paper,
+    Smoke,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        port: 7878,
+        workers: 4,
+        max_inflight: 64,
+        scale: Scale::Smoke,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--max-inflight" => {
+                args.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?;
+            }
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "paper" => Scale::Paper,
+                    "smoke" => Scale::Smoke,
+                    other => return Err(format!("--scale: unknown scale {other:?}")),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: dbs3-serve [--port N] [--workers N] [--max-inflight N] \
+                     [--scale paper|smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Builds the Wisconsin `A` ⋈ `Bprime` catalog the experiment plans expect:
+/// paper scale is A=200K/Bprime=20K over 200 fragments, smoke divides both
+/// by 20 (matching the bench crate's smoke tier).
+fn build_catalog(scale: Scale) -> Catalog {
+    let (a_card, b_card, degree) = match scale {
+        Scale::Paper => (200_000, 20_000, 200),
+        Scale::Smoke => (10_000, 1_000, 20),
+    };
+    let generator = WisconsinGenerator::new();
+    let a = generator
+        .generate(&WisconsinConfig::narrow("A", a_card))
+        .expect("valid generator configuration");
+    let b = generator
+        .generate(&WisconsinConfig::narrow("Bprime", b_card))
+        .expect("valid generator configuration");
+    let spec = PartitionSpec::on("unique1", degree, 8);
+    let mut catalog = Catalog::new();
+    catalog
+        .register(PartitionedRelation::from_relation(&a, spec.clone()).expect("valid partitioning"))
+        .expect("fresh catalog");
+    catalog
+        .register(PartitionedRelation::from_relation(&b, spec).expect("valid partitioning"))
+        .expect("fresh catalog");
+    catalog
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("dbs3-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers();
+
+    eprintln!(
+        "dbs3-serve: loading {} catalog...",
+        if args.scale == Scale::Paper {
+            "paper"
+        } else {
+            "smoke"
+        }
+    );
+    let catalog = build_catalog(args.scale);
+    let config = ServerConfig {
+        workers: args.workers,
+        max_inflight: args.max_inflight,
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind(catalog, ("0.0.0.0", args.port), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dbs3-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = server.handle();
+    eprintln!(
+        "dbs3-serve: listening on {} ({} workers, max {} in-flight)",
+        server.addr(),
+        args.workers,
+        args.max_inflight
+    );
+
+    // Translate the async signal flag into a graceful stop request.
+    std::thread::spawn(move || loop {
+        if TERMINATE.load(Ordering::SeqCst) {
+            eprintln!("dbs3-serve: signal received, draining...");
+            handle.stop();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    match server.run() {
+        Ok(stats) => {
+            eprintln!(
+                "dbs3-serve: drained; served {} queries, shed {}",
+                stats.served, stats.shed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dbs3-serve: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

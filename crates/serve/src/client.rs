@@ -1,0 +1,117 @@
+//! The wire-level client: one TCP connection, blocking request/response.
+//!
+//! [`Client`] is deliberately thin — it owns a socket and speaks frames.
+//! The ergonomic layer with builder-style query options lives in
+//! [`crate::session::RemoteSession`].
+
+use crate::error::{ServeError, ServeResult};
+use crate::wire::{Frame, QueryRequest, WireMetrics};
+use dbs3_engine::SchedulerOptions;
+use dbs3_lera::Plan;
+use std::collections::BTreeMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// The response to one successful remote query: what the server measured,
+/// minus the tuples (the protocol ships cardinalities only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteOutcome {
+    /// Exact result cardinality per store name, identical to what a local
+    /// [`ExecutionOutcome`](dbs3_engine::ExecutionOutcome) reports.
+    pub cardinalities: BTreeMap<String, u64>,
+    /// Server-side execution metrics.
+    pub metrics: WireMetrics,
+}
+
+impl RemoteOutcome {
+    /// The single cardinality of a plan with exactly one store operator.
+    pub fn result_cardinality(&self) -> Option<u64> {
+        if self.cardinalities.len() == 1 {
+            self.cardinalities.values().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Server-side wall-clock execution time.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_micros(self.metrics.elapsed_us)
+    }
+}
+
+/// A connected client. One in-flight request at a time (the protocol is
+/// strictly request/response per connection; open more connections for
+/// concurrency, as the traffic generator does).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running `dbs3-serve` server.
+    pub fn connect(addr: impl ToSocketAddrs) -> ServeResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Runs `plan` remotely with the given scheduling options, blocking
+    /// until the full response arrives. `deadline_ms` (0 = none) bounds the
+    /// server-side wait; an expired deadline comes back as
+    /// [`ServeError::DeadlineExceeded`], a shed request as
+    /// [`ServeError::ServerBusy`], a draining server as
+    /// [`ServeError::RemoteShutdown`].
+    pub fn execute(
+        &mut self,
+        plan: &Plan,
+        options: &SchedulerOptions,
+        deadline_ms: u64,
+    ) -> ServeResult<RemoteOutcome> {
+        Frame::Query(QueryRequest {
+            plan: plan.clone(),
+            options: *options,
+            deadline_ms,
+        })
+        .write_to(&mut self.stream)?;
+        let mut cardinalities = BTreeMap::new();
+        loop {
+            match Frame::read_from(&mut self.stream)? {
+                Some(Frame::Cardinality { name, rows }) => {
+                    cardinalities.insert(name, rows);
+                }
+                Some(Frame::Metrics(metrics)) => {
+                    return Ok(RemoteOutcome {
+                        cardinalities,
+                        metrics,
+                    })
+                }
+                Some(Frame::Error(e)) => return Err(e),
+                Some(other) => {
+                    return Err(ServeError::Protocol(format!(
+                        "unexpected server frame {other:?} during a query exchange"
+                    )))
+                }
+                None => {
+                    return Err(ServeError::Protocol(
+                        "server closed the connection before completing the response".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Asks the server to shut down gracefully and waits for the
+    /// acknowledgement frame.
+    pub fn shutdown_server(&mut self) -> ServeResult<()> {
+        Frame::Shutdown.write_to(&mut self.stream)?;
+        match Frame::read_from(&mut self.stream)? {
+            Some(Frame::ShutdownAck) => Ok(()),
+            Some(Frame::Error(e)) => Err(e),
+            Some(other) => Err(ServeError::Protocol(format!(
+                "expected a shutdown acknowledgement, got {other:?}"
+            ))),
+            None => Err(ServeError::Protocol(
+                "server closed the connection before acknowledging shutdown".into(),
+            )),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Typed errors of the serve layer.
+//!
+//! Every failure a connection can see has a variant: protocol damage
+//! ([`ServeError::Malformed`], [`ServeError::Truncated`],
+//! [`ServeError::FrameTooLarge`]) is distinguished from server policy
+//! ([`ServeError::ServerBusy`], [`ServeError::RemoteShutdown`],
+//! [`ServeError::DeadlineExceeded`]) and from plain transport failures
+//! ([`ServeError::Io`]). Connection threads convert all of them into
+//! response frames or clean closes — none of them panics a thread.
+
+use std::fmt;
+
+/// Errors produced by the wire codec, the server and the client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A transport-level I/O failure (connect, read or write).
+    Io(String),
+    /// The peer closed the stream in the middle of a frame. Distinct from
+    /// a clean close *between* frames, which is a normal disconnect.
+    Truncated,
+    /// A frame header announced a payload larger than
+    /// [`crate::wire::MAX_FRAME_LEN`] — rejected before allocating.
+    FrameTooLarge { len: usize },
+    /// A complete frame arrived but its payload does not decode (bad tag,
+    /// short payload, trailing bytes, invalid UTF-8, absurd counts...).
+    Malformed(String),
+    /// An unexpected frame type for the current protocol state (e.g. a
+    /// response frame sent to the server).
+    Protocol(String),
+    /// The server refused the query because its live-query count reached
+    /// the admission limit (`--max-inflight`). The request was shed before
+    /// any execution work happened; retrying later is safe.
+    ServerBusy { live: u64, max_inflight: u64 },
+    /// The server is draining for shutdown (SIGTERM or a shutdown frame)
+    /// and no longer admits queries.
+    RemoteShutdown,
+    /// The request's deadline elapsed server-side; the query was cancelled.
+    DeadlineExceeded,
+    /// The query failed server-side (bind, schedule or execution error);
+    /// the message carries the remote error text.
+    Remote(String),
+}
+
+/// Result alias for serve operations.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ServeError::Truncated => write!(f, "stream truncated mid-frame"),
+            ServeError::FrameTooLarge { len } => {
+                write!(f, "frame payload of {len} bytes exceeds the frame limit")
+            }
+            ServeError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::ServerBusy { live, max_inflight } => write!(
+                f,
+                "server busy: {live} live queries at the {max_inflight}-query admission limit"
+            ),
+            ServeError::RemoteShutdown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::Remote(msg) => write!(f, "remote execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServeError::Truncated.to_string().contains("truncated"));
+        assert!(ServeError::FrameTooLarge { len: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(ServeError::ServerBusy {
+            live: 8,
+            max_inflight: 4
+        }
+        .to_string()
+        .contains("busy"));
+        assert!(ServeError::RemoteShutdown.to_string().contains("shutting"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServeError::Malformed("tag".into())
+            .to_string()
+            .contains("tag"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let e: ServeError = std::io::Error::other("boom").into();
+        assert!(matches!(e, ServeError::Io(_)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # dbs3-serve
+//!
+//! The network front door for the DBS3 runtime: a framed-TCP query service
+//! over the shared multi-query worker pool, built on `std::net` only.
+//!
+//! The paper's DBS3 is a *server*: many concurrent queries share one set of
+//! execution threads, and the system's contribution is how that sharing is
+//! scheduled. Earlier PRs built the shared pool ([`dbs3_engine::Runtime`]);
+//! this crate puts a wire in front of it:
+//!
+//! * [`wire`] — the length-prefixed frame codec: a compact, total
+//!   serialization of [`Plan`](dbs3_lera::Plan) +
+//!   [`SchedulerOptions`](dbs3_engine::SchedulerOptions) requests and
+//!   cardinality/metrics/error responses. Malformed bytes decode to typed
+//!   [`ServeError`]s, never panics.
+//! * [`server`] — the accept loop and per-connection session threads, with
+//!   admission control (typed [`ServeError::ServerBusy`] sheds when the
+//!   pool's live-query count reaches `--max-inflight`) and graceful drain
+//!   on SIGTERM or a shutdown control frame.
+//! * [`client`] / [`session`] — the blocking client and the builder-style
+//!   [`RemoteSession`] mirroring the local `dbs3::Session` facade.
+//!
+//! The closed-loop traffic generator that measures this stack end to end
+//! (latency percentiles under 1/8/64 clients) lives in `dbs3-bench`.
+
+pub mod client;
+pub mod error;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::{Client, RemoteOutcome};
+pub use error::{ServeError, ServeResult};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use session::{RemoteQuery, RemoteSession};
+pub use wire::{Frame, QueryRequest, WireMetrics, MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -1,0 +1,417 @@
+//! The query server: a TCP front door over a shared [`Runtime`] pool.
+//!
+//! One listener thread accepts connections; each connection gets a session
+//! thread that parses [`Frame::Query`] requests, admits or sheds them, and
+//! streams back cardinality + metrics frames. All connections share one
+//! worker pool, so the server's concurrency story is the runtime's: morsel
+//! scheduling interleaves queries, admission control bounds how many are
+//! live at once.
+//!
+//! ## Admission control
+//!
+//! A query is shed with a typed [`ServeError::ServerBusy`] frame when
+//! [`Runtime::live_queries`] has reached `max_inflight` (and optionally when
+//! [`Runtime::queue_pressure`] exceeds `pressure_limit`). Shedding happens
+//! *before* any binding or scheduling work, so a busy server stays cheap to
+//! refuse; the connection stays open and the client may retry.
+//!
+//! ## Graceful shutdown
+//!
+//! [`ServerHandle::stop`] (wired to SIGTERM in the `dbs3-serve` binary, and
+//! to the [`Frame::Shutdown`] control frame here) drains rather than drops:
+//! queries already admitted run to completion and their responses are
+//! delivered; requests arriving after the stop get a typed
+//! [`ServeError::RemoteShutdown`] frame; once the drain grace expires the
+//! listener closes, session threads are joined, and the worker pool is
+//! retired via [`Runtime::shutdown`].
+
+use crate::error::{ServeError, ServeResult};
+use crate::wire::{Frame, QueryRequest, WireMetrics};
+use dbs3_engine::{EngineError, Runtime, Scheduler};
+use dbs3_lera::{CostParameters, ExtendedPlan};
+use dbs3_storage::Catalog;
+use parking_lot::Mutex;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a session thread keeps polling its socket between frames before
+/// rechecking the stop flag. Small enough that shutdown is responsive,
+/// large enough that idle connections cost almost nothing.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Knobs of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads in the shared execution pool.
+    pub workers: usize,
+    /// Admission limit: queries live at once before new ones are shed.
+    pub max_inflight: u64,
+    /// Optional backlog limit: shed when [`Runtime::queue_pressure`]
+    /// exceeds this many buffered activations, even under `max_inflight`
+    /// live queries. `None` disables the pressure gate.
+    pub pressure_limit: Option<u64>,
+    /// How long, after a stop request, session threads keep answering late
+    /// arrivals with typed shutdown errors before closing their sockets.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_inflight: 64,
+            pressure_limit: None,
+            drain_grace: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Counters reported when [`Server::run`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries admitted and answered (successfully or with an execution
+    /// error frame).
+    pub served: u64,
+    /// Queries shed with [`ServeError::ServerBusy`]. Explicitly zero when
+    /// no shedding happened — distinct from "not measured".
+    pub shed: u64,
+}
+
+/// State shared between the accept loop, session threads and handles.
+struct ServerState {
+    stop: AtomicBool,
+    /// When the stop was requested; the drain grace counts from here.
+    stop_at: Mutex<Option<Instant>>,
+    served: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl ServerState {
+    fn stop(&self) {
+        let mut at = self.stop_at.lock();
+        if at.is_none() {
+            *at = Some(Instant::now());
+        }
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn drain_expired(&self, grace: Duration) -> bool {
+        match *self.stop_at.lock() {
+            Some(at) => at.elapsed() >= grace,
+            None => false,
+        }
+    }
+}
+
+/// A handle for observing and stopping a running server from another thread
+/// (tests, the SIGTERM watcher, the in-process bench harness).
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop: drain admitted queries, answer late
+    /// arrivals with typed shutdown errors, then close. Idempotent.
+    pub fn stop(&self) {
+        self.state.stop();
+    }
+
+    /// Queries shed so far.
+    pub fn shed(&self) -> u64 {
+        self.state.shed.load(Ordering::SeqCst)
+    }
+
+    /// Queries served so far.
+    pub fn served(&self) -> u64 {
+        self.state.served.load(Ordering::SeqCst)
+    }
+}
+
+/// The server: a bound listener plus the shared catalog and worker pool.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    catalog: Arc<Catalog>,
+    runtime: Arc<Runtime>,
+    config: ServerConfig,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds a server to `addr` (use port 0 for an ephemeral port) and
+    /// spins up its worker pool. The listener is nonblocking so the accept
+    /// loop can watch the stop flag.
+    pub fn bind(
+        catalog: Catalog,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> ServeResult<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let runtime =
+            Runtime::new(config.workers).map_err(|e| ServeError::Remote(e.to_string()))?;
+        Ok(Server {
+            listener,
+            addr,
+            catalog: Arc::new(catalog),
+            runtime: Arc::new(runtime),
+            config,
+            state: Arc::new(ServerState {
+                stop: AtomicBool::new(false),
+                stop_at: Mutex::new(None),
+                served: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable stop/metrics handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop until a stop is requested, then drains: the
+    /// accept backlog is flushed into session threads (so clients that
+    /// connected just before the stop get typed shutdown errors instead of
+    /// TCP resets), every session thread is joined (each finishes its
+    /// in-flight query first), the worker pool is retired, and the
+    /// served/shed counters are returned.
+    pub fn run(self) -> ServeResult<ServerStats> {
+        let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let spawn_session = |stream: TcpStream, sessions: &mut Vec<_>| {
+            let catalog = Arc::clone(&self.catalog);
+            let runtime = Arc::clone(&self.runtime);
+            let state = Arc::clone(&self.state);
+            let config = self.config;
+            sessions.push(std::thread::spawn(move || {
+                // Session errors are per-connection by design; the thread
+                // ends, the server does not.
+                let _ = serve_connection(stream, &catalog, &runtime, &state, &config);
+            }));
+        };
+        while !self.state.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    spawn_session(stream, &mut sessions);
+                    // Reap finished sessions so a long-lived server does not
+                    // accumulate dead join handles.
+                    sessions.retain(|s| !s.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL.min(Duration::from_millis(20)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Flush connections already queued in the kernel backlog: they get
+        // a session thread (and typed shutdown errors) rather than a reset.
+        while let Ok((stream, _peer)) = self.listener.accept() {
+            spawn_session(stream, &mut sessions);
+        }
+        // Close the listener before draining so new connections are refused
+        // at the TCP level while admitted work completes.
+        drop(self.listener);
+        for session in sessions {
+            let _ = session.join();
+        }
+        self.runtime.shutdown();
+        Ok(ServerStats {
+            served: self.state.served.load(Ordering::SeqCst),
+            shed: self.state.shed.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// A blocking [`Read`] adapter over a read-timeout socket: retries timeouts
+/// so the frame codec sees an ordinary blocking stream, but reports EOF once
+/// the server's drain grace has expired — which the codec surfaces as a
+/// clean close between frames or [`ServeError::Truncated`] inside one.
+struct DrainAwareReader<'a> {
+    stream: &'a TcpStream,
+    state: &'a ServerState,
+    grace: Duration,
+}
+
+impl Read for DrainAwareReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.state.drain_expired(self.grace) {
+                        return Ok(0);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Serves one connection until the client disconnects or the drain grace
+/// expires. Never panics: every malformed input and every engine failure is
+/// converted into a typed error frame or a clean close.
+fn serve_connection(
+    stream: TcpStream,
+    catalog: &Catalog,
+    runtime: &Runtime,
+    state: &ServerState,
+    config: &ServerConfig,
+) -> ServeResult<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = DrainAwareReader {
+        stream: &stream,
+        state,
+        grace: config.drain_grace,
+    };
+    loop {
+        let frame = match Frame::read_from(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean close between frames: the client hung up (or the drain
+            // grace expired while idle).
+            Ok(None) => return Ok(()),
+            // A complete frame arrived but its payload does not decode; the
+            // stream is still frame-aligned, so answer typed and continue.
+            Err(e @ ServeError::Malformed(_)) => {
+                Frame::Error(e).write_to(&mut writer)?;
+                continue;
+            }
+            // Framing itself is damaged (oversized header, mid-frame cut,
+            // transport error): answer typed if possible, then close — the
+            // byte stream can no longer be trusted.
+            Err(e) => {
+                let _ = Frame::Error(e.clone()).write_to(&mut writer);
+                return Err(e);
+            }
+        };
+        match frame {
+            Frame::Shutdown => {
+                state.stop();
+                Frame::ShutdownAck.write_to(&mut writer)?;
+            }
+            Frame::Query(request) => {
+                if state.stopping() {
+                    Frame::Error(ServeError::RemoteShutdown).write_to(&mut writer)?;
+                    continue;
+                }
+                let live = runtime.live_queries() as u64;
+                let over_pressure = config
+                    .pressure_limit
+                    .is_some_and(|limit| runtime.queue_pressure() > limit);
+                if live >= config.max_inflight || over_pressure {
+                    state.shed.fetch_add(1, Ordering::SeqCst);
+                    Frame::Error(ServeError::ServerBusy {
+                        live,
+                        max_inflight: config.max_inflight,
+                    })
+                    .write_to(&mut writer)?;
+                    continue;
+                }
+                let response = execute(request, catalog, runtime);
+                state.served.fetch_add(1, Ordering::SeqCst);
+                match response {
+                    Ok((cardinalities, metrics)) => {
+                        for (name, rows) in cardinalities {
+                            Frame::Cardinality { name, rows }.write_to(&mut writer)?;
+                        }
+                        Frame::Metrics(metrics).write_to(&mut writer)?;
+                    }
+                    Err(e) => Frame::Error(e).write_to(&mut writer)?,
+                }
+            }
+            // Response frames have no business flowing client → server, but
+            // they decoded cleanly, so the stream stays usable.
+            other => {
+                Frame::Error(ServeError::Protocol(format!(
+                    "unexpected client frame {other:?}"
+                )))
+                .write_to(&mut writer)?;
+            }
+        }
+    }
+}
+
+/// Binds, schedules and runs one admitted query on the shared pool.
+fn execute(
+    request: QueryRequest,
+    catalog: &Catalog,
+    runtime: &Runtime,
+) -> ServeResult<(Vec<(String, u64)>, WireMetrics)> {
+    let QueryRequest {
+        plan,
+        mut options,
+        deadline_ms,
+    } = request;
+    // The wire protocol ships cardinalities, never tuples, so materialising
+    // results server-side would be pure allocation waste. Counting stores
+    // keep cardinalities exact either way.
+    options.discard_results = true;
+    let cost = CostParameters::default();
+    let extended = ExtendedPlan::from_plan(&plan, catalog, &cost)
+        .map_err(|e| ServeError::Remote(e.to_string()))?;
+    let schedule = Scheduler::build(&plan, &extended, &options)
+        .map_err(|e| ServeError::Remote(e.to_string()))?;
+    let mut handle = runtime
+        .submit_with(catalog, &plan, &schedule, &cost)
+        .map_err(|e| match e {
+            EngineError::RuntimeShutdown => ServeError::RemoteShutdown,
+            other => ServeError::Remote(other.to_string()),
+        })?;
+    let outcome = if deadline_ms > 0 {
+        match handle.wait_timeout(Duration::from_millis(deadline_ms)) {
+            Err(EngineError::WaitTimeout) => {
+                handle.cancel();
+                return Err(ServeError::DeadlineExceeded);
+            }
+            other => other,
+        }
+    } else {
+        handle.wait()
+    };
+    let outcome = outcome.map_err(|e| match e {
+        EngineError::RuntimeShutdown => ServeError::RemoteShutdown,
+        other => ServeError::Remote(other.to_string()),
+    })?;
+    let metrics = WireMetrics {
+        elapsed_us: outcome.metrics.elapsed.as_micros() as u64,
+        total_activations: outcome.metrics.total_activations(),
+        worst_imbalance: outcome.metrics.worst_imbalance(),
+        total_threads: outcome.metrics.total_threads as u64,
+    };
+    let cardinalities = outcome
+        .cardinalities
+        .into_iter()
+        .map(|(name, rows)| (name, rows as u64))
+        .collect();
+    Ok((cardinalities, metrics))
+}

@@ -252,6 +252,17 @@ impl QueryHandle {
         Ok(QueryOutcome::from_execution(self.inner.wait()?))
     }
 
+    /// Blocks for at most `timeout` waiting for the outcome. An elapsed
+    /// wait reports
+    /// [`EngineError::WaitTimeout`](dbs3_engine::EngineError::WaitTimeout)
+    /// and leaves the handle usable: the query keeps running, and the
+    /// caller may wait again or [`cancel`](Self::cancel).
+    pub fn wait_timeout(&mut self, timeout: std::time::Duration) -> Result<QueryOutcome> {
+        Ok(QueryOutcome::from_execution(
+            self.inner.wait_timeout(timeout)?,
+        ))
+    }
+
     /// Returns the outcome if the query already completed, without
     /// blocking. The first `Some` consumes the outcome; the handle is spent
     /// afterwards.

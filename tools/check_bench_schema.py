@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Schema check for dbs3 benchmark JSON documents.
+
+Usage:
+    python3 tools/check_bench_schema.py PATH [--mode full|serve-only]
+
+Modes:
+    full        (default) a complete `BENCH_engine.json`: engine tiers,
+                multi-query concurrency levels, and the serve tier at
+                1/8/64 clients.
+    serve-only  the standalone document `serve_bench --out` writes: just a
+                `serve` array with at least one row.
+
+The serve-tier rows are validated strictly in both modes: every row must
+carry all latency percentile keys (p50_ms/p95_ms/p99_ms) and an explicit
+`shed_requests` count — a row that omits them is rejected, because a
+missing shed count is not the same as a measured zero.
+"""
+
+import json
+import sys
+
+SERVE_KEYS = (
+    "scale",
+    "clients",
+    "queries_per_client",
+    "requests",
+    "ok",
+    "shed_requests",
+    "protocol_errors",
+    "workers",
+    "max_inflight",
+    "elapsed_s",
+    "queries_per_second",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+)
+
+SCALES = ("paper", "smoke", "scaled", "scaled_smoke")
+
+
+def fail(msg):
+    print(f"schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_serve_rows(rows, expect_client_levels=None):
+    if not isinstance(rows, list) or not rows:
+        fail("serve tier must be a non-empty array")
+    for row in rows:
+        missing = [k for k in SERVE_KEYS if k not in row]
+        if missing:
+            fail(f"serve row is missing keys {missing}: {row}")
+        if row["scale"] not in SCALES:
+            fail(f"serve row has unknown scale {row['scale']!r}")
+        for key in ("clients", "queries_per_client", "requests", "ok"):
+            if not isinstance(row[key], int) or row[key] < 0:
+                fail(f"serve row {key} must be a non-negative int: {row}")
+        # Explicit shed accounting: must be an integer, never null/absent.
+        if not isinstance(row["shed_requests"], int) or row["shed_requests"] < 0:
+            fail(f"serve row shed_requests must be an explicit count: {row}")
+        if row["protocol_errors"] != 0:
+            fail(f"serve row recorded protocol errors: {row}")
+        if row["requests"] != row["clients"] * row["queries_per_client"]:
+            fail(f"serve row requests != clients * queries_per_client: {row}")
+        if row["ok"] + row["shed_requests"] != row["requests"]:
+            fail(f"serve row ok + shed_requests != requests: {row}")
+        if row["ok"] > 0:
+            if not (0.0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]):
+                fail(f"serve row percentiles are not monotone: {row}")
+            if row["queries_per_second"] <= 0.0:
+                fail(f"serve row queries_per_second must be positive: {row}")
+    if expect_client_levels is not None:
+        levels = [row["clients"] for row in rows]
+        if levels != expect_client_levels:
+            fail(f"serve client levels {levels} != expected {expect_client_levels}")
+
+
+def check_full(doc):
+    if doc.get("schema_version") != 2:
+        fail(f"schema_version {doc.get('schema_version')!r} != 2")
+    if not isinstance(doc.get("host_cpus"), int) or doc["host_cpus"] < 1:
+        fail(f"host_cpus invalid: {doc.get('host_cpus')!r}")
+    tiers = doc.get("tiers")
+    if not isinstance(tiers, list) or len(tiers) != 2:
+        fail(f"expected 2 tiers, got {[t.get('scale') for t in tiers or []]}")
+    for tier in tiers:
+        if tier["scale"] not in SCALES:
+            fail(f"unknown tier scale {tier['scale']!r}")
+        if len(tier["runs"]) != 6:
+            fail(f"tier {tier['scale']} has {len(tier['runs'])} runs, expected 6")
+        shapes = {r["shape"] for r in tier["runs"]}
+        if {s["shape"] for s in tier["speedups"]} != shapes:
+            fail(f"tier {tier['scale']} speedup shapes do not match runs")
+        for s in tier["speedups"]:
+            if s["speedup_4t"] <= 0 or s["speedup_8t"] <= 0:
+                fail(f"non-positive speedup in tier {tier['scale']}: {s}")
+    concurrent = doc.get("concurrent")
+    # One entry per (tier, concurrency level): both tiers x 1/4/16.
+    if not isinstance(concurrent, list) or len(concurrent) != 6:
+        fail(f"expected 6 concurrent levels, got {len(concurrent or [])}")
+    by_scale = {}
+    for c in concurrent:
+        by_scale.setdefault(c["scale"], []).append(c["queries"])
+    if len(by_scale) != 2 or any(v != [1, 4, 16] for v in by_scale.values()):
+        fail(f"concurrent levels wrong: {by_scale}")
+    if "serve" not in doc:
+        fail("document has no serve tier")
+    check_serve_rows(doc["serve"], expect_client_levels=[1, 8, 64])
+
+
+def check_serve_only(doc):
+    if doc.get("schema_version") != 2:
+        fail(f"schema_version {doc.get('schema_version')!r} != 2")
+    if "serve" not in doc:
+        fail("document has no serve array")
+    check_serve_rows(doc["serve"])
+
+
+def main():
+    argv = sys.argv[1:]
+    mode = "full"
+    if "--mode" in argv:
+        i = argv.index("--mode")
+        try:
+            mode = argv[i + 1]
+        except IndexError:
+            fail("--mode expects a value")
+        del argv[i : i + 2]
+    if len(argv) != 1 or mode not in ("full", "serve-only"):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(argv[0]) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {argv[0]}: {e}")
+    if mode == "full":
+        check_full(doc)
+    else:
+        check_serve_only(doc)
+    print(f"{argv[0]}: schema OK ({mode})")
+
+
+if __name__ == "__main__":
+    main()
