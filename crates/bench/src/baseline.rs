@@ -210,7 +210,7 @@ pub fn to_json(
     reference: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(
         "  \"bench\": \"dbs3 engine baseline (threaded backend, hash join); \
          tuples_per_second counts logical activations across all pipeline \
@@ -414,6 +414,9 @@ mod tests {
             requests: 512,
             ok: 512,
             shed_requests: 0,
+            retried: 3,
+            deadline_exceeded: 0,
+            gave_up: 0,
             protocol_errors: 0,
             elapsed_s: 3.2,
             queries_per_second: 160.0,
@@ -427,8 +430,12 @@ mod tests {
         let json = to_json(&tiers, &[], &serve, None);
         assert!(json.contains("\"serve\": ["));
         assert!(json.contains("\"clients\": 64"));
-        // Shed counts are explicit: zero is a measurement, not an omission.
+        // Robustness counts are explicit: zero is a measurement, not an
+        // omission, and retries are recorded even when every request succeeds.
         assert!(json.contains("\"shed_requests\": 0"));
+        assert!(json.contains("\"retried\": 3"));
+        assert!(json.contains("\"deadline_exceeded\": 0"));
+        assert!(json.contains("\"gave_up\": 0"));
         assert!(json.contains("\"p50_ms\": 11.500"));
         assert!(json.contains("\"p95_ms\": 42.250"));
         assert!(json.contains("\"p99_ms\": 55.125"));

@@ -20,6 +20,7 @@
 
 use dbs3_bench::serve::{generate_traffic, serve_only_json, summarize};
 use dbs3_lera::{plans, JoinAlgorithm};
+use dbs3_serve::RetryPolicy;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 
@@ -136,6 +137,8 @@ fn main() -> ExitCode {
         args.clients,
         args.queries,
         args.threads,
+        0,
+        RetryPolicy::default(),
     );
     let run = summarize(
         args.scale,
@@ -146,11 +149,13 @@ fn main() -> ExitCode {
         &summary,
     );
     eprintln!(
-        "serve_bench: ok={}/{} shed={} protocol_errors={} q/s={:.1} \
-         p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+        "serve_bench: ok={}/{} retried={} deadline_exceeded={} gave_up={} \
+         protocol_errors={} q/s={:.1} p50={:.2}ms p95={:.2}ms p99={:.2}ms",
         run.ok,
         run.requests,
-        run.shed_requests,
+        run.retried,
+        run.deadline_exceeded,
+        run.gave_up,
         run.protocol_errors,
         run.queries_per_second,
         run.p50_ms,
@@ -167,10 +172,10 @@ fn main() -> ExitCode {
         eprintln!("serve_bench: wrote {path}");
     }
 
-    if run.protocol_errors > 0 || run.ok == 0 {
+    if run.protocol_errors > 0 || run.gave_up > 0 || run.ok == 0 {
         eprintln!(
-            "serve_bench: FAILED — {} protocol errors, {} ok",
-            run.protocol_errors, run.ok
+            "serve_bench: FAILED — {} protocol errors, {} given up, {} ok",
+            run.protocol_errors, run.gave_up, run.ok
         );
         return ExitCode::FAILURE;
     }

@@ -11,11 +11,21 @@
 //!
 //! Shed requests (typed `ServerBusy` refusals) are counted **explicitly**:
 //! a run that says `shed_requests: 0` measured zero sheds, which is not the
-//! same as not having measured admission control at all.
+//! same as not having measured admission control at all. The same
+//! explicit-zero discipline applies to the robustness counters: `retried`,
+//! `deadline_exceeded` and `gave_up` are always present, and the outcome
+//! accounting is total — `ok + deadline_exceeded + gave_up +
+//! protocol_errors == requests` on every row.
+//!
+//! Traffic flows through the self-healing [`ResilientClient`], so a shed
+//! or dropped request is retried (with seeded-jitter backoff and an
+//! idempotent request id) before it counts as anything; only a request
+//! whose retry budget runs dry becomes `gave_up`.
 
 use crate::{ExperimentScale, JoinDatabase};
+use dbs3_engine::SchedulerOptions;
 use dbs3_lera::{plans, JoinAlgorithm, Plan};
-use dbs3_serve::{RemoteSession, ServeError, Server, ServerConfig, ServerStats};
+use dbs3_serve::{ResilientClient, RetryPolicy, ServeError, Server, ServerConfig, ServerStats};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -46,11 +56,21 @@ pub struct ServeRun {
     pub requests: usize,
     /// Requests answered with a correct cardinality.
     pub ok: usize,
-    /// Requests shed with a typed `ServerBusy` frame. Explicitly zero when
-    /// no shedding happened.
+    /// Requests shed with a typed `ServerBusy` frame (server-side count;
+    /// each shed was then retried client-side). Explicitly zero when no
+    /// shedding happened.
     pub shed_requests: u64,
-    /// Responses that were wrong in any way: transport errors, malformed
-    /// frames, unexpected error frames, cardinality mismatches.
+    /// Extra client attempts beyond the first, across all requests —
+    /// reconnects after drops plus backoff retries after sheds.
+    pub retried: u64,
+    /// Requests whose server-side deadline elapsed (the query was
+    /// cancelled and its slot freed). Explicitly zero when none did.
+    pub deadline_exceeded: usize,
+    /// Requests abandoned after the retry budget ran dry on a transient
+    /// error. Explicitly zero when every request got a definitive answer.
+    pub gave_up: usize,
+    /// Responses that were wrong in any way: malformed frames, unexpected
+    /// error frames, cardinality mismatches.
     pub protocol_errors: usize,
     /// Wall-clock duration of the whole level.
     pub elapsed_s: f64,
@@ -80,6 +100,7 @@ impl ServeRun {
         format!(
             "{{\"scale\": \"{}\", \"clients\": {}, \"queries_per_client\": {}, \
              \"requests\": {}, \"ok\": {}, \"shed_requests\": {}, \
+             \"retried\": {}, \"deadline_exceeded\": {}, \"gave_up\": {}, \
              \"protocol_errors\": {}, \"workers\": {}, \"max_inflight\": {}, \
              \"elapsed_s\": {:.6}, \"queries_per_second\": {:.2}, \
              \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}",
@@ -89,6 +110,9 @@ impl ServeRun {
             self.requests,
             self.ok,
             self.shed_requests,
+            self.retried,
+            self.deadline_exceeded,
+            self.gave_up,
             self.protocol_errors,
             self.workers,
             self.max_inflight,
@@ -105,7 +129,7 @@ impl ServeRun {
 /// the same `"serve"` array `BENCH_engine.json` carries, without the
 /// engine tiers.
 pub fn serve_only_json(runs: &[ServeRun]) -> String {
-    let mut out = String::from("{\n  \"schema_version\": 2,\n");
+    let mut out = String::from("{\n  \"schema_version\": 3,\n");
     out.push_str("  \"bench\": \"dbs3-serve closed-loop traffic generator\",\n");
     out.push_str("  \"serve\": [\n");
     for (i, run) in runs.iter().enumerate() {
@@ -133,17 +157,26 @@ pub struct TrafficSummary {
     pub latencies_ms: Vec<f64>,
     /// Successful requests.
     pub ok: usize,
-    /// Requests shed with `ServerBusy` (counted client-side).
-    pub shed: u64,
+    /// Extra attempts beyond the first across all clients (retries after
+    /// drops and sheds, including the implied reconnects).
+    pub retried: u64,
+    /// Requests cancelled by their server-side deadline.
+    pub deadline_exceeded: usize,
+    /// Requests abandoned after the retry budget ran dry.
+    pub gave_up: usize,
     /// Everything else that went wrong.
     pub protocol_errors: usize,
     /// Wall-clock time of the level.
     pub elapsed_s: f64,
 }
 
-/// Runs `clients` closed-loop client threads against the server at `addr`,
-/// each issuing `queries_per_client` requests of `plan`, and checks every
-/// successful response against `expected_cardinality`.
+/// Runs `clients` self-healing closed-loop client threads against the
+/// server at `addr`, each issuing `queries_per_client` requests of `plan`,
+/// and checks every successful response against `expected_cardinality`.
+/// Shed and dropped requests are retried under `policy` (each client gets
+/// `policy.seed + its index` so jitter schedules differ); `deadline_ms`
+/// (0 = none) rides on every request.
+#[allow(clippy::too_many_arguments)]
 pub fn generate_traffic(
     addr: SocketAddr,
     plan: &Plan,
@@ -151,21 +184,33 @@ pub fn generate_traffic(
     clients: usize,
     queries_per_client: usize,
     query_threads: usize,
+    deadline_ms: u64,
+    policy: RetryPolicy,
 ) -> TrafficSummary {
     let started = Instant::now();
     let workers: Vec<_> = (0..clients)
-        .map(|_| {
+        .map(|i| {
             let plan = plan.clone();
             std::thread::spawn(move || {
                 let mut latencies_ms = Vec::with_capacity(queries_per_client);
-                let (mut ok, mut shed, mut protocol_errors) = (0usize, 0u64, 0usize);
-                let mut session = match RemoteSession::connect(addr) {
-                    Ok(session) => session,
-                    Err(_) => return (latencies_ms, ok, shed, queries_per_client),
+                let (mut ok, mut deadline_exceeded, mut gave_up, mut protocol_errors) =
+                    (0usize, 0usize, 0usize, 0usize);
+                let options = SchedulerOptions::default().with_total_threads(query_threads);
+                let mut client = match ResilientClient::connect(
+                    addr,
+                    RetryPolicy {
+                        seed: policy.seed + i as u64,
+                        ..policy
+                    },
+                ) {
+                    Ok(client) => client,
+                    Err(_) => {
+                        return (latencies_ms, 0, 0, 0, queries_per_client, 0u64);
+                    }
                 };
                 for _ in 0..queries_per_client {
                     let sent = Instant::now();
-                    match session.query(&plan).threads(query_threads).run() {
+                    match client.execute(&plan, &options, deadline_ms) {
                         Ok(outcome) => {
                             if outcome.result_cardinality() == Some(expected_cardinality) {
                                 latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
@@ -174,29 +219,45 @@ pub fn generate_traffic(
                                 protocol_errors += 1;
                             }
                         }
-                        Err(ServeError::ServerBusy { .. }) => shed += 1,
+                        Err(ServeError::DeadlineExceeded) => deadline_exceeded += 1,
+                        // A retryable error surfacing here means the budget
+                        // ran dry — the request was given up, not botched.
+                        Err(e) if e.is_retryable() => gave_up += 1,
                         Err(_) => protocol_errors += 1,
                     }
                 }
-                (latencies_ms, ok, shed, protocol_errors)
+                let retried = client.stats().retries;
+                (
+                    latencies_ms,
+                    ok,
+                    deadline_exceeded,
+                    gave_up,
+                    protocol_errors,
+                    retried,
+                )
             })
         })
         .collect();
 
     let mut latencies_ms = Vec::new();
-    let (mut ok, mut shed, mut protocol_errors) = (0usize, 0u64, 0usize);
+    let (mut ok, mut deadline_exceeded, mut gave_up, mut protocol_errors) = (0, 0, 0, 0);
+    let mut retried = 0u64;
     for worker in workers {
-        let (lat, o, s, p) = worker.join().expect("client thread");
+        let (lat, o, d, g, p, r) = worker.join().expect("client thread");
         latencies_ms.extend(lat);
         ok += o;
-        shed += s;
+        deadline_exceeded += d;
+        gave_up += g;
         protocol_errors += p;
+        retried += r;
     }
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
     TrafficSummary {
         latencies_ms,
         ok,
-        shed,
+        retried,
+        deadline_exceeded,
+        gave_up,
         protocol_errors,
         elapsed_s: started.elapsed().as_secs_f64(),
     }
@@ -217,7 +278,13 @@ pub fn summarize(
         queries_per_client,
         requests: clients * queries_per_client,
         ok: summary.ok,
-        shed_requests: summary.shed,
+        // The server's counter is authoritative for sheds (a shed request
+        // is retried client-side, so clients cannot count it as an
+        // outcome); the caller overwrites this from `ServerStats`.
+        shed_requests: 0,
+        retried: summary.retried,
+        deadline_exceeded: summary.deadline_exceeded,
+        gave_up: summary.gave_up,
         protocol_errors: summary.protocol_errors,
         elapsed_s: summary.elapsed_s,
         queries_per_second: if summary.elapsed_s > 0.0 {
@@ -263,7 +330,16 @@ pub fn run_serve_baseline(
         let handle = server.handle();
         let runner = std::thread::spawn(move || server.run().expect("serve-bench server run"));
 
-        let summary = generate_traffic(addr, &plan, expected, clients, queries_per_client, 4);
+        let summary = generate_traffic(
+            addr,
+            &plan,
+            expected,
+            clients,
+            queries_per_client,
+            4,
+            0,
+            RetryPolicy::default(),
+        );
 
         handle.stop();
         let stats: ServerStats = runner.join().expect("server thread");
@@ -275,11 +351,10 @@ pub fn run_serve_baseline(
             SERVE_MAX_INFLIGHT,
             &summary,
         );
-        // The server's own counter is authoritative; a disagreement with
-        // the client-side count is itself a protocol error.
-        if stats.shed != summary.shed {
-            run.protocol_errors += 1;
-        }
+        // The server's counter is authoritative for sheds: a shed request
+        // is retried client-side, so it is a retry *cause* here, not an
+        // outcome. (`deadline_exceeded`/`gave_up` stay client-side — they
+        // are outcomes, and the row's accounting must stay total.)
         run.shed_requests = stats.shed;
         runs.push(run);
     }
@@ -312,6 +387,14 @@ mod tests {
             assert_eq!(run.protocol_errors, 0, "{run:?}");
             assert_eq!(run.ok, run.requests, "{run:?}");
             assert_eq!(run.shed_requests, 0, "{run:?}");
+            // Explicit zeros, and the outcome accounting is total.
+            assert_eq!(run.deadline_exceeded, 0, "{run:?}");
+            assert_eq!(run.gave_up, 0, "{run:?}");
+            assert_eq!(
+                run.ok + run.deadline_exceeded + run.gave_up + run.protocol_errors,
+                run.requests,
+                "{run:?}"
+            );
             assert!(run.p50_ms > 0.0 && run.p50_ms <= run.p95_ms && run.p95_ms <= run.p99_ms);
             assert!(run.queries_per_second > 0.0);
         }

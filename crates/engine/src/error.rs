@@ -34,6 +34,16 @@ pub enum EngineError {
     /// elapsed before the query completed. The query keeps running and the
     /// handle stays usable (wait again, or cancel).
     WaitTimeout,
+    /// The query's deadline elapsed and the query was cancelled (by
+    /// [`QueryHandle::wait_timeout_or_cancel`](crate::runtime::QueryHandle::wait_timeout_or_cancel)).
+    /// Unlike [`EngineError::WaitTimeout`] the query is no longer running.
+    DeadlineExceeded { query: u64 },
+    /// The runtime watchdog saw no activation progress on the query for
+    /// longer than its stall interval and aborted it.
+    QueryStuck { query: u64, stalled_for_ms: u64 },
+    /// An installed [`FaultPlan`](crate::faults::FaultPlan) fired an
+    /// `error`/`drop` action at the named fault point.
+    FaultInjected { point: String },
 }
 
 impl fmt::Display for EngineError {
@@ -63,6 +73,21 @@ impl fmt::Display for EngineError {
             }
             EngineError::WaitTimeout => {
                 write!(f, "timed out waiting for the query to complete")
+            }
+            EngineError::DeadlineExceeded { query } => {
+                write!(f, "query {query} exceeded its deadline and was cancelled")
+            }
+            EngineError::QueryStuck {
+                query,
+                stalled_for_ms,
+            } => {
+                write!(
+                    f,
+                    "query {query} made no progress for {stalled_for_ms} ms and was aborted by the watchdog"
+                )
+            }
+            EngineError::FaultInjected { point } => {
+                write!(f, "injected fault fired at `{point}`")
             }
         }
     }
@@ -101,6 +126,20 @@ mod tests {
         assert!(EngineError::RuntimeShutdown.to_string().contains("shut"));
         assert!(EngineError::OutcomeTaken.to_string().contains("taken"));
         assert!(EngineError::WaitTimeout.to_string().contains("timed out"));
+        assert!(EngineError::DeadlineExceeded { query: 3 }
+            .to_string()
+            .contains("deadline"));
+        assert!(EngineError::QueryStuck {
+            query: 9,
+            stalled_for_ms: 250
+        }
+        .to_string()
+        .contains("250"));
+        assert!(EngineError::FaultInjected {
+            point: "serve.write".into()
+        }
+        .to_string()
+        .contains("serve.write"));
     }
 
     #[test]

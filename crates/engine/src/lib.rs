@@ -40,6 +40,7 @@
 pub mod activation;
 pub mod error;
 pub mod executor;
+pub mod faults;
 pub mod metrics;
 pub mod operators;
 pub mod queue;
@@ -51,6 +52,7 @@ pub mod sync;
 pub use activation::{Activation, TupleBatch};
 pub use error::EngineError;
 pub use executor::{ExecutionOutcome, Executor};
+pub use faults::{FaultAction, FaultGuard, FaultPlan, FaultRule, FaultTrigger};
 pub use metrics::{ExecutionMetrics, OperationMetrics};
 pub use queue::{ActivationQueue, TryPushError};
 pub use runtime::{QueryHandle, QueryId, Runtime};

@@ -173,6 +173,14 @@ impl ActivationQueue {
     /// handed back in the [`TryPushError`] so no tuple is ever lost. Empty
     /// data batches are accepted and dropped (no work).
     pub fn try_push(&self, activation: Activation) -> std::result::Result<(), TryPushError> {
+        match crate::faults::hit(crate::faults::points::QUEUE_PUSH) {
+            Some(crate::faults::FaultAction::Delay(d)) => std::thread::sleep(d),
+            // `error`/`drop` escalate to a panic: silently losing an
+            // activation would corrupt results, while the panic is contained
+            // by the worker's catch_unwind into a typed `WorkerPanicked`.
+            Some(_) => panic!("injected fault at {}", crate::faults::points::QUEUE_PUSH),
+            None => {}
+        }
         let weight = activation.queue_weight();
         if weight == 0 {
             return Ok(());

@@ -92,6 +92,7 @@
 use crate::activation::{Activation, TupleBatch};
 use crate::error::EngineError;
 use crate::executor::ExecutionOutcome;
+use crate::faults::{self, FaultAction};
 use crate::metrics::{ExecutionMetrics, OperationMetrics, ThreadMetrics};
 use crate::operators::{
     BoundOperator, FilterOperator, PipelinedJoinOperator, StoreOperator, TransmitOperator,
@@ -207,6 +208,10 @@ struct QueryState {
     cancelled: AtomicBool,
     /// Operations not yet finished; the query completes when this hits 0.
     ops_remaining: AtomicUsize,
+    /// Monotone activation-progress counter: bumped every time a worker
+    /// processes a batch for this query. The watchdog compares successive
+    /// readings to detect wedged queries; nothing else reads it.
+    progress: AtomicU64,
     metrics: MetricsSlots,
     cell: CompletionCell,
 }
@@ -372,6 +377,28 @@ impl Runtime {
     /// created once, park while no query is live, and are joined when the
     /// runtime is dropped.
     pub fn new(pool_threads: usize) -> Result<Self> {
+        Runtime::build(pool_threads, None)
+    }
+
+    /// Like [`Runtime::new`], plus a watchdog thread that aborts any query
+    /// making no activation progress for `stall_after` with a typed
+    /// [`EngineError::QueryStuck`].
+    ///
+    /// The watchdog is a liveness heuristic, not an oracle: on a pool
+    /// saturated by *other* queries for longer than `stall_after`, a starved
+    /// but healthy query is indistinguishable from a wedged one and will be
+    /// aborted too. Pick `stall_after` well above the expected worst-case
+    /// scheduling delay (servers typically use seconds).
+    pub fn with_watchdog(pool_threads: usize, stall_after: Duration) -> Result<Self> {
+        if stall_after.is_zero() {
+            return Err(EngineError::InvalidOptions(
+                "watchdog stall interval must be positive".to_string(),
+            ));
+        }
+        Runtime::build(pool_threads, Some(stall_after))
+    }
+
+    fn build(pool_threads: usize, stall_after: Option<Duration>) -> Result<Self> {
         if pool_threads == 0 {
             return Err(EngineError::InvalidOptions(
                 "runtime pool must have at least 1 thread".to_string(),
@@ -385,7 +412,7 @@ impl Runtime {
             shutdown: AtomicBool::new(false),
             idle: IdleParking::new(),
         });
-        let workers = (0..pool_threads)
+        let mut workers: Vec<JoinHandle<()>> = (0..pool_threads)
             .map(|worker| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -394,6 +421,15 @@ impl Runtime {
                     .expect("spawning a runtime worker thread")
             })
             .collect();
+        if let Some(stall_after) = stall_after {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("dbs3-watchdog".to_string())
+                    .spawn(move || watchdog_loop(&inner, stall_after))
+                    .expect("spawning the runtime watchdog thread"),
+            );
+        }
         Ok(Runtime {
             inner,
             workers: Mutex::new(workers),
@@ -481,6 +517,18 @@ impl Runtime {
     ) -> Result<QueryHandle> {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(EngineError::RuntimeShutdown);
+        }
+        match faults::hit(faults::points::RUNTIME_SUBMIT) {
+            Some(FaultAction::Error) | Some(FaultAction::Drop) => {
+                return Err(EngineError::FaultInjected {
+                    point: faults::points::RUNTIME_SUBMIT.to_string(),
+                })
+            }
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Panic) => {
+                panic!("injected fault at {}", faults::points::RUNTIME_SUBMIT)
+            }
+            None => {}
         }
         let extended = ExtendedPlan::from_plan(plan, catalog, cost_params)?;
         schedule.validate(plan)?;
@@ -646,6 +694,7 @@ impl Runtime {
             started: Instant::now(),
             cancelled: AtomicBool::new(false),
             ops_remaining,
+            progress: AtomicU64::new(0),
             metrics,
             cell: CompletionCell {
                 outcome: Mutex::new(None),
@@ -796,6 +845,33 @@ impl QueryHandle {
                 return Err(EngineError::WaitTimeout);
             }
             self.query.cell.done.wait_for(&mut slot, deadline - now);
+        }
+    }
+
+    /// Like [`QueryHandle::wait_timeout`], but a timeout **cancels the
+    /// query** instead of leaving it running: its queues are closed and
+    /// drained, the admission slot ([`Runtime::live_queries`]) is released
+    /// immediately, and the typed [`EngineError::DeadlineExceeded`] is
+    /// returned. This is the deadline primitive a server wants —
+    /// `wait_timeout` alone leaks the timed-out query, which keeps burning
+    /// workers and holding its slot until it finishes naturally.
+    ///
+    /// The outcome is always consumed, on success and on timeout alike; if
+    /// the query completes in the race window between the timeout and the
+    /// cancellation, the completed outcome wins and is returned.
+    pub fn wait_timeout_or_cancel(&mut self, timeout: Duration) -> Result<ExecutionOutcome> {
+        match self.wait_timeout(timeout) {
+            Err(EngineError::WaitTimeout) => {
+                let error = EngineError::DeadlineExceeded {
+                    query: self.query.id.0,
+                };
+                abort_query(&self.inner, &self.query, error.clone());
+                self.taken = true;
+                // abort_query seals an outcome unless a natural completion
+                // won the race — either way one is there to take.
+                self.query.cell.outcome.lock().take().unwrap_or(Err(error))
+            }
+            other => other,
         }
     }
 
@@ -967,6 +1043,62 @@ fn worker_loop(inner: &Arc<RuntimeInner>, worker: usize) {
     }
 }
 
+/// The body of the optional watchdog thread (see [`Runtime::with_watchdog`]):
+/// samples every live query's progress counter a few times per stall
+/// interval and aborts queries whose counter has not moved for `stall_after`
+/// with [`EngineError::QueryStuck`]. Aborting seals the outcome and frees
+/// the admission slot, so a waiter blocked on the handle gets the typed
+/// error instead of hanging forever behind a wedged worker.
+fn watchdog_loop(inner: &Arc<RuntimeInner>, stall_after: Duration) {
+    let poll = (stall_after / 4)
+        .max(Duration::from_millis(10))
+        .min(Duration::from_millis(250));
+    // Last observed (progress, time-of-change) per query id.
+    let mut seen: BTreeMap<u64, (u64, Instant)> = BTreeMap::new();
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(poll);
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let live: Vec<Arc<QueryState>> = inner.queries.lock().clone();
+        let now = Instant::now();
+        let mut alive: Vec<u64> = Vec::with_capacity(live.len());
+        for query in &live {
+            let id = query.id.0;
+            alive.push(id);
+            let progress = query.progress.load(Ordering::SeqCst);
+            let entry = seen.entry(id).or_insert((progress, now));
+            if entry.0 != progress {
+                *entry = (progress, now);
+                continue;
+            }
+            let stalled = now.duration_since(entry.1);
+            if stalled >= stall_after {
+                abort_query(
+                    inner,
+                    query,
+                    EngineError::QueryStuck {
+                        query: id,
+                        stalled_for_ms: stalled.as_millis() as u64,
+                    },
+                );
+            }
+        }
+        seen.retain(|id, _| alive.contains(id));
+    }
+}
+
+/// What the guarded section of [`try_process_op`] produced: real work (or
+/// an empty probe), or an injected `error`/`drop` fault asking for a typed
+/// failure.
+enum Processed {
+    Worked(bool),
+    Fault,
+}
+
 /// Attempts to pop and process one batch of `op`'s activations. Returns
 /// whether any work was done.
 ///
@@ -974,7 +1106,9 @@ fn worker_loop(inner: &Arc<RuntimeInner>, worker: usize) {
 /// kill the pool worker nor leave the in-flight guard elevated forever
 /// (which would hang every waiter) — instead the query is aborted with the
 /// typed [`EngineError::WorkerPanicked`] the scoped-thread executor used to
-/// produce, and the pool keeps serving other queries.
+/// produce, and the pool keeps serving other queries. The
+/// `engine.worker.process` fault point sits inside the guarded section, so
+/// injected panics exercise exactly this containment path.
 fn try_process_op(
     inner: &Arc<RuntimeInner>,
     query: &Arc<QueryState>,
@@ -991,10 +1125,20 @@ fn try_process_op(
     // while tuples are still being processed.
     op.inflight.fetch_add(1, Ordering::SeqCst);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match faults::hit(faults::points::WORKER_PROCESS) {
+            Some(FaultAction::Panic) => panic!(
+                "injected fault at {} in `{}`",
+                faults::points::WORKER_PROCESS,
+                op.name
+            ),
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Error) | Some(FaultAction::Drop) => return Processed::Fault,
+            None => {}
+        }
         match select_and_pop(op, inner.pool_threads, ctx) {
             Some((queue_index, batch)) => {
                 process_batch(inner, query, op_index, queue_index, batch, ctx.id);
-                true
+                Processed::Worked(true)
             }
             None => {
                 // The pending hint said there was work but every queue
@@ -1002,15 +1146,28 @@ fn try_process_op(
                 let mut slot = query.metrics[op_index][ctx.id].lock();
                 slot.thread = ctx.id;
                 slot.idle_polls += 1;
-                false
+                Processed::Worked(false)
             }
         }
     }));
-    if op.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
-        try_finish_op(inner, query, op_index);
-    }
-    match outcome {
-        Ok(did_work) => did_work,
+    // Seal the typed failure BEFORE dropping the in-flight guard: a batch
+    // lost to the unwind mid-processing must never be papered over by a
+    // sibling worker's termination accounting cascading to finalize_query
+    // and sealing a *partial* Ok. Aborting first wins the first-writer race
+    // on the completion cell, so the later Ok (if any) is discarded.
+    match &outcome {
+        Ok(Processed::Worked(_)) => {}
+        Ok(Processed::Fault) => {
+            // An installed fault rule asked for a typed failure at this
+            // point; the batch was never popped, so aborting loses nothing.
+            abort_query(
+                inner,
+                query,
+                EngineError::FaultInjected {
+                    point: faults::points::WORKER_PROCESS.to_string(),
+                },
+            );
+        }
         Err(_) => {
             // Nested help_drain guards may have been skipped by the unwind,
             // leaving other operations' inflight counts elevated — harmless,
@@ -1023,8 +1180,19 @@ fn try_process_op(
                     operation: op.name.clone(),
                 },
             );
-            true
         }
+    }
+    if op.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
+        try_finish_op(inner, query, op_index);
+    }
+    match outcome {
+        Ok(Processed::Worked(did_work)) => {
+            if did_work {
+                query.progress.fetch_add(1, Ordering::Relaxed);
+            }
+            did_work
+        }
+        Ok(Processed::Fault) | Err(_) => true,
     }
 }
 
@@ -1166,8 +1334,6 @@ fn process_batch(
         // Metrics stay in the paper's per-tuple model: a data activation
         // counts one logical activation per batched tuple.
         logical += activation.logical_len() as u64;
-        #[cfg(test)]
-        panic_injection::maybe_panic(&op.name);
         let out = op.operator.process(queue_index, activation);
         tuples_out += out.len() as u64;
         let Some(link) = &op.consumer else { continue };
@@ -1419,21 +1585,6 @@ fn finalize_query(inner: &Arc<RuntimeInner>, query: &Arc<QueryState>) {
     }));
 }
 
-/// Test-only fault injection: no public operator can be made to panic with
-/// a valid plan, so the panic-containment path (worker survives, query
-/// fails with [`EngineError::WorkerPanicked`]) is exercised by panicking on
-/// operations whose name carries this marker.
-#[cfg(test)]
-pub(crate) mod panic_injection {
-    pub(crate) const MARKER: &str = "PanicTarget";
-
-    pub(crate) fn maybe_panic(op_name: &str) {
-        if op_name.contains(MARKER) {
-            panic!("injected operator panic in {op_name}");
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1646,39 +1797,11 @@ mod tests {
         assert_eq!(outcome.metrics.operations.len(), 3);
     }
 
-    #[test]
-    fn operator_panic_fails_the_query_typed_and_keeps_the_pool() {
-        use dbs3_lera::Predicate;
-        let gen = WisconsinGenerator::new();
-        let rel = gen
-            .generate(&WisconsinConfig::narrow(panic_injection::MARKER, 500))
-            .unwrap();
-        let spec = PartitionSpec::on("unique1", 4, 2);
-        let mut cat = Catalog::new();
-        cat.register(PartitionedRelation::from_relation(&rel, spec).unwrap())
-            .unwrap();
-        let plan = plans::selection(panic_injection::MARKER, Predicate::one_in("ten", 10), "Out");
-        let schedule = schedule_for(&plan, &cat, 2);
-        let runtime = Runtime::new(2).unwrap();
-        match runtime.submit(&cat, &plan, &schedule).unwrap().wait() {
-            Err(EngineError::WorkerPanicked { operation }) => {
-                assert!(operation.contains(panic_injection::MARKER))
-            }
-            other => panic!("expected WorkerPanicked, got {other:?}"),
-        }
-        // The panic neither killed a worker nor wedged the pool: a healthy
-        // query on the same runtime completes normally.
-        let (cat, a_ref, b_ref) = build_catalog(400, 40, 4);
-        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
-        let schedule = schedule_for(&plan, &cat, 2);
-        let outcome = runtime
-            .submit(&cat, &plan, &schedule)
-            .unwrap()
-            .wait()
-            .unwrap();
-        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
-        assert_eq!(outcome.results["Result"].len(), expected.len());
-    }
+    // Panic containment (worker survives, typed `WorkerPanicked`) is pinned
+    // in `tests/faults.rs` on the fault registry: installing a process-wide
+    // fault plan inside this parallel unit-test binary would poison
+    // unrelated tests, so every fault-injecting test lives in dedicated
+    // integration-test binaries.
 
     #[test]
     fn zero_thread_pool_is_rejected() {
@@ -1760,6 +1883,10 @@ mod tests {
             Err(EngineError::WaitTimeout) => {}
             other => panic!("expected WaitTimeout, got {other:?}"),
         }
+        // Documented contract: `wait_timeout` does NOT stop the query — it
+        // keeps running (and keeps holding its admission slot). A server
+        // enforcing deadlines must use `wait_timeout_or_cancel` instead.
+        assert_eq!(runtime.live_queries(), 1);
         // The handle survives the timeout: a blocking wait still gets the
         // real outcome.
         let outcome = handle.wait().unwrap();
@@ -1780,6 +1907,63 @@ mod tests {
             Err(EngineError::OutcomeTaken) => {}
             other => panic!("expected OutcomeTaken, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn wait_timeout_or_cancel_frees_the_admission_slot() {
+        let (cat, _, _) = build_catalog(20_000, 2_000, 4);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::NestedLoop);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let mut handle = runtime.submit(&cat, &plan, &schedule).unwrap();
+        match handle.wait_timeout_or_cancel(Duration::ZERO) {
+            Err(EngineError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // Unlike plain `wait_timeout`, the query is gone: the registry slot
+        // is released the moment the outcome is sealed, even though a
+        // worker may still be mid-batch on the cancelled work.
+        assert_eq!(runtime.live_queries(), 0);
+        // The outcome was consumed by the cancellation.
+        assert!(handle.try_outcome().is_none());
+    }
+
+    #[test]
+    fn wait_timeout_or_cancel_returns_the_outcome_when_in_time() {
+        let (cat, _, _) = build_catalog(400, 40, 4);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::new(2).unwrap();
+        let mut handle = runtime.submit(&cat, &plan, &schedule).unwrap();
+        let outcome = handle
+            .wait_timeout_or_cancel(Duration::from_secs(60))
+            .unwrap();
+        assert!(!outcome.cardinalities.is_empty());
+    }
+
+    #[test]
+    fn watchdog_leaves_healthy_queries_alone() {
+        let (cat, a_ref, b_ref) = build_catalog(800, 80, 8);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let schedule = schedule_for(&plan, &cat, 2);
+        let runtime = Runtime::with_watchdog(2, Duration::from_secs(30)).unwrap();
+        let outcome = runtime
+            .submit(&cat, &plan, &schedule)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        assert_eq!(outcome.results["Result"].len(), expected.len());
+        // Shutdown joins the watchdog thread along with the workers.
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn zero_watchdog_interval_is_rejected() {
+        assert!(matches!(
+            Runtime::with_watchdog(2, Duration::ZERO),
+            Err(EngineError::InvalidOptions(_))
+        ));
     }
 
     #[test]

@@ -7,8 +7,17 @@
 //!
 //! ```text
 //! dbs3-serve [--port N] [--workers N] [--max-inflight N] [--scale paper|smoke]
+//!            [--stall-after-ms N] [--fault-seed N] [--fault POINT:TRIGGER:ACTION]...
 //! ```
+//!
+//! `--fault` installs a rule in the deterministic fault registry (repeat
+//! the flag for several rules); the grammar is
+//! `POINT:TRIGGER:ACTION` with `TRIGGER ∈ nth=N | every=K | p=F` and
+//! `ACTION ∈ panic | error | drop | delay=MS`, e.g.
+//! `--fault serve.write:p=0.1:drop --fault-seed 7`. `--stall-after-ms`
+//! arms the runtime watchdog against wedged queries.
 
+use dbs3_engine::FaultPlan;
 use dbs3_serve::{Server, ServerConfig};
 use dbs3_storage::{
     Catalog, PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
@@ -45,6 +54,9 @@ struct Args {
     workers: usize,
     max_inflight: u64,
     scale: Scale,
+    stall_after: Option<Duration>,
+    fault_seed: u64,
+    fault_specs: Vec<String>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -59,6 +71,9 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         max_inflight: 64,
         scale: Scale::Smoke,
+        stall_after: None,
+        fault_seed: 0,
+        fault_specs: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -86,10 +101,23 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--scale: unknown scale {other:?}")),
                 };
             }
+            "--stall-after-ms" => {
+                let ms: u64 = value("--stall-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("--stall-after-ms: {e}"))?;
+                args.stall_after = Some(Duration::from_millis(ms));
+            }
+            "--fault-seed" => {
+                args.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+            }
+            "--fault" => args.fault_specs.push(value("--fault")?),
             "--help" | "-h" => {
                 println!(
                     "usage: dbs3-serve [--port N] [--workers N] [--max-inflight N] \
-                     [--scale paper|smoke]"
+                     [--scale paper|smoke] [--stall-after-ms N] [--fault-seed N] \
+                     [--fault POINT:TRIGGER:ACTION]..."
                 );
                 std::process::exit(0);
             }
@@ -135,6 +163,29 @@ fn main() -> ExitCode {
     };
     install_signal_handlers();
 
+    // Install the fault plan (if any) before the server exists, and keep
+    // the guard alive for the whole run: dropping it disarms the registry.
+    let _fault_guard = if args.fault_specs.is_empty() {
+        None
+    } else {
+        let mut plan = FaultPlan::new(args.fault_seed);
+        for spec in &args.fault_specs {
+            match FaultPlan::parse_rule(spec) {
+                Ok(rule) => plan.rules.push(rule),
+                Err(e) => {
+                    eprintln!("dbs3-serve: --fault {spec:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        eprintln!(
+            "dbs3-serve: fault injection armed ({} rules, seed {})",
+            args.fault_specs.len(),
+            args.fault_seed
+        );
+        Some(plan.install())
+    };
+
     eprintln!(
         "dbs3-serve: loading {} catalog...",
         if args.scale == Scale::Paper {
@@ -147,6 +198,7 @@ fn main() -> ExitCode {
     let config = ServerConfig {
         workers: args.workers,
         max_inflight: args.max_inflight,
+        stall_after: args.stall_after,
         ..ServerConfig::default()
     };
     let server = match Server::bind(catalog, ("0.0.0.0", args.port), config) {
@@ -177,8 +229,9 @@ fn main() -> ExitCode {
     match server.run() {
         Ok(stats) => {
             eprintln!(
-                "dbs3-serve: drained; served {} queries, shed {}",
-                stats.served, stats.shed
+                "dbs3-serve: drained; served {} queries, shed {}, replayed {}, \
+                 deadline-cancelled {}",
+                stats.served, stats.shed, stats.replayed, stats.deadlines
             );
             ExitCode::SUCCESS
         }

@@ -41,6 +41,23 @@ pub enum ServeError {
     Remote(String),
 }
 
+impl ServeError {
+    /// Whether retrying the same request can succeed.
+    ///
+    /// Transport failures ([`ServeError::Io`], [`ServeError::Truncated`])
+    /// and admission shedding ([`ServeError::ServerBusy`]) are transient:
+    /// the server either never saw the request or can be asked again after
+    /// a backoff. Everything else is definitive — a malformed frame stays
+    /// malformed, a deadline stays blown, a remote execution error is the
+    /// answer. [`crate::ResilientClient`] retries exactly this set.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Io(_) | ServeError::Truncated | ServeError::ServerBusy { .. }
+        )
+    }
+}
+
 /// Result alias for serve operations.
 pub type ServeResult<T> = std::result::Result<T, ServeError>;
 
@@ -96,6 +113,23 @@ mod tests {
         assert!(ServeError::Malformed("tag".into())
             .to_string()
             .contains("tag"));
+    }
+
+    #[test]
+    fn retryable_is_exactly_transport_and_busy() {
+        assert!(ServeError::Io("reset".into()).is_retryable());
+        assert!(ServeError::Truncated.is_retryable());
+        assert!(ServeError::ServerBusy {
+            live: 8,
+            max_inflight: 8
+        }
+        .is_retryable());
+        assert!(!ServeError::Malformed("x".into()).is_retryable());
+        assert!(!ServeError::Protocol("x".into()).is_retryable());
+        assert!(!ServeError::RemoteShutdown.is_retryable());
+        assert!(!ServeError::DeadlineExceeded.is_retryable());
+        assert!(!ServeError::Remote("boom".into()).is_retryable());
+        assert!(!ServeError::FrameTooLarge { len: 1 }.is_retryable());
     }
 
     #[test]

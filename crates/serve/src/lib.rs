@@ -17,8 +17,10 @@
 //!   admission control (typed [`ServeError::ServerBusy`] sheds when the
 //!   pool's live-query count reaches `--max-inflight`) and graceful drain
 //!   on SIGTERM or a shutdown control frame.
-//! * [`client`] / [`session`] — the blocking client and the builder-style
-//!   [`RemoteSession`] mirroring the local `dbs3::Session` facade.
+//! * [`client`] / [`session`] — the blocking client, the self-healing
+//!   [`ResilientClient`] (reconnect + seeded-jitter backoff + idempotent
+//!   request ids), and the builder-style [`RemoteSession`] mirroring the
+//!   local `dbs3::Session` facade.
 //!
 //! The closed-loop traffic generator that measures this stack end to end
 //! (latency percentiles under 1/8/64 clients) lives in `dbs3-bench`.
@@ -29,7 +31,7 @@ pub mod server;
 pub mod session;
 pub mod wire;
 
-pub use client::{Client, RemoteOutcome};
+pub use client::{Client, RemoteOutcome, ResilientClient, RetryPolicy, RetryStats};
 pub use error::{ServeError, ServeResult};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
 pub use session::{RemoteQuery, RemoteSession};

@@ -24,18 +24,51 @@
 //! [`ServeError::RemoteShutdown`] frame; once the drain grace expires the
 //! listener closes, session threads are joined, and the worker pool is
 //! retired via [`Runtime::shutdown`].
+//!
+//! ## Fault injection & idempotent retries
+//!
+//! The accept loop, every socket read and every response write pass through
+//! named fault points ([`fault_points`]) of the engine's deterministic
+//! fault registry ([`dbs3_engine::faults`]) — a seeded plan can drop
+//! connections mid-frame, delay writes or kill reads, which is how the
+//! chaos suite drives the server. Retried requests carry an idempotency id:
+//! a response ledger keeps the frames of recently answered requests, so a
+//! retry whose original attempt *did* execute (the response just never
+//! arrived) replays the recorded answer instead of running the query twice.
 
 use crate::error::{ServeError, ServeResult};
 use crate::wire::{Frame, QueryRequest, WireMetrics};
+use dbs3_engine::faults::{self, FaultAction};
 use dbs3_engine::{EngineError, Runtime, Scheduler};
 use dbs3_lera::{CostParameters, ExtendedPlan};
 use dbs3_storage::Catalog;
-use parking_lot::Mutex;
-use std::io::Read;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Named fault points of the serve layer, registered with the engine's
+/// deterministic fault registry ([`dbs3_engine::faults`]). Install a
+/// [`FaultPlan`](dbs3_engine::FaultPlan) targeting these to make the server
+/// drop accepted connections, fail reads or damage writes on a seeded,
+/// reproducible schedule.
+pub mod fault_points {
+    /// Fires right after `accept` returns, before the session thread
+    /// spawns. `drop`/`error` close the fresh connection (the client sees
+    /// a reset or an immediate EOF), `delay` stalls the accept loop.
+    pub const ACCEPT: &str = "serve.accept";
+    /// Fires inside every socket read of a session thread. `drop` shuts the
+    /// connection down and reports EOF, `error` surfaces a transport error,
+    /// `delay` stalls the read.
+    pub const READ: &str = "serve.read";
+    /// Fires inside every response write. `drop` severs the connection
+    /// mid-response (the client sees a truncated frame), `error` fails the
+    /// write, `delay` slows it — the classic slow-consumer shape.
+    pub const WRITE: &str = "serve.write";
+}
 
 /// How long a session thread keeps polling its socket between frames before
 /// rechecking the stop flag. Small enough that shutdown is responsive,
@@ -56,6 +89,11 @@ pub struct ServerConfig {
     /// How long, after a stop request, session threads keep answering late
     /// arrivals with typed shutdown errors before closing their sockets.
     pub drain_grace: Duration,
+    /// Arms the runtime watchdog: a query making no scheduling progress
+    /// for this long is aborted with a typed
+    /// [`QueryStuck`](dbs3_engine::EngineError::QueryStuck) and its
+    /// admission slot is freed. `None` disables the watchdog.
+    pub stall_after: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +103,7 @@ impl Default for ServerConfig {
             max_inflight: 64,
             pressure_limit: None,
             drain_grace: Duration::from_millis(300),
+            stall_after: None,
         }
     }
 }
@@ -78,6 +117,102 @@ pub struct ServerStats {
     /// Queries shed with [`ServeError::ServerBusy`]. Explicitly zero when
     /// no shedding happened — distinct from "not measured".
     pub shed: u64,
+    /// Retried requests answered from the response ledger instead of being
+    /// re-executed (idempotent replay).
+    pub replayed: u64,
+    /// Queries cancelled because their request deadline elapsed.
+    pub deadlines: u64,
+}
+
+/// How many completed responses the ledger remembers for idempotent
+/// replay. Far above any plausible number of concurrently retrying
+/// clients, yet bounded so a long-lived server cannot leak.
+const LEDGER_CAPACITY: usize = 1024;
+
+/// A recently seen idempotent request: still executing, or answered with
+/// these exact frames.
+enum LedgerEntry {
+    InFlight,
+    Done(Vec<Frame>),
+}
+
+struct LedgerInner {
+    entries: HashMap<u64, LedgerEntry>,
+    /// Completion order, for capacity eviction (completed entries only —
+    /// an in-flight entry is never evicted).
+    order: VecDeque<u64>,
+}
+
+/// The idempotent-replay ledger: maps a non-zero request id to the frames
+/// its execution produced. A retry of an id that is still executing blocks
+/// until the original attempt completes (bounded by the drain grace), then
+/// replays its response — the query runs exactly once no matter how many
+/// times the client resends it.
+struct ResponseLedger {
+    inner: Mutex<LedgerInner>,
+    completed: Condvar,
+}
+
+impl ResponseLedger {
+    fn new() -> ResponseLedger {
+        ResponseLedger {
+            inner: Mutex::new(LedgerInner {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            completed: Condvar::new(),
+        }
+    }
+
+    /// Either hands back the recorded (or awaited) response for a replayed
+    /// id, or returns `None` — in which case the caller now *owns*
+    /// execution of this id and must end it with [`ResponseLedger::finish`]
+    /// or [`ResponseLedger::abandon`].
+    fn enter(&self, id: u64, state: &ServerState, grace: Duration) -> Option<Vec<Frame>> {
+        let mut inner = self.inner.lock();
+        loop {
+            match inner.entries.get(&id) {
+                None => {
+                    inner.entries.insert(id, LedgerEntry::InFlight);
+                    return None;
+                }
+                Some(LedgerEntry::Done(frames)) => return Some(frames.clone()),
+                Some(LedgerEntry::InFlight) => {
+                    // The original attempt is still executing on another
+                    // session thread; wait for it. Waking without a result
+                    // only matters once the server is past its drain grace.
+                    let timed_out = self.completed.wait_for(&mut inner, POLL_INTERVAL);
+                    if timed_out && state.drain_expired(grace) {
+                        return Some(vec![Frame::Error(ServeError::RemoteShutdown)]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records the response of an executed id and wakes waiting retries.
+    fn finish(&self, id: u64, frames: &[Frame]) {
+        let mut inner = self.inner.lock();
+        inner.entries.insert(id, LedgerEntry::Done(frames.to_vec()));
+        inner.order.push_back(id);
+        while inner.order.len() > LEDGER_CAPACITY {
+            let oldest = inner.order.pop_front().expect("order is non-empty");
+            if matches!(inner.entries.get(&oldest), Some(LedgerEntry::Done(_))) {
+                inner.entries.remove(&oldest);
+            }
+        }
+        self.completed.notify_all();
+    }
+
+    /// Releases an id that was claimed but never executed (the request was
+    /// shed or refused), so a retry can execute it for real.
+    fn abandon(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        if matches!(inner.entries.get(&id), Some(LedgerEntry::InFlight)) {
+            inner.entries.remove(&id);
+        }
+        self.completed.notify_all();
+    }
 }
 
 /// State shared between the accept loop, session threads and handles.
@@ -87,6 +222,9 @@ struct ServerState {
     stop_at: Mutex<Option<Instant>>,
     served: AtomicU64,
     shed: AtomicU64,
+    replayed: AtomicU64,
+    deadlines: AtomicU64,
+    ledger: ResponseLedger,
 }
 
 impl ServerState {
@@ -116,6 +254,7 @@ impl ServerState {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
+    runtime: Arc<Runtime>,
 }
 
 impl ServerHandle {
@@ -138,6 +277,14 @@ impl ServerHandle {
     /// Queries served so far.
     pub fn served(&self) -> u64 {
         self.state.served.load(Ordering::SeqCst)
+    }
+
+    /// Queries currently executing or awaiting pickup on the shared pool —
+    /// the admission-control gauge. Tests use this to prove that aborted,
+    /// timed-out and fault-killed queries all free their slots: after a
+    /// drain it must return to zero.
+    pub fn live_queries(&self) -> usize {
+        self.runtime.live_queries()
     }
 }
 
@@ -163,8 +310,11 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let runtime =
-            Runtime::new(config.workers).map_err(|e| ServeError::Remote(e.to_string()))?;
+        let runtime = match config.stall_after {
+            Some(stall) => Runtime::with_watchdog(config.workers, stall),
+            None => Runtime::new(config.workers),
+        }
+        .map_err(|e| ServeError::Remote(e.to_string()))?;
         Ok(Server {
             listener,
             addr,
@@ -176,6 +326,9 @@ impl Server {
                 stop_at: Mutex::new(None),
                 served: AtomicU64::new(0),
                 shed: AtomicU64::new(0),
+                replayed: AtomicU64::new(0),
+                deadlines: AtomicU64::new(0),
+                ledger: ResponseLedger::new(),
             }),
         })
     }
@@ -190,6 +343,7 @@ impl Server {
         ServerHandle {
             addr: self.addr,
             state: Arc::clone(&self.state),
+            runtime: Arc::clone(&self.runtime),
         }
     }
 
@@ -215,6 +369,20 @@ impl Server {
         while !self.state.stopping() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    match faults::hit(fault_points::ACCEPT) {
+                        // The freshly accepted connection is severed before
+                        // a session exists: the client's first read sees an
+                        // EOF or a reset, exactly like an accept-side crash.
+                        Some(FaultAction::Drop | FaultAction::Error) => {
+                            drop(stream);
+                            continue;
+                        }
+                        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                        Some(FaultAction::Panic) => {
+                            panic!("injected fault at {}", fault_points::ACCEPT)
+                        }
+                        None => {}
+                    }
                     spawn_session(stream, &mut sessions);
                     // Reap finished sessions so a long-lived server does not
                     // accumulate dead join handles.
@@ -242,6 +410,8 @@ impl Server {
         Ok(ServerStats {
             served: self.state.served.load(Ordering::SeqCst),
             shed: self.state.shed.load(Ordering::SeqCst),
+            replayed: self.state.replayed.load(Ordering::SeqCst),
+            deadlines: self.state.deadlines.load(Ordering::SeqCst),
         })
     }
 }
@@ -258,6 +428,23 @@ struct DrainAwareReader<'a> {
 
 impl Read for DrainAwareReader<'_> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match faults::hit(fault_points::READ) {
+            // EOF with the socket actually shut down: a dropped connection,
+            // not merely a short read the codec could retry.
+            Some(FaultAction::Drop) => {
+                self.stream.shutdown(std::net::Shutdown::Both).ok();
+                return Ok(0);
+            }
+            Some(FaultAction::Error) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected read fault",
+                ))
+            }
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Panic) => panic!("injected fault at {}", fault_points::READ),
+            None => {}
+        }
         loop {
             match self.stream.read(buf) {
                 Err(e)
@@ -276,6 +463,42 @@ impl Read for DrainAwareReader<'_> {
     }
 }
 
+/// A [`Write`] adapter over the response half of a session socket that
+/// passes every write through the [`fault_points::WRITE`] fault point: a
+/// seeded plan can sever the connection mid-response, fail a write or slow
+/// it down — the failure shapes a self-healing client must survive.
+struct FaultyWriter {
+    stream: TcpStream,
+}
+
+impl Write for FaultyWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match faults::hit(fault_points::WRITE) {
+            Some(FaultAction::Drop) => {
+                self.stream.shutdown(std::net::Shutdown::Both).ok();
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "injected connection drop",
+                ));
+            }
+            Some(FaultAction::Error) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "injected write fault",
+                ))
+            }
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Panic) => panic!("injected fault at {}", fault_points::WRITE),
+            None => {}
+        }
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
 /// Serves one connection until the client disconnects or the drain grace
 /// expires. Never panics: every malformed input and every engine failure is
 /// converted into a typed error frame or a clean close.
@@ -288,7 +511,9 @@ fn serve_connection(
 ) -> ServeResult<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    let mut writer = stream.try_clone()?;
+    let mut writer = FaultyWriter {
+        stream: stream.try_clone()?,
+    };
     let mut reader = DrainAwareReader {
         stream: &stream,
         state,
@@ -320,7 +545,27 @@ fn serve_connection(
                 Frame::ShutdownAck.write_to(&mut writer)?;
             }
             Frame::Query(request) => {
+                let request_id = request.request_id;
+                // Replay comes before every other gate — including the
+                // stopping check, because a retry of a query the server
+                // already executed deserves its answer even mid-drain —
+                // and the ledger must never re-admit or double-count it.
+                if request_id != 0 {
+                    if let Some(frames) = state.ledger.enter(request_id, state, config.drain_grace)
+                    {
+                        state.replayed.fetch_add(1, Ordering::SeqCst);
+                        for frame in frames {
+                            frame.write_to(&mut writer)?;
+                        }
+                        continue;
+                    }
+                    // `enter` returned None: this thread owns execution of
+                    // `request_id` and must finish or abandon it below.
+                }
                 if state.stopping() {
+                    if request_id != 0 {
+                        state.ledger.abandon(request_id);
+                    }
                     Frame::Error(ServeError::RemoteShutdown).write_to(&mut writer)?;
                     continue;
                 }
@@ -329,6 +574,11 @@ fn serve_connection(
                     .pressure_limit
                     .is_some_and(|limit| runtime.queue_pressure() > limit);
                 if live >= config.max_inflight || over_pressure {
+                    // A shed request never executed: release the claim so
+                    // the client's retry can run it for real.
+                    if request_id != 0 {
+                        state.ledger.abandon(request_id);
+                    }
                     state.shed.fetch_add(1, Ordering::SeqCst);
                     Frame::Error(ServeError::ServerBusy {
                         live,
@@ -339,14 +589,29 @@ fn serve_connection(
                 }
                 let response = execute(request, catalog, runtime);
                 state.served.fetch_add(1, Ordering::SeqCst);
-                match response {
+                let frames = match response {
                     Ok((cardinalities, metrics)) => {
-                        for (name, rows) in cardinalities {
-                            Frame::Cardinality { name, rows }.write_to(&mut writer)?;
-                        }
-                        Frame::Metrics(metrics).write_to(&mut writer)?;
+                        let mut frames: Vec<Frame> = cardinalities
+                            .into_iter()
+                            .map(|(name, rows)| Frame::Cardinality { name, rows })
+                            .collect();
+                        frames.push(Frame::Metrics(metrics));
+                        frames
                     }
-                    Err(e) => Frame::Error(e).write_to(&mut writer)?,
+                    Err(e) => {
+                        if matches!(e, ServeError::DeadlineExceeded) {
+                            state.deadlines.fetch_add(1, Ordering::SeqCst);
+                        }
+                        vec![Frame::Error(e)]
+                    }
+                };
+                // Record before writing: if the write fails mid-response,
+                // the retry finds the completed answer and replays it.
+                if request_id != 0 {
+                    state.ledger.finish(request_id, &frames);
+                }
+                for frame in frames {
+                    frame.write_to(&mut writer)?;
                 }
             }
             // Response frames have no business flowing client → server, but
@@ -371,6 +636,7 @@ fn execute(
         plan,
         mut options,
         deadline_ms,
+        request_id: _,
     } = request;
     // The wire protocol ships cardinalities, never tuples, so materialising
     // results server-side would be pure allocation waste. Counting stores
@@ -387,19 +653,18 @@ fn execute(
             EngineError::RuntimeShutdown => ServeError::RemoteShutdown,
             other => ServeError::Remote(other.to_string()),
         })?;
+    // `wait_timeout_or_cancel`, not `wait_timeout` + `cancel`: the plain
+    // timeout abandons the handle with the query still counted live, which
+    // would leak this request's admission slot until the query drains on
+    // its own. The cancelling variant frees the slot before returning.
     let outcome = if deadline_ms > 0 {
-        match handle.wait_timeout(Duration::from_millis(deadline_ms)) {
-            Err(EngineError::WaitTimeout) => {
-                handle.cancel();
-                return Err(ServeError::DeadlineExceeded);
-            }
-            other => other,
-        }
+        handle.wait_timeout_or_cancel(Duration::from_millis(deadline_ms))
     } else {
         handle.wait()
     };
     let outcome = outcome.map_err(|e| match e {
         EngineError::RuntimeShutdown => ServeError::RemoteShutdown,
+        EngineError::DeadlineExceeded { .. } => ServeError::DeadlineExceeded,
         other => ServeError::Remote(other.to_string()),
     })?;
     let metrics = WireMetrics {

@@ -13,7 +13,7 @@
 //!
 //! | type | name          | payload                                        |
 //! |------|---------------|------------------------------------------------|
-//! | 0x01 | `Query`       | version, plan, scheduler options, deadline_ms  |
+//! | 0x01 | `Query`       | version, plan, options, deadline_ms, request_id|
 //! | 0x02 | `Shutdown`    | empty (graceful-shutdown control frame)        |
 //! | 0x81 | `Cardinality` | store name, row count (one frame per store)    |
 //! | 0x82 | `Metrics`     | elapsed_us, activations, imbalance, threads    |
@@ -40,7 +40,8 @@ use std::io::{Read, Write};
 
 /// Version byte carried inside every `Query` frame; bumped on incompatible
 /// payload changes so stale clients get a typed error, not garbage.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 2 added the idempotency `request_id` to the `Query` payload.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame payload. Plans are small (a handful of nodes and
 /// strings); 16 MiB is far above anything legitimate while keeping a
@@ -80,6 +81,10 @@ pub struct QueryRequest {
     pub options: SchedulerOptions,
     /// Server-side wait deadline in milliseconds; 0 means wait forever.
     pub deadline_ms: u64,
+    /// Idempotency id chosen by the client; 0 means "not idempotent". A
+    /// retried request with the same non-zero id replays the cached
+    /// response instead of re-executing (and is never double-counted).
+    pub request_id: u64,
 }
 
 /// Execution metrics summarised for the wire (the scalar core of
@@ -599,6 +604,7 @@ impl QueryRequest {
         encode_plan(&mut enc, &self.plan);
         encode_options(&mut enc, &self.options);
         enc.u64(self.deadline_ms);
+        enc.u64(self.request_id);
         enc.buf
     }
 
@@ -616,11 +622,13 @@ impl QueryRequest {
         let plan = decode_plan(&mut dec)?;
         let options = decode_options(&mut dec)?;
         let deadline_ms = dec.u64("deadline_ms")?;
+        let request_id = dec.u64("request_id")?;
         dec.finish("query request")?;
         Ok(QueryRequest {
             plan,
             options,
             deadline_ms,
+            request_id,
         })
     }
 }
@@ -806,6 +814,7 @@ mod tests {
             plan: plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
             options: SchedulerOptions::default().with_total_threads(4),
             deadline_ms: 2_500,
+            request_id: 77,
         }
     }
 
@@ -822,13 +831,15 @@ mod tests {
         let decoded = QueryRequest::decode(&request.encode()).unwrap();
         assert_eq!(decoded.plan, request.plan);
         assert_eq!(decoded.deadline_ms, request.deadline_ms);
+        assert_eq!(decoded.request_id, request.request_id);
         // SchedulerOptions has no PartialEq; byte-equality of the
         // re-encoding is the round-trip witness.
         assert_eq!(
             QueryRequest {
                 plan: decoded.plan,
                 options: decoded.options,
-                deadline_ms: decoded.deadline_ms
+                deadline_ms: decoded.deadline_ms,
+                request_id: decoded.request_id
             }
             .encode(),
             request.encode()

@@ -1,0 +1,206 @@
+//! Wire-level partial-failure tests: raw sockets that die mid-frame, write
+//! one byte at a time, or announce absurd frames — the server must answer
+//! typed or close cleanly, keep serving other clients, and never leak an
+//! admission slot.
+
+use dbs3_engine::SchedulerOptions;
+use dbs3_lera::{plans, JoinAlgorithm};
+use dbs3_serve::{
+    Client, Frame, QueryRequest, ServeError, Server, ServerConfig, ServerHandle, ServerStats,
+};
+use dbs3_storage::{
+    Catalog, ColumnDef, PartitionSpec, PartitionedRelation, Relation, Schema, Tuple, Value,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn catalog(a_card: usize, b_card: usize, degree: usize) -> Catalog {
+    let schema = || Schema::new(vec![ColumnDef::int("unique1"), ColumnDef::int("payload")]);
+    let tuples = |card: usize| {
+        (0..card as i64)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 3)]))
+            .collect()
+    };
+    let a = Relation::new("A", schema(), tuples(a_card)).unwrap();
+    let b = Relation::new("Bprime", schema(), tuples(b_card)).unwrap();
+    let spec = PartitionSpec::on("unique1", degree, 4);
+    let mut cat = Catalog::new();
+    cat.register(PartitionedRelation::from_relation(&a, spec.clone()).unwrap())
+        .unwrap();
+    cat.register(PartitionedRelation::from_relation(&b, spec).unwrap())
+        .unwrap();
+    cat
+}
+
+fn start_server(
+    cat: Catalog,
+    config: ServerConfig,
+) -> (
+    ServerHandle,
+    SocketAddr,
+    std::thread::JoinHandle<ServerStats>,
+) {
+    let server = Server::bind(cat, ("127.0.0.1", 0), config).expect("bind ephemeral");
+    let handle = server.handle();
+    let addr = server.addr();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+    (handle, addr, runner)
+}
+
+/// A valid, fully encoded Query frame (header + payload) as raw bytes.
+fn query_frame_bytes(deadline_ms: u64) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    Frame::Query(QueryRequest {
+        plan: plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
+        options: SchedulerOptions::default().with_total_threads(2),
+        deadline_ms,
+        request_id: 0,
+    })
+    .write_to(&mut bytes)
+    .unwrap();
+    bytes
+}
+
+/// Polls `handle.live_queries()` until it reaches zero or the timeout
+/// elapses; returns whether it drained.
+fn drained(handle: &ServerHandle, within: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < within {
+        if handle.live_queries() == 0 {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.live_queries() == 0
+}
+
+/// A healthy query must still succeed on `addr` — the probe that the server
+/// survived whatever the hostile socket just did.
+fn healthy_probe(addr: SocketAddr, expected: u64) {
+    let mut client = Client::connect(addr).expect("connect");
+    let outcome = client
+        .execute(
+            &plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash),
+            &SchedulerOptions::default().with_total_threads(2),
+            0,
+        )
+        .expect("healthy query");
+    assert_eq!(outcome.cardinalities["Result"], expected);
+}
+
+#[test]
+fn connection_dropped_mid_frame_leaks_nothing() {
+    let (handle, addr, runner) = start_server(catalog(2_000, 200, 8), ServerConfig::default());
+
+    // Send the header and half the payload, then vanish.
+    let frame = query_frame_bytes(0);
+    for cut in [5, 6, frame.len() / 2, frame.len() - 1] {
+        let mut socket = TcpStream::connect(addr).unwrap();
+        socket.write_all(&frame[..cut]).unwrap();
+        drop(socket);
+    }
+
+    assert!(drained(&handle, Duration::from_secs(5)), "no slot leaked");
+    healthy_probe(addr, 200);
+    handle.stop();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.served, 1, "only the healthy probe executed");
+}
+
+#[test]
+fn byte_by_byte_writes_still_get_a_full_response() {
+    let (handle, addr, runner) = start_server(catalog(2_000, 200, 8), ServerConfig::default());
+
+    // The slowest well-behaved client imaginable: one byte per write.
+    let mut socket = TcpStream::connect(addr).unwrap();
+    for byte in query_frame_bytes(0) {
+        socket.write_all(&[byte]).unwrap();
+    }
+    // The full response must arrive: read frames until Metrics.
+    socket
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut cardinality = None;
+    loop {
+        match Frame::read_from(&mut socket).expect("response frame") {
+            Some(Frame::Cardinality { rows, .. }) => cardinality = Some(rows),
+            Some(Frame::Metrics(_)) => break,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(cardinality, Some(200));
+
+    assert!(drained(&handle, Duration::from_secs(5)));
+    handle.stop();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.served, 1);
+}
+
+#[test]
+fn oversized_frame_is_refused_then_connection_closes() {
+    let (handle, addr, runner) = start_server(catalog(1_000, 100, 4), ServerConfig::default());
+
+    let mut socket = TcpStream::connect(addr).unwrap();
+    // A header announcing a payload far beyond MAX_FRAME_LEN, then nothing.
+    socket.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    socket.write_all(&[0x01]).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The server answers with a typed error frame naming the frame limit
+    // (the wire codec folds FrameTooLarge into the generic remote-error
+    // code), then closes — the byte stream can no longer be trusted.
+    match Frame::read_from(&mut socket).expect("typed refusal") {
+        Some(Frame::Error(e)) => {
+            assert!(
+                e.to_string().contains("exceeds the frame limit"),
+                "unexpected refusal {e:?}"
+            );
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    socket.read_to_end(&mut rest).expect("clean close");
+    assert!(rest.is_empty(), "nothing follows the refusal");
+
+    healthy_probe(addr, 100);
+    assert!(drained(&handle, Duration::from_secs(5)));
+    handle.stop();
+    runner.join().unwrap();
+}
+
+#[test]
+fn expired_deadline_frees_the_admission_slot() {
+    // A join big enough that a 1 ms deadline always expires first.
+    let (handle, addr, runner) = start_server(
+        catalog(30_000, 3_000, 16),
+        ServerConfig {
+            workers: 2,
+            max_inflight: 4,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    let error = client
+        .execute(
+            &plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::NestedLoop),
+            &SchedulerOptions::default().with_total_threads(2),
+            1,
+        )
+        .expect_err("the deadline must expire");
+    assert_eq!(error, ServeError::DeadlineExceeded);
+
+    // The load-bearing assertion: the timed-out query was *cancelled*, not
+    // abandoned, so its admission slot returns. Before
+    // `wait_timeout_or_cancel` this leaked until the query drained on its
+    // own — under a tight `max_inflight` that is a capacity outage.
+    assert!(
+        drained(&handle, Duration::from_secs(10)),
+        "cancelled deadline query must free its slot"
+    );
+    handle.stop();
+    let stats = runner.join().unwrap();
+    assert_eq!(stats.deadlines, 1, "the deadline cancellation was counted");
+}

@@ -125,6 +125,7 @@ proptest! {
         has_morsel in any::<bool>(),
         morsel in 0u32..100_000,
         deadline_ms in any::<u64>(),
+        request_id in any::<u64>(),
     ) {
         let request = QueryRequest {
             plan: plan_from(&chain_seeds),
@@ -136,6 +137,7 @@ proptest! {
                 has_morsel.then_some(morsel),
             ),
             deadline_ms,
+            request_id,
         };
         let bytes = request.encode();
         let decoded = QueryRequest::decode(&bytes).expect("well-formed request decodes");
@@ -155,6 +157,7 @@ proptest! {
             plan: plan_from(&chain_seeds),
             options: SchedulerOptions::default(),
             deadline_ms: 0,
+            request_id: 0,
         };
         let mut stream = Vec::new();
         Frame::Query(request).write_to(&mut stream).unwrap();
@@ -180,6 +183,7 @@ proptest! {
             plan: plan_from(&chain_seeds),
             options: SchedulerOptions::default(),
             deadline_ms: 1000,
+            request_id: 0,
         };
         let mut bytes = request.encode();
         let index = (flip_seed % bytes.len() as u64) as usize;

@@ -12,13 +12,17 @@ Modes:
                 `serve` array with at least one row.
 
 The serve-tier rows are validated strictly in both modes: every row must
-carry all latency percentile keys (p50_ms/p95_ms/p99_ms) and an explicit
-`shed_requests` count — a row that omits them is rejected, because a
-missing shed count is not the same as a measured zero.
+carry all latency percentile keys (p50_ms/p95_ms/p99_ms) and explicit
+`shed_requests`/`retried`/`deadline_exceeded`/`gave_up` counts — a row
+that omits them is rejected, because a missing count is not the same as a
+measured zero. The outcome accounting must be total:
+`ok + deadline_exceeded + gave_up + protocol_errors == requests`.
 """
 
 import json
 import sys
+
+SCHEMA_VERSION = 3
 
 SERVE_KEYS = (
     "scale",
@@ -27,6 +31,9 @@ SERVE_KEYS = (
     "requests",
     "ok",
     "shed_requests",
+    "retried",
+    "deadline_exceeded",
+    "gave_up",
     "protocol_errors",
     "workers",
     "max_inflight",
@@ -57,15 +64,29 @@ def check_serve_rows(rows, expect_client_levels=None):
         for key in ("clients", "queries_per_client", "requests", "ok"):
             if not isinstance(row[key], int) or row[key] < 0:
                 fail(f"serve row {key} must be a non-negative int: {row}")
-        # Explicit shed accounting: must be an integer, never null/absent.
-        if not isinstance(row["shed_requests"], int) or row["shed_requests"] < 0:
-            fail(f"serve row shed_requests must be an explicit count: {row}")
+        # Explicit robustness accounting: integers, never null/absent.
+        for key in ("shed_requests", "retried", "deadline_exceeded", "gave_up"):
+            if not isinstance(row[key], int) or row[key] < 0:
+                fail(f"serve row {key} must be an explicit count: {row}")
         if row["protocol_errors"] != 0:
             fail(f"serve row recorded protocol errors: {row}")
         if row["requests"] != row["clients"] * row["queries_per_client"]:
             fail(f"serve row requests != clients * queries_per_client: {row}")
-        if row["ok"] + row["shed_requests"] != row["requests"]:
-            fail(f"serve row ok + shed_requests != requests: {row}")
+        # Total outcome accounting: every request ended exactly one way.
+        # (Sheds are retry *causes*, not outcomes — a shed request is
+        # retried by the self-healing client until it succeeds or the
+        # budget runs dry, so it lands in ok or gave_up.)
+        outcomes = (
+            row["ok"]
+            + row["deadline_exceeded"]
+            + row["gave_up"]
+            + row["protocol_errors"]
+        )
+        if outcomes != row["requests"]:
+            fail(
+                "serve row ok + deadline_exceeded + gave_up + protocol_errors "
+                f"!= requests: {row}"
+            )
         if row["ok"] > 0:
             if not (0.0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]):
                 fail(f"serve row percentiles are not monotone: {row}")
@@ -78,8 +99,8 @@ def check_serve_rows(rows, expect_client_levels=None):
 
 
 def check_full(doc):
-    if doc.get("schema_version") != 2:
-        fail(f"schema_version {doc.get('schema_version')!r} != 2")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}")
     if not isinstance(doc.get("host_cpus"), int) or doc["host_cpus"] < 1:
         fail(f"host_cpus invalid: {doc.get('host_cpus')!r}")
     tiers = doc.get("tiers")
@@ -111,8 +132,8 @@ def check_full(doc):
 
 
 def check_serve_only(doc):
-    if doc.get("schema_version") != 2:
-        fail(f"schema_version {doc.get('schema_version')!r} != 2")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}")
     if "serve" not in doc:
         fail("document has no serve array")
     check_serve_rows(doc["serve"])
