@@ -1,0 +1,143 @@
+//! `dbs3-analyze` — run the workspace static analysis.
+//!
+//! ```text
+//! dbs3-analyze [--root DIR] [--deny-new] [--self-check] [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean (all findings baselined, baseline not stale,
+//! self-check green), `1` violations, `2` usage or configuration errors.
+//!
+//! The run always diffs against `analyze-baseline.json`: new findings fail,
+//! stale baseline keys fail (refresh with `--write-baseline`), baselined
+//! findings are printed as tolerated debt. `--deny-new` names the CI
+//! contract explicitly and is accepted as the (default) strict mode.
+
+use dbs3_analyze::{analyze_workspace, selfcheck, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    self_check: bool,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        self_check: false,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root expects a path".to_string())?,
+                );
+            }
+            "--self-check" => args.self_check = true,
+            "--write-baseline" => args.write_baseline = true,
+            // Strict mode is the default; the flag documents CI intent.
+            "--deny-new" => {}
+            "--help" | "-h" => {
+                println!(
+                    "usage: dbs3-analyze [--root DIR] [--deny-new] [--self-check] \
+                     [--write-baseline]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("dbs3-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+
+    if args.self_check {
+        println!("self-check (each rule must catch its seeded violation):");
+        for (rule, result) in selfcheck::run() {
+            match result {
+                Ok(()) => println!("  {rule}: fired on seeded violation, quiet on clean fixture"),
+                Err(e) => {
+                    println!("  {rule}: FAILED — {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    let findings = match analyze_workspace(&args.root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("dbs3-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = args.root.join("analyze-baseline.json");
+    if args.write_baseline {
+        let baseline = Baseline {
+            keys: {
+                let mut keys: Vec<String> = findings.iter().map(|f| f.key()).collect();
+                keys.sort();
+                keys.dedup();
+                keys
+            },
+        };
+        if let Err(e) = std::fs::write(&baseline_path, baseline.to_json()) {
+            eprintln!("dbs3-analyze: cannot write baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} key(s) to {}",
+            baseline.keys.len(),
+            baseline_path.display()
+        );
+        return ExitCode::from(u8::from(failed));
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("dbs3-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = baseline.diff(&findings);
+
+    for f in &diff.new {
+        println!("error: {f}");
+    }
+    for f in &diff.baselined {
+        println!("tolerated (baselined): {f}");
+    }
+    for key in &diff.stale {
+        println!(
+            "error: baseline key no longer fires (burn-down complete — remove it \
+             or run --write-baseline): {key}"
+        );
+    }
+    println!(
+        "dbs3-analyze: {} finding(s): {} new, {} baselined, {} stale baseline key(s)",
+        findings.len(),
+        diff.new.len(),
+        diff.baselined.len(),
+        diff.stale.len()
+    );
+    if !diff.new.is_empty() || !diff.stale.is_empty() {
+        failed = true;
+    }
+    ExitCode::from(u8::from(failed))
+}

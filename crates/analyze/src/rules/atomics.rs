@@ -1,0 +1,294 @@
+//! Rule `atomic-ordering`: every `Ordering::Relaxed` / `Ordering::SeqCst`
+//! use must carry a justification, and a field touched with several
+//! different orderings must declare its protocol.
+//!
+//! Justification grammar (documented in the README):
+//!
+//! * `// ordering: <why>` — on the line of the access or in the contiguous
+//!   comment block directly above it; justifies that access.
+//! * `// ordering(<field>): <why>` — anywhere in the file; justifies every
+//!   access to atomic field `<field>` in this file AND licenses mixed
+//!   orderings on it. This is the preferred form: one comment at the field
+//!   declaration stating the whole protocol.
+//!
+//! `Acquire`/`Release`/`AcqRel` are not flagged individually — naming a
+//! directed ordering *is* stating intent — but they do participate in
+//! mixed-ordering detection: a field stored with `Release` and loaded with
+//! `Relaxed` (the classic torn protocol) is flagged unless the field-level
+//! comment explains it.
+
+use super::{receiver_chain, Code, Segment};
+use crate::findings::{Finding, Rule};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const FLAGGED: [&str; 2] = ["Relaxed", "SeqCst"];
+const ATOMIC_METHODS: [&str; 16] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
+    "fence",
+];
+
+/// One atomic access site.
+struct Site {
+    /// Atomic field accessed, or `None` when the receiver could not be
+    /// resolved (e.g. a bare `fence`).
+    field: Option<String>,
+    ordering: String,
+    line: u32,
+    justified_inline: bool,
+}
+
+/// Runs the rule over non-test source files.
+pub fn check(files: &[&SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        check_file(file, &mut findings);
+    }
+    findings
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let code = Code::new(file);
+    let mut sites: Vec<Site> = Vec::new();
+    for i in 0..code.len() {
+        if code.in_test(i) {
+            continue;
+        }
+        // Match `Ordering :: <variant>`.
+        if code.ident(i) != Some("Ordering") || !code.punct(i + 1, ':') || !code.punct(i + 2, ':') {
+            continue;
+        }
+        let Some(ordering) = code.ident(i + 3) else {
+            continue;
+        };
+        if !ATOMIC_ORDERINGS.contains(&ordering) {
+            continue; // `std::cmp::Ordering` variants land here
+        }
+        let line = code.line(i + 3);
+        sites.push(Site {
+            field: enclosing_atomic_receiver(&code, i),
+            ordering: ordering.to_string(),
+            line,
+            justified_inline: file.justified("ordering:", line),
+        });
+    }
+    if sites.is_empty() {
+        return;
+    }
+
+    // Field-level protocol declarations: `// ordering(<field>): ...`.
+    let mut declared: BTreeSet<String> = BTreeSet::new();
+    for comment in file.all_comments() {
+        let mut rest = comment;
+        while let Some(at) = rest.find("ordering(") {
+            let tail = &rest[at + "ordering(".len()..];
+            if let Some(close) = tail.find(')') {
+                if tail[close..].starts_with("):") {
+                    declared.insert(tail[..close].trim().to_string());
+                }
+                rest = &tail[close..];
+            } else {
+                break;
+            }
+        }
+    }
+
+    let path = file.path.display().to_string();
+    let mut by_field: BTreeMap<String, Vec<&Site>> = BTreeMap::new();
+    for site in &sites {
+        if let Some(field) = &site.field {
+            by_field.entry(field.clone()).or_default().push(site);
+        }
+        let field_declared = site
+            .field
+            .as_ref()
+            .map(|f| declared.contains(f))
+            .unwrap_or(false);
+        if FLAGGED.contains(&site.ordering.as_str()) && !site.justified_inline && !field_declared {
+            let field = site.field.as_deref().unwrap_or("<unresolved>");
+            findings.push(Finding::new(
+                Rule::AtomicOrdering,
+                &path,
+                site.line,
+                format!("{field}:{}", site.ordering),
+                format!(
+                    "Ordering::{} on `{field}` without a justification — add \
+                     `// ordering: <why>` at the site or `// ordering({field}): \
+                     <protocol>` at the field",
+                    site.ordering
+                ),
+            ));
+        }
+    }
+
+    for (field, field_sites) in &by_field {
+        let orderings: BTreeSet<&str> = field_sites.iter().map(|s| s.ordering.as_str()).collect();
+        // A pure Acquire/Release/AcqRel mix is the canonical publish/consume
+        // pairing and self-documenting; a mix only needs a declared protocol
+        // when Relaxed or SeqCst takes part in it.
+        let suspicious_mix = orderings.len() > 1 && FLAGGED.iter().any(|f| orderings.contains(f));
+        if suspicious_mix && !declared.contains(field) {
+            let detail: Vec<String> = field_sites
+                .iter()
+                .map(|s| format!("{} at line {}", s.ordering, s.line))
+                .collect();
+            findings.push(Finding::new(
+                Rule::AtomicOrdering,
+                &path,
+                field_sites[0].line,
+                format!("mixed:{field}"),
+                format!(
+                    "field `{field}` is accessed with mixed orderings ({}) but has \
+                     no `// ordering({field}): <protocol>` declaration",
+                    detail.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Finds the atomic method call enclosing the `Ordering` token at `i` and
+/// resolves its receiver field. Walks backwards to the unmatched `(` that
+/// opened the argument list; the identifier before it must be an atomic
+/// method preceded by `.` (or `fence`).
+fn enclosing_atomic_receiver(code: &Code<'_>, i: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut j = i;
+    let floor = i.saturating_sub(400);
+    while j > floor {
+        j -= 1;
+        if code.punct(j, ')') {
+            depth += 1;
+        } else if code.punct(j, '(') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        }
+    }
+    if !code.punct(j, '(') || j == 0 {
+        return None;
+    }
+    let method = code.ident(j - 1)?;
+    if !ATOMIC_METHODS.contains(&method) {
+        // One level out: `fetch_update(Set, Set, |v| ...)` closures or
+        // nested calls put the Ordering one paren deeper than the method.
+        return None;
+    }
+    if method == "fence" {
+        return Some("fence".to_string());
+    }
+    if j >= 2 && code.punct(j - 2, '.') {
+        let segments: Vec<Segment> = receiver_chain(code, j - 2);
+        return super::chain_name(&segments);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("fix.rs", src);
+        check(&[&file])
+    }
+
+    #[test]
+    fn unjustified_relaxed_and_seqcst_fail() {
+        let f = run(
+            "fn f(&self) { self.flag.load(Ordering::Relaxed); self.n.store(1, Ordering::SeqCst); }",
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("Relaxed"));
+        assert!(f[1].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn acquire_release_pass_without_comment() {
+        let f = run("fn f(&self) { self.flag.load(Ordering::Acquire); self.flag.store(true, Ordering::Release); }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn inline_justification_passes() {
+        let f = run("fn f(&self) {
+                // ordering: monotone counter, no cross-field invariants
+                self.n.fetch_add(1, Ordering::Relaxed);
+                self.m.load(Ordering::Relaxed); // ordering: probe only
+            }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn field_declaration_justifies_all_sites_and_mixing() {
+        let f = run(
+            "// ordering(flag): Release store publishes, Relaxed probe is racy by design
+            fn f(&self) {
+                self.flag.store(true, Ordering::Release);
+                self.flag.load(Ordering::Relaxed);
+                self.flag.load(Ordering::SeqCst);
+            }",
+        );
+        assert!(f.is_empty(), "got {f:?}");
+    }
+
+    #[test]
+    fn mixed_orderings_without_declaration_fail() {
+        let f = run("fn f(&self) {
+                self.flag.store(true, Ordering::Release);
+                // ordering: racy probe
+                self.flag.load(Ordering::Relaxed);
+            }");
+        // The Relaxed site is inline-justified, but the field still mixes
+        // Release and Relaxed with no protocol declaration.
+        assert_eq!(f.len(), 1);
+        assert!(f[0].key_detail.starts_with("mixed:"));
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let f = run("fn f(a: u32, b: u32) { if a.cmp(&b) == Ordering::Equal {} }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn compare_exchange_both_orderings_resolve_receiver() {
+        let f = run(
+            "fn f(&self) { self.state.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst); }",
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.key_detail.starts_with("state:")));
+    }
+
+    #[test]
+    fn statics_resolve_too() {
+        let f = run("fn f() { ENABLED.store(false, Ordering::SeqCst); }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].key_detail.starts_with("ENABLED:"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]
+            mod tests {
+                fn f(&self) { self.n.load(Ordering::Relaxed); }
+            }");
+        assert!(f.is_empty());
+    }
+}

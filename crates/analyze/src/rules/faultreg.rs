@@ -1,0 +1,337 @@
+//! Rule `fault-registry`: the string-keyed fault points must agree with the
+//! canonical `dbs3_engine::faults::REGISTRY` table everywhere they appear.
+//!
+//! Checked:
+//! * the registry file declares each point constant once, and `REGISTRY`
+//!   lists every point constant exactly once (no drift between the `points`
+//!   module and the table the CLI/docs derive from);
+//! * every fault-point-shaped string literal anywhere else in the workspace
+//!   (tests included — a chaos test arming `"engine.worker.proces"` would
+//!   silently test nothing) names a registered point; rule specs like
+//!   `"serve.write:p=0.1:drop"` are checked by their point prefix;
+//! * every registered point has at least one `faults::hit(...)` injection
+//!   site in non-test code — a registry entry nothing fires is dead
+//!   documentation.
+
+use super::Code;
+use crate::findings::{Finding, Rule};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The declarations parsed out of the registry file.
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Point const name → literal ("WORKER_PROCESS" → "engine.worker.process").
+    pub consts: BTreeMap<String, String>,
+    /// Literals listed in `REGISTRY`, in declaration order (may repeat —
+    /// that is one of the findings).
+    pub table: Vec<String>,
+}
+
+/// Parses the `pub const NAME: &str = "..."` declarations and the `REGISTRY`
+/// table out of the registry file.
+pub fn parse_registry(file: &SourceFile) -> Registry {
+    let code = Code::new(file);
+    let mut registry = Registry::default();
+    let mut i = 0;
+    while i < code.len() {
+        // `const NAME : & str = "literal" ;`
+        if code.ident(i) == Some("const") {
+            if let (Some(name), Some(TokKind::Str(value))) = (
+                code.ident(i + 1),
+                (i + 2..(i + 12).min(code.len())).find_map(|j| match &code.tok(j).kind {
+                    TokKind::Str(s) => Some(TokKind::Str(s.clone())),
+                    TokKind::Punct(';') => Some(TokKind::Punct(';')),
+                    _ => None,
+                }),
+            ) {
+                if looks_like_point(&value) {
+                    registry.consts.insert(name.to_string(), value);
+                }
+            }
+        }
+        // `const REGISTRY : ... = & [ ... ] ;` — collect point references
+        // from the value array (scanning starts at the `=` so the
+        // `&[FaultPoint]` type annotation's brackets don't end the walk
+        // early). Only the `const` declaration counts: plain `REGISTRY`
+        // mentions (iteration, tests) must not restart the scan.
+        if code.ident(i) == Some("REGISTRY") && i > 0 && code.ident(i - 1) == Some("const") {
+            let mut j = i + 1;
+            while j < code.len() && !code.punct(j, '=') && !code.punct(j, ';') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < code.len() {
+                match &code.tok(j).kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Str(s) if depth > 0 && looks_like_point(s) => {
+                        registry.table.push(s.clone());
+                    }
+                    TokKind::Ident(name) if depth > 0 => {
+                        if let Some(value) = registry.consts.get(name) {
+                            registry.table.push(value.clone());
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    registry
+}
+
+/// Whether a string literal is shaped like a fault-point name: an `engine.`
+/// or `serve.` prefix and lowercase dotted segments.
+pub fn looks_like_point(s: &str) -> bool {
+    let mut parts = s.split('.');
+    let first = parts.next().unwrap_or("");
+    if first != "engine" && first != "serve" {
+        return false;
+    }
+    let mut rest = 0;
+    for part in parts {
+        rest += 1;
+        if part.is_empty()
+            || !part
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+    }
+    rest >= 1
+}
+
+/// Runs the rule: `registry_file` declares the canon, `files` is the whole
+/// workspace (tests included) minus the registry file itself.
+pub fn check(registry_file: &SourceFile, files: &[&SourceFile]) -> Vec<Finding> {
+    let registry = parse_registry(registry_file);
+    let registry_path = registry_file.path.display().to_string();
+    let mut findings = Vec::new();
+
+    if registry.table.is_empty() {
+        findings.push(Finding::new(
+            Rule::FaultRegistry,
+            &registry_path,
+            0,
+            "no-registry",
+            "no REGISTRY table of fault points found in the registry file",
+        ));
+        return findings;
+    }
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for name in &registry.table {
+        if !seen.insert(name) {
+            findings.push(Finding::new(
+                Rule::FaultRegistry,
+                &registry_path,
+                0,
+                format!("dup:{name}"),
+                format!("fault point `{name}` appears more than once in REGISTRY"),
+            ));
+        }
+    }
+    for (const_name, value) in &registry.consts {
+        if !registry.table.contains(value) {
+            findings.push(Finding::new(
+                Rule::FaultRegistry,
+                &registry_path,
+                0,
+                format!("unlisted:{value}"),
+                format!("point constant `{const_name}` (\"{value}\") is not listed in REGISTRY"),
+            ));
+        }
+    }
+
+    let declared: BTreeSet<&str> = registry.table.iter().map(String::as_str).collect();
+    // Aliases from `use ...::{NAME as ALIAS}` re-exports, resolved against
+    // the point constants.
+    let mut aliases: BTreeMap<String, String> = BTreeMap::new();
+    for file in files {
+        let code = Code::new(file);
+        for i in 0..code.len().saturating_sub(2) {
+            if code.ident(i + 1) == Some("as") {
+                if let (Some(from), Some(to)) = (code.ident(i), code.ident(i + 2)) {
+                    if let Some(value) = registry.consts.get(from) {
+                        aliases.insert(to.to_string(), value.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut hit_points: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        let path = file.path.display().to_string();
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            // Undeclared point-shaped literals, anywhere (tests included).
+            if let TokKind::Str(s) = &code.tok(i).kind {
+                let candidate = s.split(':').next().unwrap_or("");
+                if looks_like_point(candidate) && !declared.contains(candidate) {
+                    findings.push(Finding::new(
+                        Rule::FaultRegistry,
+                        &path,
+                        code.line(i),
+                        format!("undeclared:{candidate}"),
+                        format!(
+                            "fault-point literal \"{candidate}\" is not declared in \
+                             the REGISTRY table of {registry_path}"
+                        ),
+                    ));
+                }
+            }
+            // Injection sites: `hit( <path-or-literal> )` in non-test code.
+            if code.ident(i) == Some("hit") && code.punct(i + 1, '(') && !code.in_test(i) {
+                let mut j = i + 2;
+                let mut last: Option<String> = None;
+                while j < code.len() && !code.punct(j, ')') {
+                    match &code.tok(j).kind {
+                        TokKind::Str(s) => last = Some(s.clone()),
+                        TokKind::Ident(name) => {
+                            last = registry
+                                .consts
+                                .get(name)
+                                .or_else(|| aliases.get(name))
+                                .cloned()
+                                .or(last);
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(point) = last {
+                    if !file.is_test_file() {
+                        hit_points.insert(point);
+                    }
+                }
+            }
+        }
+    }
+    for name in &registry.table {
+        if !hit_points.contains(name) {
+            findings.push(Finding::new(
+                Rule::FaultRegistry,
+                &registry_path,
+                0,
+                format!("dead:{name}"),
+                format!(
+                    "registered fault point `{name}` has no faults::hit(...) \
+                     injection site in non-test code"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD_REGISTRY: &str = r#"
+pub mod points {
+    pub const ALPHA: &str = "engine.alpha.one";
+    pub const BETA: &str = "serve.beta";
+}
+pub const REGISTRY: &[FaultPoint] = &[
+    FaultPoint { name: points::ALPHA, doc: "a" },
+    FaultPoint { name: points::BETA, doc: "b" },
+];
+"#;
+
+    fn reg(src: &str) -> SourceFile {
+        SourceFile::parse("faults.rs", src)
+    }
+
+    fn user(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/user.rs", src)
+    }
+
+    #[test]
+    fn parses_consts_and_table() {
+        let r = parse_registry(&reg(GOOD_REGISTRY));
+        assert_eq!(r.consts.len(), 2);
+        assert_eq!(r.table, vec!["engine.alpha.one", "serve.beta"]);
+    }
+
+    #[test]
+    fn consistent_world_is_clean() {
+        let u = user(
+            r#"fn f() { faults::hit(points::ALPHA); }
+               fn g() { faults::hit(points::BETA); }"#,
+        );
+        assert!(check(&reg(GOOD_REGISTRY), &[&u]).is_empty());
+    }
+
+    #[test]
+    fn undeclared_literal_fails() {
+        let u = user(
+            r#"fn f() { faults::hit(points::ALPHA); hit(points::BETA); let s = "engine.alpha.two:nth=1:panic"; }"#,
+        );
+        let f = check(&reg(GOOD_REGISTRY), &[&u]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].key_detail.contains("engine.alpha.two"));
+    }
+
+    #[test]
+    fn const_missing_from_table_fails() {
+        let src = r#"
+pub const ALPHA: &str = "engine.alpha.one";
+pub const BETA: &str = "serve.beta";
+pub const REGISTRY: &[FaultPoint] = &[FaultPoint { name: ALPHA, doc: "a" }];
+"#;
+        let u = user("fn f() { hit(ALPHA); }");
+        let f = check(&reg(src), &[&u]);
+        assert!(f.iter().any(|x| x.key_detail == "unlisted:serve.beta"));
+    }
+
+    #[test]
+    fn duplicate_table_entry_fails() {
+        let src = r#"
+pub const ALPHA: &str = "engine.alpha.one";
+pub const REGISTRY: &[&str] = &[ALPHA, ALPHA];
+"#;
+        let u = user("fn f() { hit(ALPHA); }");
+        let f = check(&reg(src), &[&u]);
+        assert!(f.iter().any(|x| x.key_detail == "dup:engine.alpha.one"));
+    }
+
+    #[test]
+    fn dead_point_fails() {
+        let u = user("fn f() { faults::hit(points::ALPHA); }");
+        let f = check(&reg(GOOD_REGISTRY), &[&u]);
+        assert!(f.iter().any(|x| x.key_detail == "dead:serve.beta"));
+    }
+
+    #[test]
+    fn alias_reexport_counts_as_hit_site() {
+        let u = user(
+            r#"pub use engine::points::{ALPHA as LOCAL_A, BETA as LOCAL_B};
+               fn f() { faults::hit(LOCAL_A); }
+               fn g() { faults::hit(LOCAL_B); }"#,
+        );
+        assert!(check(&reg(GOOD_REGISTRY), &[&u]).is_empty());
+    }
+
+    #[test]
+    fn hit_in_test_file_does_not_count_as_injection_site() {
+        let t = SourceFile::parse(
+            "crates/x/tests/t.rs",
+            "fn f() { faults::hit(points::ALPHA); faults::hit(points::BETA); }",
+        );
+        let f = check(&reg(GOOD_REGISTRY), &[&t]);
+        assert!(f.iter().any(|x| x.key_detail == "dead:engine.alpha.one"));
+        assert!(f.iter().any(|x| x.key_detail == "dead:serve.beta"));
+    }
+}

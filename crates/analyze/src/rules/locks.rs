@@ -1,0 +1,369 @@
+//! Rule `lock-hierarchy`: nested mutex acquisitions must follow the order
+//! declared in `analyze.toml`.
+//!
+//! The pass finds every `.lock()` call, names the lock
+//! `<file-stem>.<receiver>` (see [`super::chain_name`]), and tracks guard
+//! lifetimes per function with a small scope simulator:
+//!
+//! * `let g = x.lock()...;` holds the guard until `drop(g)`, or the end of
+//!   the block the binding lives in (a guard moved into a returned value is
+//!   treated as held to the end of the function — conservative and correct
+//!   for ordering);
+//! * an inline `x.lock()` without a `let` holds the guard to the end of the
+//!   enclosing statement.
+//!
+//! Every acquisition made while another guard is live records a nesting
+//! edge. The aggregated edge set must (a) only involve locks declared in
+//! the `[locks] order` list, (b) never go backwards in that list, (c) never
+//! nest a lock name inside itself, and (d) be acyclic — (d) is implied by
+//! (a)+(b) when everything is declared, but stands on its own so an
+//! undeclared-lock cycle still fails loudly.
+
+use super::{chain_name, enclosing_fn, fn_spans, receiver_chain, Code};
+use crate::config::Config;
+use crate::findings::{Finding, Rule};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed nested acquisition: `held` was live when `acquired` was
+/// locked.
+#[derive(Debug)]
+pub struct Edge {
+    pub held: String,
+    pub acquired: String,
+    pub file: String,
+    pub function: String,
+    pub line: u32,
+}
+
+/// Runs the rule over non-test source files.
+pub fn check(files: &[&SourceFile], config: &Config) -> Vec<Finding> {
+    let mut edges: Vec<Edge> = Vec::new();
+    for file in files {
+        collect_edges(file, &mut edges);
+    }
+    judge(&edges, config)
+}
+
+/// A live guard in the scope simulator.
+struct Guard {
+    lock: String,
+    /// Binding variable, if bound with `let`.
+    var: Option<String>,
+    /// Brace depth the binding lives at (guard dies when the block closes).
+    depth: usize,
+    /// Statement-scoped (no `let`): dies at the next `;` of its statement.
+    transient: bool,
+}
+
+/// Collects nesting edges from one file.
+pub fn collect_edges(file: &SourceFile, edges: &mut Vec<Edge>) {
+    let code = Code::new(file);
+    let spans = fn_spans(&code);
+    let stem = file.stem();
+    for span in &spans {
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth = 0usize;
+        let mut paren = 0usize;
+        // Pending `let` binding name for the current statement.
+        let mut pending_let: Option<String> = None;
+        let mut i = span.body_start;
+        while i <= span.body_end && i < code.len() {
+            if code.in_test(i) {
+                i += 1;
+                continue;
+            }
+            let tok = code.tok(i);
+            if tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            } else if tok.is_punct('(') {
+                paren += 1;
+            } else if tok.is_punct(')') {
+                paren = paren.saturating_sub(1);
+            } else if tok.is_punct(';') && paren == 0 {
+                guards.retain(|g| !g.transient);
+                pending_let = None;
+            } else if tok.ident() == Some("let") && paren == 0 {
+                let name_pos = if code.ident(i + 1) == Some("mut") {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                pending_let = code.ident(name_pos).map(str::to_string);
+            } else if tok.ident() == Some("drop") && code.punct(i + 1, '(') {
+                if let Some(var) = code.ident(i + 2) {
+                    if code.punct(i + 3, ')') {
+                        guards.retain(|g| g.var.as_deref() != Some(var));
+                    }
+                }
+            } else if tok.ident() == Some("lock")
+                && i > 0
+                && code.punct(i - 1, '.')
+                && code.punct(i + 1, '(')
+            {
+                if let Some(receiver) = chain_name(&receiver_chain(&code, i - 1)) {
+                    let lock = format!("{stem}.{receiver}");
+                    let function = enclosing_fn(&spans, i).unwrap_or("?").to_string();
+                    for g in &guards {
+                        edges.push(Edge {
+                            held: g.lock.clone(),
+                            acquired: lock.clone(),
+                            file: file.path.display().to_string(),
+                            function: function.clone(),
+                            line: code.line(i),
+                        });
+                    }
+                    guards.push(Guard {
+                        lock,
+                        var: pending_let.clone(),
+                        depth,
+                        transient: pending_let.is_none(),
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Judges the aggregated edges against the declared order.
+pub fn judge(edges: &[Edge], config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let position: BTreeMap<&str, usize> = config
+        .lock_order
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.as_str(), i))
+        .collect();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for edge in edges {
+        let key = format!("{}->{}", edge.held, edge.acquired);
+        if !reported.insert(format!("{}|{key}", edge.file)) {
+            continue;
+        }
+        let at = format!("in {} ({})", edge.function, edge.file);
+        if edge.held == edge.acquired {
+            findings.push(Finding::new(
+                Rule::LockHierarchy,
+                &edge.file,
+                edge.line,
+                &key,
+                format!(
+                    "lock `{}` acquired while already held {at} — self-deadlock \
+                     unless the instances are provably distinct",
+                    edge.held
+                ),
+            ));
+            continue;
+        }
+        match (
+            position.get(edge.held.as_str()),
+            position.get(edge.acquired.as_str()),
+        ) {
+            (Some(h), Some(a)) if h < a => {}
+            (Some(_), Some(_)) => findings.push(Finding::new(
+                Rule::LockHierarchy,
+                &edge.file,
+                edge.line,
+                &key,
+                format!(
+                    "lock `{}` acquired while holding `{}` {at}, but the declared \
+                     order in analyze.toml puts `{}` first",
+                    edge.acquired, edge.held, edge.acquired
+                ),
+            )),
+            _ => {
+                let missing = if position.contains_key(edge.held.as_str()) {
+                    &edge.acquired
+                } else {
+                    &edge.held
+                };
+                findings.push(Finding::new(
+                    Rule::LockHierarchy,
+                    &edge.file,
+                    edge.line,
+                    &key,
+                    format!(
+                        "nested acquisition `{}` → `{}` {at} involves lock `{missing}` \
+                         which is not in the declared [locks] order",
+                        edge.held, edge.acquired
+                    ),
+                ));
+            }
+        }
+    }
+    findings.extend(find_cycles(edges));
+    findings
+}
+
+/// DFS cycle detection over the aggregated nesting graph.
+fn find_cycles(edges: &[Edge]) -> Vec<Finding> {
+    let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        // Self-edges are already reported as self-deadlocks by `judge`.
+        if e.held != e.acquired {
+            adjacency
+                .entry(e.held.as_str())
+                .or_default()
+                .insert(e.acquired.as_str());
+        }
+    }
+    let mut findings = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in adjacency.keys() {
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack = vec![(start, false)];
+        let mut path: Vec<&str> = Vec::new();
+        let mut on_path: BTreeSet<&str> = BTreeSet::new();
+        while let Some((node, leaving)) = stack.pop() {
+            if leaving {
+                path.pop();
+                on_path.remove(node);
+                done.insert(node);
+                continue;
+            }
+            if on_path.contains(node) {
+                let from = path.iter().position(|&n| n == node).unwrap_or(0);
+                let mut cycle: Vec<&str> = path[from..].to_vec();
+                cycle.push(node);
+                let witness = edges
+                    .iter()
+                    .find(|e| e.held == node)
+                    .expect("cycle nodes have edges");
+                findings.push(Finding::new(
+                    Rule::LockHierarchy,
+                    &witness.file,
+                    witness.line,
+                    format!("cycle:{}", cycle.join("->")),
+                    format!(
+                        "cyclic lock nesting {} — two threads taking the ends in \
+                         opposite order deadlock",
+                        cycle.join(" -> ")
+                    ),
+                ));
+                continue;
+            }
+            if done.contains(node) {
+                continue;
+            }
+            stack.push((node, true));
+            path.push(node);
+            on_path.insert(node);
+            if let Some(nexts) = adjacency.get(node) {
+                for next in nexts {
+                    stack.push((next, false));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(order: &[&str]) -> Config {
+        Config {
+            lock_order: order.iter().map(|s| s.to_string()).collect(),
+            ..Config::default()
+        }
+    }
+
+    fn run(src: &str, order: &[&str]) -> Vec<Finding> {
+        let file = SourceFile::parse("fix.rs", src);
+        check(&[&file], &config(order))
+    }
+
+    #[test]
+    fn ordered_nesting_is_clean() {
+        let src = "fn f(&self) { let a = self.outer.lock(); let b = self.inner.lock(); }";
+        assert!(run(src, &["fix.outer", "fix.inner"]).is_empty());
+    }
+
+    #[test]
+    fn backwards_nesting_fails() {
+        let src = "fn f(&self) { let b = self.inner.lock(); let a = self.outer.lock(); }";
+        let f = run(src, &["fix.outer", "fix.inner"]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("declared order"));
+    }
+
+    #[test]
+    fn undeclared_nested_lock_fails() {
+        let src = "fn f(&self) { let a = self.outer.lock(); let b = self.rogue.lock(); }";
+        let f = run(src, &["fix.outer"]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not in the declared"));
+    }
+
+    #[test]
+    fn standalone_locks_need_no_declaration() {
+        let src =
+            "fn f(&self) { let a = self.anything.lock(); } fn g(&self) { self.other.lock(); }";
+        assert!(run(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "fn f(&self) { let a = self.inner.lock(); drop(a); let b = self.outer.lock(); }";
+        assert!(run(src, &["fix.outer", "fix.inner"]).is_empty());
+    }
+
+    #[test]
+    fn block_scope_releases_the_guard() {
+        let src = "fn f(&self) { { let a = self.inner.lock(); } let b = self.outer.lock(); }";
+        assert!(run(src, &["fix.outer", "fix.inner"]).is_empty());
+    }
+
+    #[test]
+    fn inline_guard_is_statement_scoped() {
+        // The inline lock's guard dies at the `;`, so the later lock is not
+        // nested under it.
+        let src = "fn f(&self) { *self.inner.lock() = 1; let b = self.outer.lock(); }";
+        assert!(run(src, &["fix.outer", "fix.inner"]).is_empty());
+    }
+
+    #[test]
+    fn inline_then_nested_in_same_statement_counts() {
+        let src = "fn f(&self) { g(self.inner.lock(), self.outer.lock()); }";
+        let f = run(src, &["fix.outer", "fix.inner"]);
+        assert_eq!(f.len(), 1, "same-statement nesting is a real edge");
+    }
+
+    #[test]
+    fn recursive_acquisition_fails() {
+        let src = "fn f(&self) { let a = self.state.lock(); let b = self.state.lock(); }";
+        let f = run(src, &["fix.state"]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn cross_function_cycle_fails() {
+        let src = "
+fn f(&self) { let a = self.left.lock(); let b = self.right.lock(); }
+fn g(&self) { let b = self.right.lock(); let a = self.left.lock(); }
+";
+        // No declared order: both edges are undeclared-lock findings, and
+        // the cycle finding fires on top.
+        let f = run(src, &[]);
+        assert!(f.iter().any(|x| x.key_detail.starts_with("cycle:")));
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "
+#[cfg(test)]
+mod tests {
+    fn f(&self) { let b = self.inner.lock(); let a = self.outer.lock(); }
+}
+";
+        assert!(run(src, &["fix.outer", "fix.inner"]).is_empty());
+    }
+}

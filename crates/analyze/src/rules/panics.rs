@@ -1,0 +1,132 @@
+//! Rule `panic-path`: `unwrap` / `expect` / `panic!` / `unreachable!` /
+//! `todo!` / `unimplemented!` are forbidden in the production paths of the
+//! configured crates unless the site carries an `// allow-panic: <why>`
+//! justification — a panic in a worker, a session thread or the storage
+//! layer is a query-killing (or pool-killing) event, and every deliberate
+//! one must say why it cannot fire or why dying is correct.
+//!
+//! Test modules, `#[test]` fns and `tests/`-tree files are exempt: tests
+//! panic by design.
+
+use super::{enclosing_fn, fn_spans, Code};
+use crate::findings::{Finding, Rule};
+use crate::source::SourceFile;
+
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the rule over files in the configured deny paths.
+pub fn check(files: &[&SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        check_file(file, &mut findings);
+    }
+    findings
+}
+
+fn check_file(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let code = Code::new(file);
+    let spans = fn_spans(&code);
+    let path = file.path.display().to_string();
+    for i in 0..code.len() {
+        if code.in_test(i) {
+            continue;
+        }
+        let site = if code.punct(i + 1, '!') {
+            code.ident(i)
+                .filter(|name| PANIC_MACROS.contains(name))
+                .map(|name| format!("{name}!"))
+        } else if i > 0 && code.punct(i - 1, '.') && code.punct(i + 1, '(') {
+            code.ident(i)
+                .filter(|name| PANIC_METHODS.contains(name))
+                .map(str::to_string)
+        } else {
+            None
+        };
+        let Some(what) = site else { continue };
+        let line = code.line(i);
+        if file.justified("allow-panic:", line) {
+            continue;
+        }
+        let function = enclosing_fn(&spans, i).unwrap_or("<file scope>");
+        findings.push(Finding::new(
+            Rule::PanicPath,
+            &path,
+            line,
+            format!("{what}@{function}"),
+            format!(
+                "`{what}` in production path `{function}` — handle the error or \
+                 justify with `// allow-panic: <why>`"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/x/src/fix.rs", src);
+        check(&[&file])
+    }
+
+    #[test]
+    fn bare_unwrap_and_macros_fail() {
+        let f = run("fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = y.expect(\"reason\");
+                if a == 0 { panic!(\"boom\"); }
+                match b { 1 => unreachable!(), _ => a }
+            }");
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|x| x.key_detail.ends_with("@f")));
+    }
+
+    #[test]
+    fn justified_sites_pass() {
+        let f = run("fn f(x: Option<u32>) -> u32 {
+                // allow-panic: x is Some by construction two lines up
+                let a = x.unwrap();
+                let b = y.expect(\"...\"); // allow-panic: poisoned lock is fatal
+                a + b
+            }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let f = run("fn f(x: Option<u32>) -> u32 {
+                x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+            }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn panics_in_strings_and_comments_ignored() {
+        let f = run("fn f() -> &'static str {
+                // this comment says unwrap() and panic!
+                \"call unwrap() or panic!\"
+            }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn test_module_is_exempt() {
+        let f = run("fn real() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); panic!(); }
+            }");
+        assert_eq!(f.len(), 1, "only the non-test unwrap is flagged");
+    }
+
+    #[test]
+    fn test_tree_files_are_exempt_by_caller_scope() {
+        // The driver never hands tests/ files to this rule; mirrored here
+        // for documentation.
+        let file = SourceFile::parse("crates/x/tests/t.rs", "fn t() { x.unwrap(); }");
+        assert!(file.is_test_file());
+    }
+}

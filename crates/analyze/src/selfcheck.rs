@@ -1,0 +1,148 @@
+//! `--self-check`: prove every rule still fires.
+//!
+//! Each check seeds a known violation into an in-memory fixture and asserts
+//! the rule reports it, then runs the rule on a clean twin and asserts
+//! silence. An analyzer whose rules stop firing fails loudly instead of
+//! green-lighting the whole workspace forever — the same reason the
+//! fault-injection suite exists for the runtime's error paths.
+
+use crate::config::Config;
+use crate::findings::Rule;
+use crate::rules;
+use crate::rules::schema::SchemaInputs;
+use crate::source::SourceFile;
+
+/// Runs all five self-checks; returns `(rule, result)` per rule.
+pub fn run() -> Vec<(Rule, Result<(), String>)> {
+    vec![
+        (Rule::LockHierarchy, locks()),
+        (Rule::AtomicOrdering, atomics()),
+        (Rule::FaultRegistry, faultreg()),
+        (Rule::PanicPath, panics()),
+        (Rule::BenchSchema, schema()),
+    ]
+}
+
+fn expect_fires(rule: Rule, found: usize, clean: usize) -> Result<(), String> {
+    if found == 0 {
+        return Err(format!("{rule}: seeded violation was NOT detected"));
+    }
+    if clean != 0 {
+        return Err(format!(
+            "{rule}: clean fixture produced {clean} spurious finding(s)"
+        ));
+    }
+    Ok(())
+}
+
+fn locks() -> Result<(), String> {
+    let config = Config {
+        lock_order: vec!["fix.outer".into(), "fix.inner".into()],
+        ..Config::default()
+    };
+    let bad = SourceFile::parse(
+        "fix.rs",
+        "fn f(&self) { let b = self.inner.lock(); let a = self.outer.lock(); }",
+    );
+    let good = SourceFile::parse(
+        "fix.rs",
+        "fn f(&self) { let a = self.outer.lock(); let b = self.inner.lock(); }",
+    );
+    expect_fires(
+        Rule::LockHierarchy,
+        rules::locks::check(&[&bad], &config).len(),
+        rules::locks::check(&[&good], &config).len(),
+    )
+}
+
+fn atomics() -> Result<(), String> {
+    let bad = SourceFile::parse(
+        "fix.rs",
+        "fn f(&self) { self.flag.load(Ordering::Relaxed); }",
+    );
+    let good = SourceFile::parse(
+        "fix.rs",
+        "fn f(&self) {
+            // ordering: unarmed-registry probe, a stale read only delays a fault
+            self.flag.load(Ordering::Relaxed);
+        }",
+    );
+    expect_fires(
+        Rule::AtomicOrdering,
+        rules::atomics::check(&[&bad]).len(),
+        rules::atomics::check(&[&good]).len(),
+    )
+}
+
+fn faultreg() -> Result<(), String> {
+    let registry = SourceFile::parse(
+        "faults.rs",
+        r#"
+pub const ALPHA: &str = "engine.alpha.one";
+pub const REGISTRY: &[&str] = &[ALPHA];
+"#,
+    );
+    let bad = SourceFile::parse(
+        "crates/x/src/user.rs",
+        r#"fn f() { faults::hit(ALPHA); faults::hit("engine.alpha.two"); }"#,
+    );
+    let good = SourceFile::parse("crates/x/src/user.rs", "fn f() { faults::hit(ALPHA); }");
+    expect_fires(
+        Rule::FaultRegistry,
+        rules::faultreg::check(&registry, &[&bad]).len(),
+        rules::faultreg::check(&registry, &[&good]).len(),
+    )
+}
+
+fn panics() -> Result<(), String> {
+    let bad = SourceFile::parse(
+        "crates/x/src/fix.rs",
+        "fn f(x: Option<u32>) { x.unwrap(); }",
+    );
+    let good = SourceFile::parse(
+        "crates/x/src/fix.rs",
+        "fn f(x: Option<u32>) {
+            // allow-panic: x is Some by construction in the caller
+            x.unwrap();
+        }",
+    );
+    expect_fires(
+        Rule::PanicPath,
+        rules::panics::check(&[&bad]).len(),
+        rules::panics::check(&[&good]).len(),
+    )
+}
+
+fn schema() -> Result<(), String> {
+    let tool = "SCHEMA_VERSION = 3\n";
+    let bad_emitter = SourceFile::parse(
+        "crates/bench/src/em.rs",
+        r#"fn f(out: &mut String) { out.push_str("  \"schema_version\": 2,\n"); }"#,
+    );
+    let good_emitter = SourceFile::parse(
+        "crates/bench/src/em.rs",
+        r#"fn f(out: &mut String) { out.push_str("  \"schema_version\": 3,\n"); }"#,
+    );
+    let json = "{\n  \"schema_version\": 3\n}";
+    let run = |em: &SourceFile| {
+        rules::schema::check(&SchemaInputs {
+            tool: Some(("tool.py", tool)),
+            bench_json: Some(("BENCH.json", json)),
+            emitters: vec![em],
+        })
+        .len()
+    };
+    expect_fires(Rule::BenchSchema, run(&bad_emitter), run(&good_emitter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_fires_on_its_seeded_violation() {
+        for (rule, result) in run() {
+            assert!(result.is_ok(), "{rule}: {result:?}");
+        }
+    }
+}

@@ -51,8 +51,11 @@ fn main() {
         .threads(pool)
         .discard_results()
         .run()
+        // allow-panic: the reference run gates the whole benchmark — if it
+        // fails there is nothing to measure and aborting loudly is correct.
         .expect("sequential reference run")
         .result_cardinality("Result")
+        // allow-panic: assoc_join always stores `Result`.
         .expect("the plan stores `Result`");
 
     eprintln!(

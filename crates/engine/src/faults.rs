@@ -16,13 +16,21 @@
 //! dedicated integration-test binaries (their own process) — see
 //! `crates/engine/tests/faults.rs` and `crates/serve/tests/chaos.rs`.
 //!
-//! ## Fault-point catalog (engine)
+//! ## Fault-point catalog
+//!
+//! The canonical list is the [`REGISTRY`] table below — `dbs3-serve --help`
+//! and the static analyzer's `fault-registry` rule both derive from it, so
+//! a point that exists anywhere else is a build failure, not a typo that
+//! silently tests nothing.
 //!
 //! | point                   | location                         | honored actions |
 //! |-------------------------|----------------------------------|-----------------|
 //! | `engine.worker.process` | worker activation processing     | all             |
 //! | `engine.queue.push`     | `ActivationQueue::try_push`      | panic, delay (error/drop escalate to panic) |
 //! | `engine.runtime.submit` | `Runtime::submit`                | error, drop → typed error; delay; panic |
+//! | `serve.accept`          | accept loop (dbs3-serve)         | drop/error close the connection; delay; panic |
+//! | `serve.read`            | request frame read (dbs3-serve)  | drop/error close the connection; delay; panic |
+//! | `serve.write`           | response frame write (dbs3-serve)| drop/error close the connection; delay; panic |
 //!
 //! `engine.queue.push` escalates `error`/`drop` to a panic on purpose:
 //! silently dropping an activation would corrupt results, and the panic is
@@ -34,8 +42,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-/// Canonical engine fault-point names (the serve layer declares its own in
-/// `dbs3_serve::fault_points`).
+/// Canonical fault-point names for the whole workspace. The serve layer
+/// re-exports its three under `dbs3_serve::server::fault_points` — the
+/// strings live here so [`REGISTRY`] is the single source of truth.
 pub mod points {
     /// A worker about to process a batch of activations for an operator.
     pub const WORKER_PROCESS: &str = "engine.worker.process";
@@ -43,6 +52,65 @@ pub mod points {
     pub const QUEUE_PUSH: &str = "engine.queue.push";
     /// A plan about to be submitted to the [`crate::Runtime`].
     pub const RUNTIME_SUBMIT: &str = "engine.runtime.submit";
+    /// A listener about to accept a connection (dbs3-serve).
+    pub const SERVE_ACCEPT: &str = "serve.accept";
+    /// A session thread about to read a request frame (dbs3-serve).
+    pub const SERVE_READ: &str = "serve.read";
+    /// A session thread about to write a response frame (dbs3-serve).
+    pub const SERVE_WRITE: &str = "serve.write";
+}
+
+/// One registered fault point: its canonical name and a one-line summary of
+/// where it fires, for `--help` text and operator docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Canonical dotted name (`layer.component[.event]`).
+    pub name: &'static str,
+    /// Where in the pipeline the point fires.
+    pub doc: &'static str,
+}
+
+/// The canonical registry of every fault point in the workspace. CLI
+/// parsing ([`FaultPlan::parse_rule`]), `dbs3-serve --help` and the
+/// `fault-registry` static-analysis rule all derive from this table;
+/// adding a point anywhere else fails `dbs3-analyze`.
+pub const REGISTRY: &[FaultPoint] = &[
+    FaultPoint {
+        name: points::WORKER_PROCESS,
+        doc: "worker about to process an activation batch",
+    },
+    FaultPoint {
+        name: points::QUEUE_PUSH,
+        doc: "activation batch pushed into an ActivationQueue",
+    },
+    FaultPoint {
+        name: points::RUNTIME_SUBMIT,
+        doc: "plan submitted to the Runtime",
+    },
+    FaultPoint {
+        name: points::SERVE_ACCEPT,
+        doc: "listener accepting a connection (dbs3-serve)",
+    },
+    FaultPoint {
+        name: points::SERVE_READ,
+        doc: "session reading a request frame (dbs3-serve)",
+    },
+    FaultPoint {
+        name: points::SERVE_WRITE,
+        doc: "session writing a response frame (dbs3-serve)",
+    },
+];
+
+/// Whether `point` names an entry of [`REGISTRY`].
+pub fn is_registered(point: &str) -> bool {
+    REGISTRY.iter().any(|p| p.name == point)
+}
+
+/// The registered point names, comma-joined — for error messages and help
+/// text.
+pub fn registered_points() -> String {
+    let names: Vec<&str> = REGISTRY.iter().map(|p| p.name).collect();
+    names.join(", ")
 }
 
 /// What happens when a rule fires.
@@ -113,7 +181,9 @@ impl FaultPlan {
 
     /// Parses a CLI rule spec: `POINT:TRIGGER:ACTION` where TRIGGER is
     /// `nth=N`, `every=K` or `p=F` and ACTION is `panic`, `error`, `drop`
-    /// or `delay=MS`. Example: `serve.write:p=0.1:drop`.
+    /// or `delay=MS`. Example: `serve.write:p=0.1:drop`. POINT must name an
+    /// entry of [`REGISTRY`] — a typo'd point would otherwise arm a plan
+    /// that never fires.
     pub fn parse_rule(spec: &str) -> Result<FaultRule, String> {
         let parts: Vec<&str> = spec.split(':').collect();
         if parts.len() != 3 {
@@ -122,8 +192,11 @@ impl FaultPlan {
             ));
         }
         let point = parts[0].trim();
-        if point.is_empty() {
-            return Err(format!("fault spec `{spec}` has an empty point name"));
+        if !is_registered(point) {
+            return Err(format!(
+                "unknown fault point `{point}` in `{spec}` (known points: {})",
+                registered_points()
+            ));
         }
         let trigger = match parts[1].split_once('=') {
             Some(("nth", n)) => FaultTrigger::Nth(
@@ -239,6 +312,11 @@ impl Drop for FaultGuard {
     }
 }
 
+// ordering(hits): SeqCst — the 1-based hit index feeds the deterministic
+// trigger decision, so every thread must agree on a single total order of
+// increments; counts() snapshots with the same ordering.
+// ordering(fired): SeqCst — read against `hits` by chaos assertions
+// (fired <= hits must never be observably violated).
 struct ActiveRule {
     rule: FaultRule,
     hits: AtomicU64,
@@ -250,6 +328,10 @@ struct ActivePlan {
     rules: Vec<ActiveRule>,
 }
 
+// ordering(ENABLED): Release store on install/uninstall pairs with the
+// Relaxed fast-path load in `hit` — a stale `false` only skips injection for
+// a few more hits (tests drain before asserting), and a `true` sends the
+// caller to `hit_slow`, which re-checks under the ACTIVE mutex.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static ACTIVE: Mutex<Option<Arc<ActivePlan>>> = Mutex::new(None);
 static INSTALL_LOCK: Mutex<()> = Mutex::new(());
@@ -347,11 +429,11 @@ mod tests {
         for bad in [
             "nocolons",
             "a:b",
-            "p:nth=x:panic",
-            "p:every=0:panic",
-            "p:p=1.5:panic",
-            "p:nth=1:explode",
-            "p:nth=1:delay=abc",
+            "serve.read:nth=x:panic",
+            "serve.read:every=0:panic",
+            "serve.read:p=1.5:panic",
+            "serve.read:nth=1:explode",
+            "serve.read:nth=1:delay=abc",
             ":nth=1:panic",
         ] {
             assert!(
@@ -359,6 +441,36 @@ mod tests {
                 "{bad} should not parse"
             );
         }
+    }
+
+    #[test]
+    fn parse_rule_rejects_unregistered_points() {
+        let err = FaultPlan::parse_rule("engine.worker.proces:nth=1:panic").unwrap_err();
+        assert!(err.contains("unknown fault point"), "{err}");
+        assert!(
+            err.contains("engine.worker.process"),
+            "the error lists the known points: {err}"
+        );
+    }
+
+    #[test]
+    fn registry_and_points_module_agree() {
+        for p in REGISTRY {
+            assert!(is_registered(p.name));
+            assert!(!p.doc.is_empty(), "{} has no doc", p.name);
+        }
+        let listed = |s: &str| REGISTRY.iter().filter(|p| p.name == s).count();
+        for name in [
+            points::WORKER_PROCESS,
+            points::QUEUE_PUSH,
+            points::RUNTIME_SUBMIT,
+            points::SERVE_ACCEPT,
+            points::SERVE_READ,
+            points::SERVE_WRITE,
+        ] {
+            assert_eq!(listed(name), 1, "{name} must appear exactly once");
+        }
+        assert_eq!(REGISTRY.len(), 6);
     }
 
     #[test]

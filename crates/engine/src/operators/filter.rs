@@ -33,6 +33,8 @@ impl FilterOperator {
         let fragment = self
             .relation
             .fragment(instance)
+            // allow-panic: plan binding sized the instance range; an
+            // out-of-range instance is a planner bug worth crashing on.
             .expect("executor only routes activations to existing instances");
         let tuples = fragment.tuples();
         let Some((start, end)) = super::control_range(&activation, tuples.len()) else {

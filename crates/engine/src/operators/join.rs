@@ -62,6 +62,8 @@ impl TriggeredJoinOperator {
         let outer = self
             .outer
             .fragment(instance)
+            // allow-panic: plan binding verified co-partitioning; a missing
+            // fragment is a planner bug worth crashing on.
             .expect("co-partitioned operands share the degree of partitioning");
         let outer_tuples = outer.tuples();
         let Some((start, end)) = super::control_range(&activation, outer_tuples.len()) else {
@@ -70,6 +72,7 @@ impl TriggeredJoinOperator {
         let inner = self
             .inner
             .fragment(instance)
+            // allow-panic: same co-partitioning invariant as `outer` above.
             .expect("co-partitioned operands share the degree of partitioning");
         match self.algorithm {
             JoinAlgorithm::NestedLoop => {
@@ -169,6 +172,8 @@ impl PipelinedJoinOperator {
         let inner = self
             .inner
             .fragment(instance)
+            // allow-panic: hash routing is modulo the instance count, so the
+            // fragment exists; a miss is a planner bug worth crashing on.
             .expect("routing always targets an existing inner fragment");
         let inner_tuples = inner.tuples();
         match self.algorithm {

@@ -22,6 +22,10 @@ use std::sync::Arc;
 pub struct StoreOperator {
     result_name: String,
     buffers: Arc<Vec<Mutex<Vec<Tuple>>>>,
+    // ordering(counts): Relaxed — independent per-fragment tallies with no
+    // cross-field invariants; totals are only read after the query drains.
+    // ordering(c): the same counters bound as `c` in iterator closures —
+    // same Relaxed protocol.
     /// Per-fragment tuple tallies, maintained only in counting mode.
     counts: Arc<Vec<AtomicUsize>>,
     /// Whether tuples are counted and dropped instead of materialised.

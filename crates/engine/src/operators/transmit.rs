@@ -29,6 +29,8 @@ impl TransmitOperator {
         let tuples = self
             .relation
             .fragment(instance)
+            // allow-panic: plan binding sized the instance range; an
+            // out-of-range instance is a planner bug worth crashing on.
             .expect("executor only routes activations to existing instances")
             .tuples();
         let Some((start, end)) = super::control_range(&activation, tuples.len()) else {

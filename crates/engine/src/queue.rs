@@ -92,13 +92,24 @@ pub struct ActivationQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
+    // ordering(atomic_len): SeqCst — `is_exhausted` reads closed before len
+    // and needs a single total order against the closed flag; every write
+    // happens inside the buffer mutex, the loads are lock-free observers.
     /// Atomic mirror of `QueueState::weight`, written inside the critical
     /// section of every mutation so observers never lock.
     atomic_len: AtomicUsize,
+    // ordering(atomic_closed): SeqCst — monotone false → true; paired with
+    // `atomic_len` in the exhaustion check (closed read first), so both
+    // sides must agree on one total order.
     /// Atomic mirror of `QueueState::closed` (monotone false → true).
     atomic_closed: AtomicBool,
+    // ordering(enqueued): SeqCst — metrics totals read against `dequeued`
+    // by tests asserting enqueued == dequeued after a drain; SeqCst keeps
+    // the pair coherent and the cost is invisible next to the mutex.
     /// Total queue weight ever enqueued (metrics).
     enqueued: AtomicU64,
+    // ordering(dequeued): SeqCst — see `enqueued`; the two counters form
+    // one invariant and share one ordering.
     /// Total queue weight ever dequeued (metrics).
     dequeued: AtomicU64,
 }
@@ -175,9 +186,10 @@ impl ActivationQueue {
     pub fn try_push(&self, activation: Activation) -> std::result::Result<(), TryPushError> {
         match crate::faults::hit(crate::faults::points::QUEUE_PUSH) {
             Some(crate::faults::FaultAction::Delay(d)) => std::thread::sleep(d),
-            // `error`/`drop` escalate to a panic: silently losing an
-            // activation would corrupt results, while the panic is contained
-            // by the worker's catch_unwind into a typed `WorkerPanicked`.
+            // allow-panic: `error`/`drop` escalate to a panic on purpose —
+            // silently losing an activation would corrupt results, while the
+            // panic is contained by the worker's catch_unwind into a typed
+            // `WorkerPanicked`.
             Some(_) => panic!("injected fault at {}", crate::faults::points::QUEUE_PUSH),
             None => {}
         }
@@ -259,6 +271,8 @@ impl ActivationQueue {
             if !out.is_empty() && popped + weight > max_weight {
                 break;
             }
+            // allow-panic: the `while let Some(front)` above proved
+            // non-emptiness under the same lock.
             let a = state.buffer.pop_front().expect("front exists");
             state.weight -= weight;
             popped += weight;

@@ -165,15 +165,27 @@ struct OpRuntime {
     /// Cache-padded: bumped by every worker touching the operation, and a
     /// line shared with `pending` (or a neighbouring op's counters) would
     /// ping-pong between cores on every poll.
+    // ordering(inflight): SeqCst — the termination check reads inflight
+    // against queue exhaustion; a weaker pair could observe "no inflight"
+    // before a racing worker's increment and finish an op that still has a
+    // popped batch in hand.
     inflight: CachePadded<AtomicUsize>,
     /// Set exactly once, when the operation's queues are exhausted and no
     /// activation is in flight.
+    // ordering(finished): SeqCst — the once-only CAS and its readers form
+    // the op-termination protocol with `inflight` and the queue mirrors;
+    // one total order keeps "finished" from outrunning the exhaustion it
+    // summarizes.
     finished: AtomicBool,
     /// Whether the operation currently holds its (single) entry in the
     /// runtime's ready deque. Producers CAS this `false → true` on every
     /// successful push, so an operation is announced at most once however
     /// many flushes race; a worker that finds the operation drained clears
     /// it and re-checks `pending` (see [`retire_ready_entry`]).
+    // ordering(announced): SeqCst — the announce CAS must be ordered
+    // against the `pending` bump it gates: retire clears announced, then
+    // re-reads pending; a producer bumps pending, then CASes announced.
+    // SeqCst on both sides closes the lost-announcement window.
     announced: AtomicBool,
     /// Advisory count of *queue weight* (control activations count one,
     /// data activations count their tuples) buffered across the operation's
@@ -185,6 +197,9 @@ struct OpRuntime {
     /// Cache-padded so producer-side `fetch_add`s don't invalidate the line
     /// the consumers' read-mostly fields live on (false sharing): workers
     /// read `pending` on every poll of the op, while flushes write it.
+    // ordering(pending): SeqCst — one half of the announce/retire protocol
+    // (see `announced`); advisory for work-skipping but load-bearing for
+    // the at-most-one-deque-entry invariant.
     pending: CachePadded<AtomicU64>,
 }
 
@@ -205,12 +220,24 @@ struct QueryState {
     /// Store operators keyed by result name, for result collection.
     stores: Vec<(String, Arc<BoundOperator>)>,
     started: Instant,
+    // ordering(cancelled): SeqCst store on cancel so the flag is visible
+    // before the queues close; the hot-path probes in `is_live` and the
+    // worker loop load Relaxed — acting on a stale `false` only means one
+    // more harmless batch, and the completion cell is mutex-sealed anyway.
     cancelled: AtomicBool,
     /// Operations not yet finished; the query completes when this hits 0.
+    // ordering(ops_remaining): SeqCst on the finish-side decrement (it
+    // decides query completion, ordered against op `finished` flags);
+    // `is_live` probes with Relaxed because staleness only costs a wasted
+    // scan.
     ops_remaining: AtomicUsize,
     /// Monotone activation-progress counter: bumped every time a worker
     /// processes a batch for this query. The watchdog compares successive
     /// readings to detect wedged queries; nothing else reads it.
+    // ordering(progress): Relaxed writes on the worker hot path — the
+    // watchdog only compares successive snapshots seconds apart, so any
+    // eventually-visible increment works; its reader uses SeqCst merely to
+    // pair with the rest of the watchdog scan.
     progress: AtomicU64,
     metrics: MetricsSlots,
     cell: CompletionCell,
@@ -239,7 +266,14 @@ impl QueryState {
 /// announcing itself, so a wakeup between its last scan and the wait can
 /// never be lost.
 struct IdleParking {
+    // ordering(epoch): SeqCst — the snapshot/announce/re-check dance only
+    // excludes lost wakeups if the epoch bump, the sleeper count and the
+    // parker's re-read sit in one total order (this is the textbook
+    // flag-and-check where weaker orders allow both sides to miss).
     epoch: AtomicU64,
+    // ordering(sleepers): SeqCst — read by `wake_all` to decide whether to
+    // take the mutex at all; must not be reorderable against the epoch
+    // bump or a parker could announce itself and still sleep unwoken.
     sleepers: AtomicUsize,
     mutex: Mutex<()>,
     cv: Condvar,
@@ -296,7 +330,14 @@ struct RuntimeInner {
     /// operation that has buffered activations (see the module docs).
     /// Workers pop the front; producers announce at the back.
     ready: Mutex<VecDeque<(Arc<QueryState>, usize)>>,
+    // ordering(next_query): SeqCst — id allocation; uniqueness is all that
+    // matters and the fetch_add is nowhere near a hot path.
     next_query: AtomicU64,
+    // ordering(shutdown): SeqCst store + SeqCst loads at the decision
+    // points (submit gate, worker exit, drain loop) so no worker can see
+    // work queued after it observed the flag; the per-batch probe in the
+    // worker loop loads Relaxed since a stale `false` just processes one
+    // more batch before exit.
     shutdown: AtomicBool,
     idle: IdleParking,
 }
@@ -418,6 +459,8 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name(format!("dbs3-runtime-{worker}"))
                     .spawn(move || worker_loop(&inner, worker))
+                    // allow-panic: thread spawn fails only on resource
+                    // exhaustion at startup; no query is in flight yet.
                     .expect("spawning a runtime worker thread")
             })
             .collect();
@@ -427,6 +470,7 @@ impl Runtime {
                 std::thread::Builder::new()
                     .name("dbs3-watchdog".to_string())
                     .spawn(move || watchdog_loop(&inner, stall_after))
+                    // allow-panic: same startup-only spawn as the workers.
                     .expect("spawning the runtime watchdog thread"),
             );
         }
@@ -526,6 +570,8 @@ impl Runtime {
             }
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
             Some(FaultAction::Panic) => {
+                // allow-panic: FaultAction::Panic is the injected-crash
+                // contract of the fault registry.
                 panic!("injected fault at {}", faults::points::RUNTIME_SUBMIT)
             }
             None => {}
@@ -551,6 +597,8 @@ impl Runtime {
             let node = plan.node(*id)?;
             let ext_op = extended
                 .operation(*id)
+                // allow-panic: ExtendedPlan::from_plan above covered every
+                // node of the same plan this order came from.
                 .expect("extended plan covers every node");
             let op_schedule = schedule.operation(*id)?;
 
@@ -979,6 +1027,8 @@ pub(crate) fn bind_operator(
                     ))
                 }
                 OuterInput::Pipeline => {
+                    // allow-panic: Plan::validate rejected pipeline joins
+                    // without a producer edge before binding started.
                     let producer = node.producer().expect("validated");
                     let incoming_schema = plan.output_schema(producer, catalog)?;
                     let outer_column = incoming_schema.column_index(&condition.outer_column)?;
@@ -1126,6 +1176,8 @@ fn try_process_op(
     op.inflight.fetch_add(1, Ordering::SeqCst);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         match faults::hit(faults::points::WORKER_PROCESS) {
+            // allow-panic: FaultAction::Panic is the injected-crash contract;
+            // catch_unwind right above contains it into WorkerPanicked.
             Some(FaultAction::Panic) => panic!(
                 "injected fault at {} in `{}`",
                 faults::points::WORKER_PROCESS,

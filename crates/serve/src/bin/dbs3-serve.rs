@@ -17,6 +17,7 @@
 //! `--fault serve.write:p=0.1:drop --fault-seed 7`. `--stall-after-ms`
 //! arms the runtime watchdog against wedged queries.
 
+use dbs3_engine::faults::REGISTRY;
 use dbs3_engine::FaultPlan;
 use dbs3_serve::{Server, ServerConfig};
 use dbs3_storage::{
@@ -26,6 +27,9 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+// ordering(TERMINATE): SeqCst on both ends — the store happens in a signal
+// handler where reasoning about weaker orderings buys nothing, and the
+// watcher polls every 50ms so there is no hot path to optimize.
 /// Set by the signal handler; watched by the drain thread.
 static TERMINATE: AtomicBool = AtomicBool::new(false);
 
@@ -119,6 +123,11 @@ fn parse_args() -> Result<Args, String> {
                      [--scale paper|smoke] [--stall-after-ms N] [--fault-seed N] \
                      [--fault POINT:TRIGGER:ACTION]..."
                 );
+                println!();
+                println!("fault points (TRIGGER: nth=N | every=K | p=F; ACTION: panic | error | drop | delay=MS):");
+                for point in REGISTRY {
+                    println!("  {:24} {}", point.name, point.doc);
+                }
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -130,7 +139,7 @@ fn parse_args() -> Result<Args, String> {
 /// Builds the Wisconsin `A` ⋈ `Bprime` catalog the experiment plans expect:
 /// paper scale is A=200K/Bprime=20K over 200 fragments, smoke divides both
 /// by 20 (matching the bench crate's smoke tier).
-fn build_catalog(scale: Scale) -> Catalog {
+fn build_catalog(scale: Scale) -> Result<Catalog, String> {
     let (a_card, b_card, degree) = match scale {
         Scale::Paper => (200_000, 20_000, 200),
         Scale::Smoke => (10_000, 1_000, 20),
@@ -138,19 +147,25 @@ fn build_catalog(scale: Scale) -> Catalog {
     let generator = WisconsinGenerator::new();
     let a = generator
         .generate(&WisconsinConfig::narrow("A", a_card))
-        .expect("valid generator configuration");
+        .map_err(|e| format!("generating A: {e}"))?;
     let b = generator
         .generate(&WisconsinConfig::narrow("Bprime", b_card))
-        .expect("valid generator configuration");
+        .map_err(|e| format!("generating Bprime: {e}"))?;
     let spec = PartitionSpec::on("unique1", degree, 8);
     let mut catalog = Catalog::new();
     catalog
-        .register(PartitionedRelation::from_relation(&a, spec.clone()).expect("valid partitioning"))
-        .expect("fresh catalog");
+        .register(
+            PartitionedRelation::from_relation(&a, spec.clone())
+                .map_err(|e| format!("partitioning A: {e}"))?,
+        )
+        .map_err(|e| format!("registering A: {e}"))?;
     catalog
-        .register(PartitionedRelation::from_relation(&b, spec).expect("valid partitioning"))
-        .expect("fresh catalog");
-    catalog
+        .register(
+            PartitionedRelation::from_relation(&b, spec)
+                .map_err(|e| format!("partitioning Bprime: {e}"))?,
+        )
+        .map_err(|e| format!("registering Bprime: {e}"))?;
+    Ok(catalog)
 }
 
 fn main() -> ExitCode {
@@ -194,7 +209,13 @@ fn main() -> ExitCode {
             "smoke"
         }
     );
-    let catalog = build_catalog(args.scale);
+    let catalog = match build_catalog(args.scale) {
+        Ok(catalog) => catalog,
+        Err(e) => {
+            eprintln!("dbs3-serve: catalog build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let config = ServerConfig {
         workers: args.workers,
         max_inflight: args.max_inflight,

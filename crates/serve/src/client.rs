@@ -287,6 +287,7 @@ impl ResilientClient {
         }
         self.conn
             .as_mut()
+            // allow-panic: the branch above just filled the None case.
             .expect("connection was just established")
             .execute_with_id(plan, options, deadline_ms, request_id)
     }

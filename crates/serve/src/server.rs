@@ -50,24 +50,25 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Named fault points of the serve layer, registered with the engine's
-/// deterministic fault registry ([`dbs3_engine::faults`]). Install a
-/// [`FaultPlan`](dbs3_engine::FaultPlan) targeting these to make the server
-/// drop accepted connections, fail reads or damage writes on a seeded,
-/// reproducible schedule.
+/// Named fault points of the serve layer. The canonical strings live in the
+/// engine's [`dbs3_engine::faults::REGISTRY`] table (one registry for the
+/// whole workspace); this module re-exports them under their historical
+/// local names. Install a [`FaultPlan`](dbs3_engine::FaultPlan) targeting
+/// these to make the server drop accepted connections, fail reads or damage
+/// writes on a seeded, reproducible schedule.
 pub mod fault_points {
     /// Fires right after `accept` returns, before the session thread
     /// spawns. `drop`/`error` close the fresh connection (the client sees
     /// a reset or an immediate EOF), `delay` stalls the accept loop.
-    pub const ACCEPT: &str = "serve.accept";
+    pub use dbs3_engine::faults::points::SERVE_ACCEPT as ACCEPT;
     /// Fires inside every socket read of a session thread. `drop` shuts the
     /// connection down and reports EOF, `error` surfaces a transport error,
     /// `delay` stalls the read.
-    pub const READ: &str = "serve.read";
+    pub use dbs3_engine::faults::points::SERVE_READ as READ;
     /// Fires inside every response write. `drop` severs the connection
     /// mid-response (the client sees a truncated frame), `error` fails the
     /// write, `delay` slows it — the classic slow-consumer shape.
-    pub const WRITE: &str = "serve.write";
+    pub use dbs3_engine::faults::points::SERVE_WRITE as WRITE;
 }
 
 /// How long a session thread keeps polling its socket between frames before
@@ -196,6 +197,7 @@ impl ResponseLedger {
         inner.entries.insert(id, LedgerEntry::Done(frames.to_vec()));
         inner.order.push_back(id);
         while inner.order.len() > LEDGER_CAPACITY {
+            // allow-panic: the loop condition just checked len > 0.
             let oldest = inner.order.pop_front().expect("order is non-empty");
             if matches!(inner.entries.get(&oldest), Some(LedgerEntry::Done(_))) {
                 inner.entries.remove(&oldest);
@@ -216,6 +218,16 @@ impl ResponseLedger {
 }
 
 /// State shared between the accept loop, session threads and handles.
+// ordering(stop): SeqCst — the stop flag gates admission and the accept
+// loop; it must not reorder against the `stop_at` timestamp or the drain
+// could start its grace period before sessions see the flag. Polled a few
+// times per POLL_INTERVAL, so the fence cost is noise.
+// ordering(served): SeqCst — the four stat counters are read together as
+// one `DrainStats` snapshot after the listener closes; one shared order
+// keeps served/shed/replayed/deadlines mutually consistent in tests.
+// ordering(shed): SeqCst — see `served`.
+// ordering(replayed): SeqCst — see `served`.
+// ordering(deadlines): SeqCst — see `served`.
 struct ServerState {
     stop: AtomicBool,
     /// When the stop was requested; the drain grace counts from here.
@@ -379,6 +391,8 @@ impl Server {
                         }
                         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
                         Some(FaultAction::Panic) => {
+                            // allow-panic: FaultAction::Panic is the contract —
+                            // the chaos suite injects exactly this crash.
                             panic!("injected fault at {}", fault_points::ACCEPT)
                         }
                         None => {}
@@ -442,6 +456,7 @@ impl Read for DrainAwareReader<'_> {
                 ))
             }
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            // allow-panic: FaultAction::Panic is the injected-crash contract.
             Some(FaultAction::Panic) => panic!("injected fault at {}", fault_points::READ),
             None => {}
         }
@@ -488,6 +503,7 @@ impl Write for FaultyWriter {
                 ))
             }
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            // allow-panic: FaultAction::Panic is the injected-crash contract.
             Some(FaultAction::Panic) => panic!("injected fault at {}", fault_points::WRITE),
             None => {}
         }

@@ -207,14 +207,18 @@ impl<'a> Dec<'a> {
     }
 
     fn u32(&mut self, what: &str) -> ServeResult<u32> {
+        // allow-panic: take(4, ..) returned exactly 4 bytes, so the array
+        // conversion cannot fail.
         Ok(u32::from_be_bytes(self.take(4, what)?.try_into().unwrap()))
     }
 
     fn u64(&mut self, what: &str) -> ServeResult<u64> {
+        // allow-panic: take(8, ..) returned exactly 8 bytes.
         Ok(u64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
     fn i64(&mut self, what: &str) -> ServeResult<i64> {
+        // allow-panic: take(8, ..) returned exactly 8 bytes.
         Ok(i64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
     }
 
@@ -731,6 +735,7 @@ impl Frame {
             ReadOutcome::TruncatedEof => return Err(ServeError::Truncated),
             ReadOutcome::Filled => {}
         }
+        // allow-panic: header[..4] is exactly 4 bytes by construction.
         let len = u32::from_be_bytes(header[..4].try_into().unwrap()) as usize;
         if len > MAX_FRAME_LEN {
             return Err(ServeError::FrameTooLarge { len });

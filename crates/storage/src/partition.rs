@@ -159,6 +159,8 @@ impl PartitionedRelation {
                 // Re-key the next source tuple onto this fragment's key.
                 let tuple = source
                     .next()
+                    // allow-panic: `cards` was built by distributing exactly
+                    // `relation.cardinality()` units over the fragments.
                     .expect("cardinalities sum to the relation cardinality");
                 let mut values = tuple.values().to_vec();
                 values[key_index] = crate::value::Value::Int(key);
@@ -305,6 +307,8 @@ pub fn fragment_key_pool(spec: &PartitionSpec, degree: usize) -> Vec<i64> {
             "could not find keys for all fragments"
         );
     }
+    // allow-panic: the loop above only exits once every slot is Some (the
+    // assert is the safety valve against a degenerate hash).
     keys.into_iter().map(|k| k.expect("all found")).collect()
 }
 

@@ -167,6 +167,8 @@ pub fn test_relation(name: &str, rows: &[(i64, i64)]) -> Relation {
         .iter()
         .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
         .collect();
+    // allow-panic: test-support constructor over a fixed two-column schema;
+    // only reachable from tests and examples.
     Relation::new(name, schema, tuples).expect("test relation is always valid")
 }
 

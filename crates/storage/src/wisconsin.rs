@@ -198,12 +198,14 @@ pub fn wisconsin_string(mut v: u64, len: usize) -> String {
     }
     s.extend(digits.iter().rev());
     s.truncate(len.max(digits.len()));
+    // allow-panic: the buffer only ever holds ASCII letters.
     String::from_utf8(s).expect("letters are valid UTF-8")
 }
 
 /// The Wisconsin `string4` attribute: cycles through four constant strings.
 pub fn string4(row: usize, len: usize) -> String {
     let c = [b'A', b'H', b'O', b'V'][row % 4];
+    // allow-panic: the buffer only ever holds ASCII letters.
     String::from_utf8(vec![c; len.max(1)]).expect("letters are valid UTF-8")
 }
 
