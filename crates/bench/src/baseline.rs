@@ -189,28 +189,31 @@ pub fn without_reference(doc: &str) -> String {
 }
 
 /// Serialises baseline tiers as the `BENCH_engine.json` document
-/// (schema version 2).
+/// (schema version 4).
 ///
 /// The format is intentionally flat so future PRs can diff it textually:
 /// one object per tier under `"tiers"` — each holding one object per
 /// configuration under `"runs"` and per-shape `speedup_4t`/`speedup_8t`
 /// rows under `"speedups"` — one object per concurrency level under
 /// `"concurrent"` (the multi-query throughput shape of the shared
-/// [`dbs3::Runtime`] pool), one object per client count under `"serve"`
-/// (closed-loop latency percentiles through the `dbs3-serve` network front
-/// door, with `shed_requests` recorded explicitly — zero means *measured*
-/// zero), and the measuring host's parallelism under `"host_cpus"` (a flat
-/// speedup curve on a 1-core host is expected, not a regression).
-/// `reference` optionally carries the previous baseline forward (the
-/// before/after record of a perf PR).
+/// [`dbs3::Runtime`] pool), one object per tier under `"repeat"` (the
+/// repeated-submit shape of the prepared-query and shared-index caches,
+/// with cold/warm latencies and warm hit/miss counts per cache), one object
+/// per client count under `"serve"` (closed-loop latency percentiles
+/// through the `dbs3-serve` network front door, with `shed_requests`
+/// recorded explicitly — zero means *measured* zero), and the measuring
+/// host's parallelism under `"host_cpus"` (a flat speedup curve on a 1-core
+/// host is expected, not a regression). `reference` optionally carries the
+/// previous baseline forward (the before/after record of a perf PR).
 pub fn to_json(
     tiers: &[BaselineTier],
     concurrent: &[crate::concurrent::ConcurrentRun],
+    repeat: &[crate::repeat::RepeatRun],
     serve: &[crate::serve::ServeRun],
     reference: Option<&str>,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(
         "  \"bench\": \"dbs3 engine baseline (threaded backend, hash join); \
          tuples_per_second counts logical activations across all pipeline \
@@ -270,6 +273,15 @@ pub fn to_json(
                 c.aggregate_activations_per_second,
                 if i + 1 < concurrent.len() { "," } else { "" },
             ));
+        }
+        out.push_str("  ]");
+    }
+    if !repeat.is_empty() {
+        out.push_str(",\n  \"repeat\": [\n");
+        for (i, r) in repeat.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&r.to_json_row());
+            out.push_str(if i + 1 < repeat.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]");
     }
@@ -341,7 +353,7 @@ mod tests {
             sample_tier(ExperimentScale::Smoke),
             sample_tier(ExperimentScale::ScaledSmoke),
         ];
-        let json = to_json(&tiers, &[], &[], None);
+        let json = to_json(&tiers, &[], &[], &[], None);
         // One "shape" per run object plus one per speedup row, per tier.
         assert_eq!(json.matches("\"shape\"").count(), 2 * (5 + 2));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -358,8 +370,8 @@ mod tests {
     #[test]
     fn json_embeds_reference_document() {
         let tiers = [sample_tier(ExperimentScale::Paper)];
-        let previous = to_json(&tiers, &[], &[], None);
-        let json = to_json(&tiers, &[], &[], Some(&previous));
+        let previous = to_json(&tiers, &[], &[], &[], None);
+        let json = to_json(&tiers, &[], &[], &[], Some(&previous));
         assert!(json.contains("\"reference\": {"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches("\"schema_version\"").count(), 2);
@@ -368,15 +380,15 @@ mod tests {
     #[test]
     fn without_reference_round_trips() {
         let tiers = [sample_tier(ExperimentScale::Paper)];
-        let bare = to_json(&tiers, &[], &[], None);
+        let bare = to_json(&tiers, &[], &[], &[], None);
         // A document without a reference passes through untouched.
         assert_eq!(without_reference(&bare), bare);
         // Regenerating drops exactly the old nested reference, so chaining
         // emissions never accumulates history.
-        let older = to_json(&tiers[..1], &[], &[], None);
-        let with_ref = to_json(&tiers, &[], &[], Some(&older));
+        let older = to_json(&tiers[..1], &[], &[], &[], None);
+        let with_ref = to_json(&tiers, &[], &[], &[], Some(&older));
         assert_eq!(without_reference(&with_ref), bare);
-        let chained = to_json(&tiers, &[], &[], Some(&without_reference(&with_ref)));
+        let chained = to_json(&tiers, &[], &[], &[], Some(&without_reference(&with_ref)));
         assert_eq!(chained.matches("\"schema_version\"").count(), 2);
         assert_eq!(chained.matches('{').count(), chained.matches('}').count());
     }
@@ -394,14 +406,47 @@ mod tests {
             cardinalities: vec![20_000; 16],
         }];
         let tiers = [sample_tier(ExperimentScale::Paper)];
-        let json = to_json(&tiers, &concurrent, &[], None);
+        let json = to_json(&tiers, &concurrent, &[], &[], None);
         assert!(json.contains("\"concurrent\": ["));
         assert!(json.contains("\"scale\": \"paper\""));
         assert!(json.contains("\"queries\": 16"));
         assert!(json.contains("\"aggregate_activations_per_second\": 1286400.0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        let with_ref = to_json(&tiers, &concurrent, &[], Some(&json));
+        let with_ref = to_json(&tiers, &concurrent, &[], &[], Some(&json));
+        assert_eq!(without_reference(&with_ref), json);
+    }
+
+    #[test]
+    fn json_includes_repeat_section_with_cache_counts() {
+        let repeat = vec![crate::repeat::RepeatRun {
+            workload: "fig14_assoc_join_small_probe",
+            scale: "paper",
+            pool_threads: 4,
+            submits: 16,
+            cold_s: 0.125,
+            warm_avg_s: 0.0125,
+            warm_best_s: 0.01,
+            warm_speedup: 10.0,
+            warm_plan_hits: 15,
+            warm_plan_misses: 0,
+            warm_index_hits: 120,
+            warm_index_misses: 0,
+            warm_hit_rate: 1.0,
+            cardinalities: vec![2_000; 16],
+        }];
+        let tiers = [sample_tier(ExperimentScale::Paper)];
+        let json = to_json(&tiers, &[], &repeat, &[], None);
+        assert!(json.contains("\"repeat\": ["));
+        assert!(json.contains("\"submits\": 16"));
+        assert!(json.contains("\"warm_speedup\": 10.00"));
+        // Cache counts are explicit per cache: a zero miss count is a
+        // measurement, not an omission.
+        assert!(json.contains("\"warm_plan_misses\": 0"));
+        assert!(json.contains("\"warm_index_hits\": 120"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let with_ref = to_json(&tiers, &[], &repeat, &[], Some(&json));
         assert_eq!(without_reference(&with_ref), json);
     }
 
@@ -427,7 +472,7 @@ mod tests {
             max_inflight: 128,
         }];
         let tiers = [sample_tier(ExperimentScale::Paper)];
-        let json = to_json(&tiers, &[], &serve, None);
+        let json = to_json(&tiers, &[], &[], &serve, None);
         assert!(json.contains("\"serve\": ["));
         assert!(json.contains("\"clients\": 64"));
         // Robustness counts are explicit: zero is a measurement, not an
@@ -443,7 +488,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         // Reference stripping is unaffected by the new trailing section.
-        let with_ref = to_json(&tiers, &[], &serve, Some(&json));
+        let with_ref = to_json(&tiers, &[], &[], &serve, Some(&json));
         assert_eq!(without_reference(&with_ref), json);
     }
 

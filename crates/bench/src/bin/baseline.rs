@@ -33,6 +33,7 @@ use dbs3_bench::baseline::{
 use dbs3_bench::concurrent::{
     is_non_collapsing, run_concurrent_baseline, ConcurrentRun, CONCURRENT_QUERIES,
 };
+use dbs3_bench::repeat::{run_repeat_baseline, RepeatRun, REPEAT_SUBMITS};
 use dbs3_bench::serve::{run_serve_baseline, ServeRun, SERVE_CLIENTS, SERVE_QUERIES_PER_CLIENT};
 use dbs3_bench::ExperimentScale;
 
@@ -51,6 +52,12 @@ const GATE_MIN_CONCURRENT_RATIO: f64 = 0.7;
 
 /// Shape the gate inspects (the engine's hottest data path).
 const GATE_SHAPE: &str = "fig14_assoc_join";
+
+/// Minimum fraction of warm repeat-submit cache lookups that must hit
+/// under `--gate`. The warm window repeats the exact plan the cold submit
+/// just cached against an unchanged catalog, so anything below this means
+/// the prepared-query or shared-index cache stopped serving repeats.
+const GATE_MIN_WARM_HIT_RATE: f64 = 0.9;
 
 fn usage() -> ! {
     eprintln!("usage: baseline [--smoke] [--scale paper|scaled|both] [--gate] [--out PATH]");
@@ -157,6 +164,38 @@ fn main() {
         );
     }
 
+    // The repeated-submit tier: N sequential submits of one plan shape on a
+    // shared pool, cold-vs-warm, with the prepared-plan and shared-index
+    // cache counters split per window. Caches are cleared between tiers so
+    // each tier's numbers (and the single-query sweeps below) start from a
+    // bounded, empty cache rather than inheriting the previous tier's
+    // entries.
+    let mut repeat: Vec<RepeatRun> = Vec::new();
+    for &scale in &scales {
+        dbs3::clear_caches();
+        eprintln!(
+            "# measuring repeated-submit baseline ({} tier, {REPEAT_SUBMITS} submits)...",
+            scale.name()
+        );
+        let r = run_repeat_baseline(scale);
+        eprintln!(
+            "#   {:<28} scale={} cold={:.4}s warm_avg={:.4}s speedup={:.1}x \
+             warm hits plan={}/idx={} misses plan={}/idx={} hit_rate={:.3}",
+            r.workload,
+            r.scale,
+            r.cold_s,
+            r.warm_avg_s,
+            r.warm_speedup,
+            r.warm_plan_hits,
+            r.warm_index_hits,
+            r.warm_plan_misses,
+            r.warm_index_misses,
+            r.warm_hit_rate
+        );
+        repeat.push(r);
+    }
+    dbs3::clear_caches();
+
     let mut tiers: Vec<BaselineTier> = Vec::new();
     for &scale in &scales {
         eprintln!(
@@ -180,7 +219,7 @@ fn main() {
         tiers.push(tier);
     }
 
-    let json = to_json(&tiers, &concurrent, &serve, reference.as_deref());
+    let json = to_json(&tiers, &concurrent, &repeat, &serve, reference.as_deref());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -203,24 +242,59 @@ fn main() {
         eprintln!("error: {out_path} is missing serve-tier rows");
         std::process::exit(1);
     }
+    if written.matches("\"warm_hit_rate\"").count() < repeat.len() {
+        eprintln!("error: {out_path} is missing repeat-tier rows");
+        std::process::exit(1);
+    }
     eprintln!(
         "# wrote {out_path} ({} tiers, {expected_runs} runs, {} concurrency levels, \
-         {} serve levels)",
+         {} repeat tiers, {} serve levels)",
         tiers.len(),
         concurrent.len(),
+        repeat.len(),
         serve.len()
     );
 
     if gate {
-        run_gate(&tiers, scaled_tier, &concurrent);
+        run_gate(&tiers, scaled_tier, &concurrent, &repeat);
     }
 }
 
 /// The CI scaling gate: on a host with at least 4 CPUs, the scaled-tier
-/// fig14 shape must reach `GATE_MIN_SPEEDUP_4T` at 4 threads, and the
+/// fig14 shape must reach `GATE_MIN_SPEEDUP_4T` at 4 threads, the
 /// multi-query aggregate throughput must be non-collapsing across
-/// concurrency levels at every measured tier.
-fn run_gate(tiers: &[BaselineTier], scaled_tier: ExperimentScale, concurrent: &[ConcurrentRun]) {
+/// concurrency levels at every measured tier, and the warm window of every
+/// repeat tier must be served by the query-setup caches
+/// (`GATE_MIN_WARM_HIT_RATE`).
+fn run_gate(
+    tiers: &[BaselineTier],
+    scaled_tier: ExperimentScale,
+    concurrent: &[ConcurrentRun],
+    repeat: &[RepeatRun],
+) {
+    // The hit-rate expectation is deterministic (no parallelism involved),
+    // so it gates even on a 1-CPU host, before the speedup checks below
+    // may skip.
+    for r in repeat {
+        if r.warm_hit_rate < GATE_MIN_WARM_HIT_RATE {
+            eprintln!(
+                "error: gate FAILED — {} tier warm repeat-submit hit rate {:.3} < \
+                 {GATE_MIN_WARM_HIT_RATE} (plan {}h/{}m, index {}h/{}m): repeated \
+                 query setup is not being served by the caches",
+                r.scale,
+                r.warm_hit_rate,
+                r.warm_plan_hits,
+                r.warm_plan_misses,
+                r.warm_index_hits,
+                r.warm_index_misses
+            );
+            std::process::exit(1);
+        }
+    }
+    if repeat.is_empty() {
+        eprintln!("error: gate requested but no repeat tiers were measured");
+        std::process::exit(1);
+    }
     let cpus = host_cpus();
     if cpus < 4 {
         eprintln!(

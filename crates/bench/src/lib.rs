@@ -20,6 +20,7 @@ pub mod baseline;
 pub mod concurrent;
 pub mod data;
 pub mod experiments;
+pub mod repeat;
 pub mod serve;
 
 pub use data::{ExperimentScale, JoinDatabase};

@@ -129,7 +129,7 @@ impl ServeRun {
 /// the same `"serve"` array `BENCH_engine.json` carries, without the
 /// engine tiers.
 pub fn serve_only_json(runs: &[ServeRun]) -> String {
-    let mut out = String::from("{\n  \"schema_version\": 3,\n");
+    let mut out = String::from("{\n  \"schema_version\": 4,\n");
     out.push_str("  \"bench\": \"dbs3-serve closed-loop traffic generator\",\n");
     out.push_str("  \"serve\": [\n");
     for (i, run) in runs.iter().enumerate() {

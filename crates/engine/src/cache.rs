@@ -1,0 +1,883 @@
+//! Process-wide query-setup caches: prepared plans and shared build-side
+//! hash indexes.
+//!
+//! Under real traffic the same plan shapes repeat and concurrent queries
+//! hash-join the *same* relations, yet historically every submission
+//! re-expanded the plan, re-ran the scheduler and rebuilt every build-side
+//! [`HashIndex`] from scratch. This module makes that setup ~free on repeat:
+//!
+//! * the **plan cache** maps a content hash of (plan structure, scheduler
+//!   options, cost parameters) to the expanded [`ExtendedPlan`] and built
+//!   [`ExecutionSchedule`] (a [`PreparedPlan`]);
+//! * the **index cache** maps (relation, key column, fragment, relation
+//!   *generation*) to an `Arc<HashIndex>`, so concurrent and repeated
+//!   queries over one relation share a single build — the first requester
+//!   builds, later requesters either clone the `Arc` or *wait on the build
+//!   in flight* instead of duplicating it.
+//!
+//! **Invalidation is by generation, not by flushing**: every [`Catalog`]
+//! mutation stamps the touched relation with a process-wide unique
+//! generation, entries record the generations they were derived from, and a
+//! lookup that finds a stale entry evicts it and reports a miss. Stale
+//! entries are therefore unreachable the instant the catalog changes.
+//! Capacity is bounded with LRU eviction on top, and per-cache
+//! hit/miss/evict counters are surfaced through
+//! [`ExecutionMetrics`](crate::ExecutionMetrics) and the serve stats path.
+//!
+//! Both caches are process-wide (like [`Runtime::shared`](crate::Runtime)):
+//! generations are unique across *all* catalogs, so entries from unrelated
+//! sessions can never be confused, and cross-connection reuse in the serve
+//! layer falls out for free.
+//!
+//! Fault points [`faults::points::CACHE_LOOKUP`] and
+//! [`faults::points::CACHE_BUILD`] cover the new path: a lookup fault
+//! bypasses the cache (an uncached build is always correct — faults may
+//! fail or slow queries, never falsify them), a build fault escalates to a
+//! panic contained by the worker's `catch_unwind`.
+
+use crate::faults::{self, points, FaultAction};
+use crate::schedule::{ExecutionSchedule, Scheduler, SchedulerOptions};
+use crate::Result;
+use dbs3_lera::{ContentHasher, CostParameters, ExtendedPlan, OperatorKind, OuterInput, Plan};
+use dbs3_storage::{Catalog, HashIndex};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Bounded capacity of the plan cache (prepared + extended entries).
+pub const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Bounded capacity of the index cache, in fragment indexes. A paper-scale
+/// query at degree 200 uses 200 entries; 1024 comfortably holds a handful
+/// of live relations before LRU eviction starts.
+pub const INDEX_CACHE_CAPACITY: usize = 1024;
+
+/// Hit/miss/evict counters of one cache. Monotonic over the process
+/// lifetime — consumers subtract snapshots to meter a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache (including awaited in-flight builds).
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Entries removed — stale generations and LRU capacity overflow alike.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hits as a fraction of all lookups; 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// Snapshot of both query-setup caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Prepared-plan cache (expanded plans + schedules).
+    pub plan: CacheCounters,
+    /// Shared build-side hash-index cache.
+    pub index: CacheCounters,
+}
+
+impl CacheStats {
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            plan: self.plan.since(&earlier.plan),
+            index: self.index.since(&earlier.index),
+        }
+    }
+}
+
+/// A fully expanded and scheduled plan, ready for repeated submission.
+///
+/// Holds everything [`Runtime::submit`](crate::Runtime::submit) needs that
+/// does not depend on live query state: the plan, its extended view and the
+/// execution schedule, plus the catalog generations they were derived from
+/// (so staleness is a cheap per-relation comparison, not a re-expansion).
+#[derive(Debug)]
+pub struct PreparedPlan {
+    plan: Plan,
+    extended: Arc<ExtendedPlan>,
+    schedule: ExecutionSchedule,
+    generations: Vec<(String, u64)>,
+    fingerprint: u64,
+}
+
+impl PreparedPlan {
+    /// The simple-view plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The expanded (per-instance) view.
+    pub fn extended(&self) -> &ExtendedPlan {
+        &self.extended
+    }
+
+    /// The execution schedule built for the options this plan was prepared
+    /// with.
+    pub fn schedule(&self) -> &ExecutionSchedule {
+        &self.schedule
+    }
+
+    /// The plan's structural content hash.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Whether every relation this preparation was derived from still has
+    /// the same generation in `catalog`. A false return means the catalog
+    /// mutated underneath: re-[`prepare`] (cheap — the cache evicts the
+    /// stale entry and expands fresh).
+    pub fn is_current(&self, catalog: &Catalog) -> bool {
+        self.generations
+            .iter()
+            .all(|(name, generation)| catalog.generation(name) == Some(*generation))
+    }
+}
+
+/// Key of a plan-cache entry: content hashes only, so equal-meaning inputs
+/// collide onto one entry no matter how they were built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    plan: u64,
+    options: u64,
+}
+
+/// What a plan-cache entry holds: a bare expansion (the `submit_with` path,
+/// which receives an externally built schedule) or a full preparation.
+#[derive(Debug, Clone)]
+enum PlanValue {
+    Extended(Arc<ExtendedPlan>),
+    Prepared(Arc<PreparedPlan>),
+}
+
+#[derive(Debug)]
+struct PlanEntry {
+    generations: Vec<(String, u64)>,
+    value: PlanValue,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct PlanCacheInner {
+    entries: HashMap<PlanKey, PlanEntry>,
+    counters: CacheCounters,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+}
+
+impl PlanCache {
+    /// Looks up `key`, validating the stored generations against `catalog`.
+    /// A stale entry is evicted and reported as a miss.
+    fn lookup(&self, key: PlanKey, catalog: &Catalog) -> Option<PlanValue> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(entry)
+                if entry
+                    .generations
+                    .iter()
+                    .all(|(name, generation)| catalog.generation(name) == Some(*generation)) =>
+            {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                inner.counters.hits += 1;
+                Some(value)
+            }
+            Some(_) => {
+                // Generation mismatch: the catalog mutated since this entry
+                // was built. Evict immediately — stale entries must be
+                // unreachable, not merely unlucky.
+                inner.entries.remove(&key);
+                inner.counters.evictions += 1;
+                inner.counters.misses += 1;
+                None
+            }
+            None => {
+                inner.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: PlanKey, generations: Vec<(String, u64)>, value: PlanValue) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(
+            key,
+            PlanEntry {
+                generations,
+                value,
+                last_used: tick,
+            },
+        );
+        while inner.entries.len() > PLAN_CACHE_CAPACITY {
+            let Some(oldest) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            inner.entries.remove(&oldest);
+            inner.counters.evictions += 1;
+        }
+    }
+}
+
+/// Key of an index-cache entry. The relation *generation* lives in the
+/// entry, not the key, so a stale entry is found (and evicted) by the very
+/// lookup that replaces it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct IndexKey {
+    relation: String,
+    column: usize,
+    fragment: usize,
+}
+
+/// Rendezvous cell for a build in flight: the builder publishes here, and
+/// concurrent requesters of the same fragment wait on it instead of
+/// duplicating the build.
+#[derive(Debug, Default)]
+struct BuildCell {
+    done: Mutex<BuildSlot>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+enum BuildSlot {
+    #[default]
+    Pending,
+    Done(Arc<HashIndex>),
+    /// The builder panicked (e.g. an injected fault). Waiters fall back to
+    /// a private build — slower, never wrong.
+    Failed,
+}
+
+#[derive(Debug)]
+enum IndexState {
+    Ready(Arc<HashIndex>),
+    Building(Arc<BuildCell>),
+}
+
+#[derive(Debug)]
+struct IndexEntry {
+    generation: u64,
+    state: IndexState,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct IndexCacheInner {
+    entries: HashMap<IndexKey, IndexEntry>,
+    counters: CacheCounters,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct IndexCache {
+    inner: Mutex<IndexCacheInner>,
+}
+
+/// What the locked lookup decided; acted on *after* the cache lock is
+/// released so waiting and building never hold it.
+enum IndexPlan {
+    Hit(Arc<HashIndex>),
+    Wait(Arc<BuildCell>),
+    Build(Arc<BuildCell>),
+}
+
+impl IndexCache {
+    fn plan_for(&self, key: &IndexKey, generation: u64) -> IndexPlan {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(key) {
+            if entry.generation == generation {
+                entry.last_used = tick;
+                match &entry.state {
+                    IndexState::Ready(index) => {
+                        let index = Arc::clone(index);
+                        inner.counters.hits += 1;
+                        return IndexPlan::Hit(index);
+                    }
+                    IndexState::Building(cell) => {
+                        // A build in flight counts as a hit: the work is
+                        // shared, not repeated.
+                        let cell = Arc::clone(cell);
+                        inner.counters.hits += 1;
+                        return IndexPlan::Wait(cell);
+                    }
+                }
+            }
+            // Stale generation — evict whatever was there (a stale build in
+            // flight still publishes to its own cell; only the map entry
+            // goes).
+            inner.entries.remove(key);
+            inner.counters.evictions += 1;
+        }
+        inner.counters.misses += 1;
+        let cell = Arc::new(BuildCell::default());
+        inner.entries.insert(
+            key.clone(),
+            IndexEntry {
+                generation,
+                state: IndexState::Building(Arc::clone(&cell)),
+                last_used: tick,
+            },
+        );
+        IndexPlan::Build(cell)
+    }
+
+    /// Blocks until the cell's build publishes.
+    fn await_build(&self, cell: &BuildCell) -> Option<Arc<HashIndex>> {
+        let mut slot = cell.done.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match &*slot {
+                BuildSlot::Pending => {
+                    slot = cell.ready.wait(slot).unwrap_or_else(|p| p.into_inner());
+                }
+                BuildSlot::Done(index) => return Some(Arc::clone(index)),
+                BuildSlot::Failed => return None,
+            }
+        }
+    }
+
+    /// Publishes a finished build: wakes waiters, flips the map entry to
+    /// `Ready` and enforces the capacity bound.
+    fn publish(&self, key: &IndexKey, cell: &Arc<BuildCell>, index: &Arc<HashIndex>) {
+        {
+            let mut slot = cell.done.lock().unwrap_or_else(|p| p.into_inner());
+            *slot = BuildSlot::Done(Arc::clone(index));
+        }
+        cell.ready.notify_all();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(key) {
+            // Only flip the entry this build owns — a stale-eviction +
+            // rebuild may have replaced it with a younger generation.
+            if matches!(&entry.state, IndexState::Building(c) if Arc::ptr_eq(c, cell)) {
+                entry.state = IndexState::Ready(Arc::clone(index));
+                entry.last_used = tick;
+            }
+        }
+        // LRU capacity bound; builds in flight are never evicted.
+        while inner.entries.len() > INDEX_CACHE_CAPACITY {
+            let Some(oldest) = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.state, IndexState::Ready(_)))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            inner.entries.remove(&oldest);
+            inner.counters.evictions += 1;
+        }
+    }
+
+    /// Marks a build failed (builder panicked): wakes waiters with the
+    /// fallback signal and removes the map entry so the next requester
+    /// starts a fresh build.
+    fn abandon(&self, key: &IndexKey, cell: &Arc<BuildCell>) {
+        {
+            let mut slot = cell.done.lock().unwrap_or_else(|p| p.into_inner());
+            *slot = BuildSlot::Failed;
+        }
+        cell.ready.notify_all();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(entry) = inner.entries.get(key) {
+            if matches!(&entry.state, IndexState::Building(c) if Arc::ptr_eq(c, cell)) {
+                inner.entries.remove(key);
+            }
+        }
+    }
+}
+
+/// Unwinds-safely publishes or abandons a build in flight.
+struct BuildGuard<'a> {
+    cache: &'a IndexCache,
+    key: &'a IndexKey,
+    cell: &'a Arc<BuildCell>,
+    armed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.abandon(self.key, self.cell);
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Caches {
+    plan: PlanCache,
+    index: IndexCache,
+}
+
+static CACHES: OnceLock<Caches> = OnceLock::new();
+
+fn caches() -> &'static Caches {
+    CACHES.get_or_init(Caches::default)
+}
+
+/// Snapshot of both caches' counters.
+pub fn cache_stats() -> CacheStats {
+    let caches = caches();
+    let plan = {
+        let inner = caches.plan.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.counters
+    };
+    let index = {
+        let inner = caches.index.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.counters
+    };
+    CacheStats { plan, index }
+}
+
+/// Drops every cached entry (counters keep accumulating). Benchmarks call
+/// this between tiers so retained scaled-tier indexes don't distort memory
+/// or accidentally warm an unrelated measurement; builds in flight still
+/// publish to their waiters.
+pub fn clear_caches() {
+    let caches = caches();
+    {
+        let mut inner = caches.plan.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.entries.clear();
+    }
+    {
+        let mut inner = caches.index.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.entries.clear();
+    }
+}
+
+/// A fired lookup fault means "pretend the cache is not there": the caller
+/// computes privately, which can only cost time. Delay sleeps, panic
+/// panics (containment is the caller's concern), error/drop bypass.
+fn lookup_fault_bypasses() -> bool {
+    match faults::hit(points::CACHE_LOOKUP) {
+        None => false,
+        Some(FaultAction::Delay(d)) => {
+            std::thread::sleep(d);
+            false
+        }
+        Some(FaultAction::Error) | Some(FaultAction::Drop) => true,
+        Some(FaultAction::Panic) => {
+            // allow-panic: injected fault — exercises the same containment
+            // as a real panic at this point (worker catch_unwind / submit
+            // path unwinding); faults may fail queries, never falsify them.
+            panic!("fault injected: {}", points::CACHE_LOOKUP)
+        }
+    }
+}
+
+/// Build faults have nothing safe to "drop" or type as an error at this
+/// depth — escalate everything but delay to a panic, exactly like
+/// `engine.queue.push` (the worker's `catch_unwind` turns it into a typed
+/// `WorkerPanicked`; waiters fall back to private builds).
+fn honor_build_fault() {
+    match faults::hit(points::CACHE_BUILD) {
+        None => {}
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(_) => {
+            // allow-panic: injected fault; error/drop escalate on purpose —
+            // a silently skipped build has no typed-error channel here, and
+            // the panic is contained into WorkerPanicked.
+            panic!("fault injected: {}", points::CACHE_BUILD)
+        }
+    }
+}
+
+/// Fetches (or builds) the shared hash index of one relation fragment.
+///
+/// The first requester of a `(relation, column, fragment, generation)`
+/// builds; concurrent requesters block on the build in flight; later
+/// requesters clone the `Arc`. `build` runs *outside* every cache lock.
+pub fn shared_index(
+    relation: &str,
+    generation: u64,
+    column: usize,
+    fragment: usize,
+    build: impl FnOnce() -> HashIndex,
+) -> Arc<HashIndex> {
+    if lookup_fault_bypasses() {
+        return Arc::new(build());
+    }
+    let key = IndexKey {
+        relation: relation.to_string(),
+        column,
+        fragment,
+    };
+    let cache = &caches().index;
+    match cache.plan_for(&key, generation) {
+        IndexPlan::Hit(index) => index,
+        IndexPlan::Wait(cell) => match cache.await_build(&cell) {
+            Some(index) => index,
+            // The shared build panicked; a private build keeps this query
+            // correct (and the failed entry is already gone from the map).
+            None => Arc::new(build()),
+        },
+        IndexPlan::Build(cell) => {
+            let mut guard = BuildGuard {
+                cache,
+                key: &key,
+                cell: &cell,
+                armed: true,
+            };
+            honor_build_fault();
+            let index = Arc::new(build());
+            guard.armed = false;
+            cache.publish(&key, &cell, &index);
+            index
+        }
+    }
+}
+
+const EXTENDED_KIND: u64 = 0x45_58_54; // "EXT": keys bare expansions apart
+
+fn write_cost(h: &mut ContentHasher, cost: &CostParameters) {
+    h.write_f64(cost.scan_tuple);
+    h.write_f64(cost.move_tuple);
+    h.write_f64(cost.nested_loop_probe_per_inner_tuple);
+    h.write_f64(cost.build_per_tuple);
+    h.write_f64(cost.indexed_probe);
+    h.write_f64(cost.store_tuple);
+    h.write_f64(cost.queue_creation);
+}
+
+fn write_option_usize(h: &mut ContentHasher, v: Option<usize>) {
+    match v {
+        None => h.write_u64(0),
+        Some(n) => {
+            h.write_u64(1);
+            h.write_usize(n);
+        }
+    }
+}
+
+/// Content hash of everything besides the plan that shapes a preparation:
+/// the full scheduler options and the cost parameters.
+fn options_hash(options: &SchedulerOptions, cost: &CostParameters) -> u64 {
+    let mut h = ContentHasher::new();
+    write_option_usize(&mut h, options.total_threads);
+    h.write_usize(options.max_threads);
+    h.write_f64(options.work_per_thread);
+    h.write_usize(options.queue_capacity);
+    h.write_usize(options.cache_size);
+    h.write_u64(match options.strategy_override {
+        None => 0,
+        Some(crate::strategy::ConsumptionStrategy::Random) => 1,
+        Some(crate::strategy::ConsumptionStrategy::Lpt) => 2,
+    });
+    h.write_f64(options.lpt_skew_threshold);
+    h.write_u64(options.discard_results as u64);
+    write_option_usize(&mut h, options.build_threads);
+    write_option_usize(&mut h, options.morsel_rows);
+    write_cost(&mut h, cost);
+    h.finish()
+}
+
+/// Hash keying a bare expansion: plan + cost only (options don't influence
+/// the extended view).
+fn extended_hash(cost: &CostParameters) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_u64(EXTENDED_KIND);
+    write_cost(&mut h, cost);
+    h.finish()
+}
+
+/// The relations a plan reads, with their current catalog generations —
+/// what a cache entry derived from this (plan, catalog) pair depends on.
+fn referenced_generations(catalog: &Catalog, plan: &Plan) -> Vec<(String, u64)> {
+    let mut names: Vec<&str> = Vec::new();
+    for node in plan.nodes() {
+        if let Some(rel) = node.kind.associated_relation() {
+            names.push(rel);
+        }
+        if let OperatorKind::Join {
+            outer: OuterInput::Fragment { relation },
+            ..
+        } = &node.kind
+        {
+            names.push(relation);
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+        .into_iter()
+        .map(|name| (name.to_string(), catalog.generation(name).unwrap_or(0)))
+        .collect()
+}
+
+/// Expands `plan` against `catalog`, answering repeats from the plan cache
+/// (the `Runtime::submit` path, where the caller supplies its own
+/// schedule).
+pub fn cached_extended(
+    catalog: &Catalog,
+    plan: &Plan,
+    cost: &CostParameters,
+) -> Result<Arc<ExtendedPlan>> {
+    let key = PlanKey {
+        plan: plan.content_hash(),
+        options: extended_hash(cost),
+    };
+    if lookup_fault_bypasses() {
+        return Ok(Arc::new(ExtendedPlan::from_plan(plan, catalog, cost)?));
+    }
+    let cache = &caches().plan;
+    if let Some(PlanValue::Extended(extended)) = cache.lookup(key, catalog) {
+        return Ok(extended);
+    }
+    let extended = Arc::new(ExtendedPlan::from_plan(plan, catalog, cost)?);
+    cache.insert(
+        key,
+        referenced_generations(catalog, plan),
+        PlanValue::Extended(Arc::clone(&extended)),
+    );
+    Ok(extended)
+}
+
+/// Prepares a plan for execution: expansion + scheduling, answered from the
+/// plan cache when this (plan, options, cost) shape was prepared before and
+/// the referenced relations are unchanged.
+pub fn prepare(
+    catalog: &Catalog,
+    plan: &Plan,
+    options: &SchedulerOptions,
+    cost: &CostParameters,
+) -> Result<Arc<PreparedPlan>> {
+    let fingerprint = plan.content_hash();
+    let key = PlanKey {
+        plan: fingerprint,
+        options: options_hash(options, cost),
+    };
+    let bypass = lookup_fault_bypasses();
+    let cache = &caches().plan;
+    if !bypass {
+        if let Some(PlanValue::Prepared(prepared)) = cache.lookup(key, catalog) {
+            return Ok(prepared);
+        }
+    }
+    // The bare expansion is shared with the `submit_with` path, so a
+    // prepare() after a submit() (or vice versa) still reuses the
+    // expensive half.
+    let extended = cached_extended(catalog, plan, cost)?;
+    let schedule = Scheduler::build(plan, &extended, options)?;
+    let generations = referenced_generations(catalog, plan);
+    let prepared = Arc::new(PreparedPlan {
+        plan: plan.clone(),
+        extended,
+        schedule,
+        generations: generations.clone(),
+        fingerprint,
+    });
+    if !bypass {
+        cache.insert(key, generations, PlanValue::Prepared(Arc::clone(&prepared)));
+    }
+    Ok(prepared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs3_storage::{PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator};
+
+    fn relation(name: &str, cardinality: usize, degree: usize) -> PartitionedRelation {
+        let rel = WisconsinGenerator::new()
+            .generate(&WisconsinConfig::narrow(name, cardinality))
+            .unwrap();
+        PartitionedRelation::from_relation(&rel, PartitionSpec::on("unique1", degree, 2)).unwrap()
+    }
+
+    fn catalog(a_card: usize, b_card: usize, degree: usize) -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(relation("A", a_card, degree)).unwrap();
+        cat.register(relation("Bprime", b_card, degree)).unwrap();
+        cat
+    }
+
+    fn fig14(cat: &Catalog) -> (Plan, u64) {
+        let plan =
+            dbs3_lera::plans::assoc_join("Bprime", "A", "unique1", dbs3_lera::JoinAlgorithm::Hash);
+        let generation = cat.generation("A").unwrap();
+        (plan, generation)
+    }
+
+    #[test]
+    fn prepare_hits_on_repeat_and_misses_on_new_generations() {
+        let cat = catalog(600, 60, 4);
+        let (plan, _) = fig14(&cat);
+        let options = SchedulerOptions::default().with_total_threads(2);
+        let cost = CostParameters::default();
+
+        let before = cache_stats();
+        let first = prepare(&cat, &plan, &options, &cost).unwrap();
+        let second = prepare(&cat, &plan, &options, &cost).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "repeat must share one entry");
+        assert!(first.is_current(&cat));
+        let after = cache_stats().since(&before);
+        assert!(after.plan.hits >= 1, "{after:?}");
+
+        // A mutated catalog makes the entry stale: fresh preparation, old
+        // entry evicted.
+        let mut mutated = cat.clone();
+        mutated.replace(relation("A", 600, 4));
+        assert!(!first.is_current(&mutated));
+        let evictions_before = cache_stats().plan.evictions;
+        let third = prepare(&mutated, &plan, &options, &cost).unwrap();
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert!(cache_stats().plan.evictions > evictions_before);
+    }
+
+    #[test]
+    fn distinct_options_get_distinct_entries() {
+        let cat = catalog(500, 50, 4);
+        let (plan, _) = fig14(&cat);
+        let cost = CostParameters::default();
+        let two = prepare(
+            &cat,
+            &plan,
+            &SchedulerOptions::default().with_total_threads(2),
+            &cost,
+        )
+        .unwrap();
+        let four = prepare(
+            &cat,
+            &plan,
+            &SchedulerOptions::default().with_total_threads(4),
+            &cost,
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(&two, &four));
+        assert_eq!(two.fingerprint(), four.fingerprint());
+        assert_ne!(
+            two.schedule().total_threads(),
+            four.schedule().total_threads()
+        );
+    }
+
+    #[test]
+    fn shared_index_is_shared_and_invalidated_by_generation() {
+        let cat = catalog(400, 40, 2);
+        let rel = cat.get("A").unwrap();
+        let generation = cat.generation("A").unwrap();
+        let tuples = rel.fragments()[0].tuples();
+
+        let before = cache_stats();
+        let first = shared_index("A", generation, 0, 0, || HashIndex::build(tuples, 0));
+        let again = shared_index("A", generation, 0, 0, || HashIndex::build(tuples, 0));
+        assert!(Arc::ptr_eq(&first, &again), "one build, shared Arc");
+        let delta = cache_stats().since(&before);
+        assert!(
+            delta.index.hits >= 1 && delta.index.misses >= 1,
+            "{delta:?}"
+        );
+
+        // A different generation never sees the old build.
+        let fresh = shared_index("A", generation + 1_000_000, 0, 0, || {
+            HashIndex::build(tuples, 0)
+        });
+        assert!(!Arc::ptr_eq(&first, &fresh));
+    }
+
+    #[test]
+    fn concurrent_requesters_share_one_build() {
+        let cat = catalog(2_000, 40, 2);
+        let rel = cat.get("A").unwrap();
+        // A private generation namespace far away from real ones keeps this
+        // test independent of everything else in the process.
+        let generation = u64::MAX - 7;
+        let threads = 8;
+        let built = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let indexes: Vec<Arc<HashIndex>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let rel = Arc::clone(&rel);
+                    let built = Arc::clone(&built);
+                    scope.spawn(move || {
+                        shared_index("concurrent-test", generation, 0, 0, || {
+                            // ordering: Relaxed — test-only tally of how many
+                            // closures ran; no ordering dependencies.
+                            built.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // Slow the build down so contenders really race.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            HashIndex::build(rel.fragments()[0].tuples(), 0)
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            built.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "first requester builds, everyone else waits or clones"
+        );
+        for index in &indexes {
+            assert!(Arc::ptr_eq(index, &indexes[0]));
+        }
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        // Drive more distinct fragments than the capacity through a private
+        // relation name; the map must stay bounded.
+        let cat = catalog(200, 20, 2);
+        let rel = cat.get("A").unwrap();
+        let tuples = rel.fragments()[0].tuples();
+        let generation = u64::MAX - 99;
+        let before = cache_stats().index.evictions;
+        for fragment in 0..(INDEX_CACHE_CAPACITY + 8) {
+            let _ = shared_index("lru-test", generation, 0, fragment, || {
+                HashIndex::build(tuples, 0)
+            });
+        }
+        let inner = caches().index.inner.lock().unwrap();
+        assert!(inner.entries.len() <= INDEX_CACHE_CAPACITY);
+        drop(inner);
+        assert!(cache_stats().index.evictions > before);
+    }
+
+    #[test]
+    fn cached_extended_shares_and_respects_cost_parameters() {
+        let cat = catalog(300, 30, 2);
+        let (plan, _) = fig14(&cat);
+        let cost = CostParameters::default();
+        let a = cached_extended(&cat, &plan, &cost).unwrap();
+        let b = cached_extended(&cat, &plan, &cost).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let other_cost = CostParameters {
+            scan_tuple: cost.scan_tuple * 2.0,
+            ..cost
+        };
+        let c = cached_extended(&cat, &plan, &other_cost).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "cost parameters key the expansion");
+    }
+}

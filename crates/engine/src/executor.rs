@@ -94,6 +94,18 @@ impl<'a> Executor<'a> {
             .submit_with(self.catalog, plan, schedule, &self.cost_params)?
             .wait()
     }
+
+    /// Executes a plan prepared by [`crate::cache::prepare`], blocking until
+    /// completion. Skips expansion and scheduling entirely — the hot path
+    /// for repeated queries. Fails with a plan error if the catalog mutated
+    /// since preparation (re-prepare and retry).
+    pub fn execute_prepared(
+        &self,
+        prepared: &crate::cache::PreparedPlan,
+    ) -> Result<ExecutionOutcome> {
+        let runtime = Runtime::shared(prepared.schedule().total_threads().max(1))?;
+        runtime.submit_prepared(self.catalog, prepared)?.wait()
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +286,31 @@ mod tests {
             assert_eq!(outcome.results["Result"].len(), expected.len());
         }
         assert_eq!(first.live_queries(), 0);
+    }
+
+    #[test]
+    fn prepared_execution_matches_cold_execution() {
+        let (cat, a_ref, b_ref) = build_catalog(500, 50, 6, 0.0);
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let options = SchedulerOptions::default().with_total_threads(3);
+        let prepared =
+            crate::cache::prepare(&cat, &plan, &options, &CostParameters::default()).unwrap();
+        let expected = a_ref.reference_join(&b_ref, "unique1", "unique1").unwrap();
+        for _ in 0..2 {
+            let outcome = Executor::new(&cat).execute_prepared(&prepared).unwrap();
+            assert_eq!(outcome.results["Result"].len(), expected.len());
+        }
+        // A catalog mutation makes the preparation stale: typed error, and
+        // a fresh preparation works again.
+        let mut mutated = cat.clone();
+        mutated.replace(
+            PartitionedRelation::from_relation(&a_ref, PartitionSpec::on("unique1", 6, 4)).unwrap(),
+        );
+        assert!(Executor::new(&mutated).execute_prepared(&prepared).is_err());
+        let fresh =
+            crate::cache::prepare(&mutated, &plan, &options, &CostParameters::default()).unwrap();
+        let outcome = Executor::new(&mutated).execute_prepared(&fresh).unwrap();
+        assert_eq!(outcome.results["Result"].len(), expected.len());
     }
 
     #[test]

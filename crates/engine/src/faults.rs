@@ -31,6 +31,8 @@
 //! | `serve.accept`          | accept loop (dbs3-serve)         | drop/error close the connection; delay; panic |
 //! | `serve.read`            | request frame read (dbs3-serve)  | drop/error close the connection; delay; panic |
 //! | `serve.write`           | response frame write (dbs3-serve)| drop/error close the connection; delay; panic |
+//! | `engine.cache.lookup`   | prepared-plan / index cache lookup | error, drop → bypass the cache (compute uncached); delay; panic |
+//! | `engine.cache.build`    | shared hash-index build (cache-owned) | panic, delay (error/drop escalate to panic) |
 //!
 //! `engine.queue.push` escalates `error`/`drop` to a panic on purpose:
 //! silently dropping an activation would corrupt results, and the panic is
@@ -58,6 +60,12 @@ pub mod points {
     pub const SERVE_READ: &str = "serve.read";
     /// A session thread about to write a response frame (dbs3-serve).
     pub const SERVE_WRITE: &str = "serve.write";
+    /// A query-setup cache lookup (prepared plans / shared indexes). Firing
+    /// `error`/`drop` here bypasses the cache — correct, just slower.
+    pub const CACHE_LOOKUP: &str = "engine.cache.lookup";
+    /// A cache-owned shared hash-index build about to run. Everything but
+    /// `delay` escalates to a panic (waiters fall back to private builds).
+    pub const CACHE_BUILD: &str = "engine.cache.build";
 }
 
 /// One registered fault point: its canonical name and a one-line summary of
@@ -98,6 +106,14 @@ pub const REGISTRY: &[FaultPoint] = &[
     FaultPoint {
         name: points::SERVE_WRITE,
         doc: "session writing a response frame (dbs3-serve)",
+    },
+    FaultPoint {
+        name: points::CACHE_LOOKUP,
+        doc: "query-setup cache lookup (error/drop bypass the cache)",
+    },
+    FaultPoint {
+        name: points::CACHE_BUILD,
+        doc: "cache-owned shared hash-index build",
     },
 ];
 
@@ -467,10 +483,12 @@ mod tests {
             points::SERVE_ACCEPT,
             points::SERVE_READ,
             points::SERVE_WRITE,
+            points::CACHE_LOOKUP,
+            points::CACHE_BUILD,
         ] {
             assert_eq!(listed(name), 1, "{name} must appear exactly once");
         }
-        assert_eq!(REGISTRY.len(), 6);
+        assert_eq!(REGISTRY.len(), 8);
     }
 
     #[test]

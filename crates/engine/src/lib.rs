@@ -38,6 +38,7 @@
 //! counts, queue contention) used by the experiments.
 
 pub mod activation;
+pub mod cache;
 pub mod error;
 pub mod executor;
 pub mod faults;
@@ -50,6 +51,7 @@ pub mod strategy;
 pub mod sync;
 
 pub use activation::{Activation, TupleBatch};
+pub use cache::{cache_stats, clear_caches, prepare, CacheCounters, CacheStats, PreparedPlan};
 pub use error::EngineError;
 pub use executor::{ExecutionOutcome, Executor};
 pub use faults::{FaultAction, FaultGuard, FaultPlan, FaultRule, FaultTrigger};

@@ -16,14 +16,21 @@ pub struct TriggeredJoinOperator {
     outer_column: usize,
     inner_column: usize,
     algorithm: JoinAlgorithm,
-    /// Lazily built per-instance temporary indexes over the inner fragments.
-    /// Built once on the first (trigger or morsel) activation of an
+    /// Lazily resolved per-instance indexes over the inner fragments.
+    /// Resolved once on the first (trigger or morsel) activation of an
     /// instance and shared by every morsel of the fragment — splitting the
-    /// outer scan must not multiply the build work.
-    indexes: Vec<OnceLock<HashIndex>>,
+    /// outer scan must not multiply the build work. With a
+    /// [`shared_generation`](Self::with_shared_generation) the resolution
+    /// goes through the engine-wide index cache, so concurrent and repeated
+    /// queries over one relation share one build across operators.
+    indexes: Vec<OnceLock<Arc<HashIndex>>>,
     /// Shards each temporary index build is partitioned over
     /// ([`HashIndex::build_parallel`]); 1 = sequential build.
     build_shards: usize,
+    /// Catalog generation of the inner relation, when known: the key that
+    /// lets builds be shared through [`crate::cache::shared_index`]. `None`
+    /// keeps builds private to this operator.
+    shared_generation: Option<u64>,
 }
 
 impl TriggeredJoinOperator {
@@ -45,6 +52,7 @@ impl TriggeredJoinOperator {
             algorithm,
             indexes,
             build_shards: 1,
+            shared_generation: None,
         }
     }
 
@@ -52,6 +60,15 @@ impl TriggeredJoinOperator {
     /// results are identical to the sequential build (same grouped layout).
     pub fn with_build_shards(mut self, shards: usize) -> Self {
         self.build_shards = shards.max(1);
+        self
+    }
+
+    /// Routes index resolution through the engine-wide shared cache, keyed
+    /// by the inner relation's catalog `generation`. Sequential and sharded
+    /// builds produce bit-identical layouts, so sharing across operators
+    /// with different `build_shards` settings is sound.
+    pub fn with_shared_generation(mut self, generation: Option<u64>) -> Self {
+        self.shared_generation = generation;
         self
     }
 
@@ -91,11 +108,28 @@ impl TriggeredJoinOperator {
                 // Build a temporary index over the inner fragment, then probe
                 // it with every outer tuple of the covered range (the paper's
                 // "index built on the fly" configuration behaves the same
-                // way). The index is built once per instance and reused by
-                // every sibling morsel; the probe is an allocation-free
-                // iterator over the matching bucket.
+                // way). The index is resolved once per instance and reused by
+                // every sibling morsel; with a shared generation the build
+                // itself is shared engine-wide. The probe is an
+                // allocation-free iterator over the matching bucket.
                 let index = self.indexes[instance].get_or_init(|| {
-                    HashIndex::build_parallel(inner.tuples(), self.inner_column, self.build_shards)
+                    let build = || {
+                        HashIndex::build_parallel(
+                            inner.tuples(),
+                            self.inner_column,
+                            self.build_shards,
+                        )
+                    };
+                    match self.shared_generation {
+                        Some(generation) => crate::cache::shared_index(
+                            self.inner.name(),
+                            generation,
+                            self.inner_column,
+                            instance,
+                            build,
+                        ),
+                        None => Arc::new(build()),
+                    }
                 });
                 let mut out = Vec::new();
                 for o in &outer_tuples[start..end] {
@@ -127,13 +161,16 @@ pub struct PipelinedJoinOperator {
     /// Column of the inner relation holding the join key.
     inner_column: usize,
     algorithm: JoinAlgorithm,
-    /// Lazily built per-instance indexes (Hash / TempIndex algorithms build
-    /// the index once per instance, on first probe, and reuse it for every
-    /// subsequent data activation).
-    indexes: Vec<OnceLock<HashIndex>>,
+    /// Lazily resolved per-instance indexes (Hash / TempIndex algorithms
+    /// resolve the index once per instance, on first probe, and reuse it
+    /// for every subsequent data activation).
+    indexes: Vec<OnceLock<Arc<HashIndex>>>,
     /// Shards each lazy index build is partitioned over
     /// ([`HashIndex::build_parallel`]); 1 = sequential build.
     build_shards: usize,
+    /// Catalog generation of the inner relation, when known (see
+    /// [`TriggeredJoinOperator::with_shared_generation`]).
+    shared_generation: Option<u64>,
 }
 
 impl PipelinedJoinOperator {
@@ -153,6 +190,7 @@ impl PipelinedJoinOperator {
             algorithm,
             indexes,
             build_shards: 1,
+            shared_generation: None,
         }
     }
 
@@ -160,6 +198,13 @@ impl PipelinedJoinOperator {
     /// threads. Probe results are identical to the sequential build.
     pub fn with_build_shards(mut self, shards: usize) -> Self {
         self.build_shards = shards.max(1);
+        self
+    }
+
+    /// Routes index resolution through the engine-wide shared cache (see
+    /// [`TriggeredJoinOperator::with_shared_generation`]).
+    pub fn with_shared_generation(mut self, generation: Option<u64>) -> Self {
+        self.shared_generation = generation;
         self
     }
 
@@ -192,7 +237,23 @@ impl PipelinedJoinOperator {
             }
             JoinAlgorithm::Hash | JoinAlgorithm::TempIndex => {
                 let index = self.indexes[instance].get_or_init(|| {
-                    HashIndex::build_parallel(inner_tuples, self.inner_column, self.build_shards)
+                    let build = || {
+                        HashIndex::build_parallel(
+                            inner_tuples,
+                            self.inner_column,
+                            self.build_shards,
+                        )
+                    };
+                    match self.shared_generation {
+                        Some(generation) => crate::cache::shared_index(
+                            self.inner.name(),
+                            generation,
+                            self.inner_column,
+                            instance,
+                            build,
+                        ),
+                        None => Arc::new(build()),
+                    }
                 });
                 let mut out = Vec::new();
                 for outer_tuple in &batch {
@@ -322,10 +383,40 @@ mod tests {
         // Probing twice must not rebuild (OnceLock gives the same instance).
         let probe = a.fragments()[1].tuples()[0].clone();
         let _ = op.process(1, Activation::single(probe.clone()));
-        let ptr1 = op.indexes[1].get().unwrap() as *const HashIndex;
+        let ptr1 = Arc::as_ptr(op.indexes[1].get().unwrap());
         let _ = op.process(1, Activation::single(probe));
-        let ptr2 = op.indexes[1].get().unwrap() as *const HashIndex;
+        let ptr2 = Arc::as_ptr(op.indexes[1].get().unwrap());
         assert_eq!(ptr1, ptr2);
+    }
+
+    #[test]
+    fn shared_generation_shares_builds_across_operators() {
+        let (_, a) = partitioned("A", 200, 4);
+        let u1 = a.schema().column_index("unique1").unwrap();
+        // A private generation keeps this test's cache entries disjoint
+        // from every real catalog generation in the process.
+        let generation = Some(u64::MAX - 41);
+        let probe = a.fragments()[2].tuples()[0].clone();
+        let first = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, JoinAlgorithm::Hash)
+            .with_shared_generation(generation);
+        let second = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, JoinAlgorithm::Hash)
+            .with_shared_generation(generation);
+        let out1 = first.process(2, Activation::single(probe.clone()));
+        let out2 = second.process(2, Activation::single(probe));
+        assert_eq!(out1, out2);
+        assert_eq!(
+            Arc::as_ptr(first.indexes[2].get().unwrap()),
+            Arc::as_ptr(second.indexes[2].get().unwrap()),
+            "two operators over one (relation, generation) share one build"
+        );
+        // Without a generation, builds stay private.
+        let private = PipelinedJoinOperator::new(Arc::clone(&a), u1, u1, JoinAlgorithm::Hash);
+        let probe2 = a.fragments()[2].tuples()[1].clone();
+        let _ = private.process(2, Activation::single(probe2));
+        assert_ne!(
+            Arc::as_ptr(first.indexes[2].get().unwrap()),
+            Arc::as_ptr(private.indexes[2].get().unwrap())
+        );
     }
 
     #[test]
@@ -428,7 +519,7 @@ mod tests {
                 lead: true,
             },
         );
-        let ptr1 = op.indexes[1].get().unwrap() as *const HashIndex;
+        let ptr1 = Arc::as_ptr(op.indexes[1].get().unwrap());
         let _ = op.process(
             1,
             Activation::Morsel {
@@ -437,7 +528,7 @@ mod tests {
                 lead: false,
             },
         );
-        let ptr2 = op.indexes[1].get().unwrap() as *const HashIndex;
+        let ptr2 = Arc::as_ptr(op.indexes[1].get().unwrap());
         assert_eq!(ptr1, ptr2, "morsels of one fragment share one build");
     }
 

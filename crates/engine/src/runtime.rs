@@ -90,6 +90,7 @@
 //! so no waiter ever hangs.
 
 use crate::activation::{Activation, TupleBatch};
+use crate::cache::{self, CacheStats, PreparedPlan};
 use crate::error::EngineError;
 use crate::executor::ExecutionOutcome;
 use crate::faults::{self, FaultAction};
@@ -239,6 +240,9 @@ struct QueryState {
     // eventually-visible increment works; its reader uses SeqCst merely to
     // pair with the rest of the watchdog scan.
     progress: AtomicU64,
+    /// Process-wide cache counters as of submission; finalization reports
+    /// the delta as this query's cache activity.
+    cache_baseline: CacheStats,
     metrics: MetricsSlots,
     cell: CompletionCell,
 }
@@ -562,21 +566,54 @@ impl Runtime {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(EngineError::RuntimeShutdown);
         }
-        match faults::hit(faults::points::RUNTIME_SUBMIT) {
-            Some(FaultAction::Error) | Some(FaultAction::Drop) => {
-                return Err(EngineError::FaultInjected {
-                    point: faults::points::RUNTIME_SUBMIT.to_string(),
-                })
-            }
-            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
-            Some(FaultAction::Panic) => {
-                // allow-panic: FaultAction::Panic is the injected-crash
-                // contract of the fault registry.
-                panic!("injected fault at {}", faults::points::RUNTIME_SUBMIT)
-            }
-            None => {}
+        honor_submit_fault()?;
+        let cache_baseline = cache::cache_stats();
+        // Repeat submissions of the same plan shape reuse the cached
+        // expansion instead of re-walking the plan per fragment.
+        let extended = cache::cached_extended(catalog, plan, cost_params)?;
+        self.submit_inner(catalog, plan, &extended, schedule, cache_baseline)
+    }
+
+    /// Submits a plan prepared by [`crate::cache::prepare`]: no expansion,
+    /// no scheduling — straight to binding. Returns a plan error if the
+    /// catalog mutated since preparation (callers re-prepare; the cache
+    /// already evicted the stale entry on that lookup).
+    pub fn submit_prepared(
+        &self,
+        catalog: &Catalog,
+        prepared: &PreparedPlan,
+    ) -> Result<QueryHandle> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(EngineError::RuntimeShutdown);
         }
-        let extended = ExtendedPlan::from_plan(plan, catalog, cost_params)?;
+        honor_submit_fault()?;
+        let cache_baseline = cache::cache_stats();
+        if !prepared.is_current(catalog) {
+            return Err(EngineError::Plan(
+                "prepared plan is stale: a referenced relation changed generation since \
+                 preparation (re-prepare against the current catalog)"
+                    .to_string(),
+            ));
+        }
+        self.submit_inner(
+            catalog,
+            prepared.plan(),
+            prepared.extended(),
+            prepared.schedule(),
+            cache_baseline,
+        )
+    }
+
+    /// The shared back half of every submission path: validation, operator
+    /// binding, queue-set construction and registration with the pool.
+    fn submit_inner(
+        &self,
+        catalog: &Catalog,
+        plan: &Plan,
+        extended: &ExtendedPlan,
+        schedule: &ExecutionSchedule,
+        cache_baseline: CacheStats,
+    ) -> Result<QueryHandle> {
         schedule.validate(plan)?;
         if !plan
             .nodes()
@@ -743,6 +780,7 @@ impl Runtime {
             cancelled: AtomicBool::new(false),
             ops_remaining,
             progress: AtomicU64::new(0),
+            cache_baseline,
             metrics,
             cell: CompletionCell {
                 outcome: Mutex::new(None),
@@ -978,6 +1016,26 @@ fn abort_query(inner: &RuntimeInner, query: &QueryState, error: EngineError) {
     query.complete(Err(error));
 }
 
+/// Honors an installed fault rule at `engine.runtime.submit`, shared by
+/// every submission path.
+fn honor_submit_fault() -> Result<()> {
+    match faults::hit(faults::points::RUNTIME_SUBMIT) {
+        Some(FaultAction::Error) | Some(FaultAction::Drop) => Err(EngineError::FaultInjected {
+            point: faults::points::RUNTIME_SUBMIT.to_string(),
+        }),
+        Some(FaultAction::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(FaultAction::Panic) => {
+            // allow-panic: FaultAction::Panic is the injected-crash
+            // contract of the fault registry.
+            panic!("injected fault at {}", faults::points::RUNTIME_SUBMIT)
+        }
+        None => Ok(()),
+    }
+}
+
 /// Binds a plan node to a physical operator over catalog fragments.
 /// `discard_results` selects counting stores (cardinalities without
 /// materialisation); `build_shards` is handed to the join operators'
@@ -1011,6 +1069,10 @@ pub(crate) fn bind_operator(
         } => {
             let inner = catalog.get(inner_relation)?;
             let inner_column = inner.schema().column_index(&condition.inner_column)?;
+            // The inner relation's generation keys the engine-wide shared
+            // build-index cache: every query binding this (relation,
+            // generation) pair shares one build per fragment.
+            let generation = catalog.generation(inner_relation);
             match outer {
                 OuterInput::Fragment { relation } => {
                     let outer_rel = catalog.get(relation)?;
@@ -1023,7 +1085,8 @@ pub(crate) fn bind_operator(
                             inner_column,
                             *algorithm,
                         )
-                        .with_build_shards(build_shards),
+                        .with_build_shards(build_shards)
+                        .with_shared_generation(generation),
                     ))
                 }
                 OuterInput::Pipeline => {
@@ -1034,7 +1097,8 @@ pub(crate) fn bind_operator(
                     let outer_column = incoming_schema.column_index(&condition.outer_column)?;
                     Ok(BoundOperator::PipelinedJoin(
                         PipelinedJoinOperator::new(inner, outer_column, inner_column, *algorithm)
-                            .with_build_shards(build_shards),
+                            .with_build_shards(build_shards)
+                            .with_shared_generation(generation),
                     ))
                 }
             }
@@ -1618,6 +1682,7 @@ fn finalize_query(inner: &Arc<RuntimeInner>, query: &Arc<QueryState>) {
         elapsed,
         total_threads: inner.pool_threads,
         operations,
+        caches: cache::cache_stats().since(&query.cache_baseline),
     };
 
     let mut results = BTreeMap::new();

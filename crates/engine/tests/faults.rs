@@ -178,6 +178,84 @@ fn watchdog_aborts_a_wedged_query() {
     runtime.shutdown();
 }
 
+/// An `error` at `engine.cache.lookup` means "pretend the caches are not
+/// there": every prepare and every build-side index request computes
+/// privately. That may only cost time — repeated identical submits still
+/// return the right answer, and neither cache records a single hit, miss
+/// or insert while the fault is live (the install guard serializes this
+/// binary's tests, so the process-global counters are exactly ours).
+#[test]
+fn cache_lookup_fault_bypasses_the_caches_without_falsifying_results() {
+    let _guard = FaultPlan::new(6)
+        .rule(
+            points::CACHE_LOOKUP,
+            FaultTrigger::EveryK(1),
+            FaultAction::Error,
+        )
+        .install();
+    let cat = catalog(2_000, 200, 8);
+    let runtime = Runtime::new(2).unwrap();
+    let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+    let options = SchedulerOptions::default().with_total_threads(2);
+    let before = dbs3_engine::cache_stats();
+    for _ in 0..3 {
+        let prepared =
+            dbs3_engine::prepare(&cat, &plan, &options, &CostParameters::default()).unwrap();
+        let outcome = runtime
+            .submit_prepared(&cat, &prepared)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.cardinalities["Result"], 200);
+    }
+    let delta = dbs3_engine::cache_stats().since(&before);
+    assert_eq!(
+        delta.plan.hits + delta.plan.misses,
+        0,
+        "a bypassed plan cache must not be touched: {delta:?}"
+    );
+    assert_eq!(
+        delta.index.hits + delta.index.misses,
+        0,
+        "a bypassed index cache must not be touched: {delta:?}"
+    );
+    runtime.shutdown();
+}
+
+/// A non-delay fault at `engine.cache.build` escalates to a panic inside
+/// the shared build, which the worker contains as a typed
+/// `WorkerPanicked`; the abandoned cache entry is cleaned up, so the next
+/// submit rebuilds and succeeds.
+#[test]
+fn cache_build_fault_is_contained_and_the_entry_abandoned() {
+    let _guard = FaultPlan::new(7)
+        .rule(
+            points::CACHE_BUILD,
+            FaultTrigger::Nth(1),
+            FaultAction::Error,
+        )
+        .install();
+    let cat = catalog(2_000, 200, 8);
+    let runtime = Runtime::new(1).unwrap();
+    let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+    let options = SchedulerOptions::default().with_total_threads(1);
+    let prepared = dbs3_engine::prepare(&cat, &plan, &options, &CostParameters::default()).unwrap();
+    match runtime.submit_prepared(&cat, &prepared).unwrap().wait() {
+        Err(EngineError::WorkerPanicked { .. }) => {}
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    assert_eq!(runtime.live_queries(), 0);
+    // Nth(1) is spent and the failed build left no poisoned entry behind:
+    // the same prepared plan now builds its index and answers correctly.
+    let outcome = runtime
+        .submit_prepared(&cat, &prepared)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(outcome.cardinalities["Result"], 200);
+    runtime.shutdown();
+}
+
 /// The whole point of seeding: the same plan and seed produce the same
 /// per-hit decision sequence at a probabilistic fault point, end to end
 /// through the public `hit` API.

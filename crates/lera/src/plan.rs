@@ -66,6 +66,16 @@ impl Plan {
         &self.name
     }
 
+    /// Structural fingerprint of the plan: a stable content hash over every
+    /// semantics-bearing field (operators, relations, predicates, join
+    /// conditions, pipeline wiring) in node-id order. Two plans with the
+    /// same structure hash equal regardless of how they were built; display
+    /// names do not participate. This is the keying half of the
+    /// prepared-query cache.
+    pub fn content_hash(&self) -> u64 {
+        crate::fingerprint::hash_plan(self)
+    }
+
     /// All nodes in id order.
     pub fn nodes(&self) -> &[OperatorNode] {
         &self.nodes

@@ -254,6 +254,16 @@ fn main() -> ExitCode {
                  deadline-cancelled {}",
                 stats.served, stats.shed, stats.replayed, stats.deadlines
             );
+            eprintln!(
+                "dbs3-serve: caches; plans {} hits / {} misses / {} evictions, \
+                 indexes {} hits / {} misses / {} evictions",
+                stats.caches.plan.hits,
+                stats.caches.plan.misses,
+                stats.caches.plan.evictions,
+                stats.caches.index.hits,
+                stats.caches.index.misses,
+                stats.caches.index.evictions
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -39,8 +39,8 @@
 use crate::error::{ServeError, ServeResult};
 use crate::wire::{Frame, QueryRequest, WireMetrics};
 use dbs3_engine::faults::{self, FaultAction};
-use dbs3_engine::{EngineError, Runtime, Scheduler};
-use dbs3_lera::{CostParameters, ExtendedPlan};
+use dbs3_engine::{CacheStats, EngineError, Runtime};
+use dbs3_lera::CostParameters;
 use dbs3_storage::Catalog;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -123,6 +123,10 @@ pub struct ServerStats {
     pub replayed: u64,
     /// Queries cancelled because their request deadline elapsed.
     pub deadlines: u64,
+    /// Prepared-plan and shared-index cache activity over this server's
+    /// lifetime (delta of the process-wide counters between bind and drain):
+    /// how much query setup was shared across connections.
+    pub caches: CacheStats,
 }
 
 /// How many completed responses the ledger remembers for idempotent
@@ -308,6 +312,9 @@ pub struct Server {
     runtime: Arc<Runtime>,
     config: ServerConfig,
     state: Arc<ServerState>,
+    /// Process-wide cache counters at bind time, so the drain stats report
+    /// this server's own cache activity as a delta.
+    cache_baseline: CacheStats,
 }
 
 impl Server {
@@ -342,6 +349,7 @@ impl Server {
                 deadlines: AtomicU64::new(0),
                 ledger: ResponseLedger::new(),
             }),
+            cache_baseline: dbs3_engine::cache_stats(),
         })
     }
 
@@ -426,6 +434,7 @@ impl Server {
             shed: self.state.shed.load(Ordering::SeqCst),
             replayed: self.state.replayed.load(Ordering::SeqCst),
             deadlines: self.state.deadlines.load(Ordering::SeqCst),
+            caches: dbs3_engine::cache_stats().since(&self.cache_baseline),
         })
     }
 }
@@ -659,12 +668,14 @@ fn execute(
     // keep cardinalities exact either way.
     options.discard_results = true;
     let cost = CostParameters::default();
-    let extended = ExtendedPlan::from_plan(&plan, catalog, &cost)
-        .map_err(|e| ServeError::Remote(e.to_string()))?;
-    let schedule = Scheduler::build(&plan, &extended, &options)
+    // Prepared-query cache: expansion and scheduling are shared across
+    // connections — every session thread serving this plan shape after the
+    // first skips straight to binding, and concurrent queries over one
+    // relation share a single build-side hash index.
+    let prepared = dbs3_engine::prepare(catalog, &plan, &options, &cost)
         .map_err(|e| ServeError::Remote(e.to_string()))?;
     let mut handle = runtime
-        .submit_with(catalog, &plan, &schedule, &cost)
+        .submit_prepared(catalog, &prepared)
         .map_err(|e| match e {
             EngineError::RuntimeShutdown => ServeError::RemoteShutdown,
             other => ServeError::Remote(other.to_string()),

@@ -90,6 +90,16 @@ fn chaos_storm_never_hangs_and_never_lies() {
             FaultTrigger::Probability(0.001),
             FaultAction::Error,
         )
+        // A failing query-setup cache must degrade to uncached setup, never
+        // to a wrong answer: every fifth-ish lookup bypasses the prepared
+        // plan and shared-index caches entirely, so cached and uncached
+        // executions of the same plan interleave throughout the storm and
+        // the cardinality assertion below judges them all.
+        .rule(
+            points::CACHE_LOOKUP,
+            FaultTrigger::Probability(0.2),
+            FaultAction::Error,
+        )
         .install();
 
     let b_card = 400;

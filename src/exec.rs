@@ -78,10 +78,8 @@
 //! cost estimates, strategy picks) but does not resize the pool.
 
 use crate::error::Result;
-use dbs3_engine::{
-    ExecutionMetrics, ExecutionOutcome, Executor, Runtime, Scheduler, SchedulerOptions,
-};
-use dbs3_lera::{CostParameters, ExtendedPlan, NodeId, OperatorKind, Plan};
+use dbs3_engine::{ExecutionMetrics, ExecutionOutcome, Executor, Runtime, SchedulerOptions};
+use dbs3_lera::{CostParameters, NodeId, OperatorKind, Plan};
 use dbs3_sim::{SimConfig, SimReport, Simulator};
 use dbs3_storage::{Catalog, Tuple};
 use std::collections::BTreeMap;
@@ -166,11 +164,12 @@ impl ExecutionBackend for ThreadedBackend {
         plan: &Plan,
         options: &SchedulerOptions,
     ) -> Result<QueryOutcome> {
-        let extended = ExtendedPlan::from_plan(plan, catalog, &self.cost_params)?;
-        let schedule = Scheduler::build(plan, &extended, options)?;
+        // Expansion and scheduling go through the engine's prepared-query
+        // cache: repeat runs of the same plan shape skip both.
+        let prepared = dbs3_engine::prepare(catalog, plan, options, &self.cost_params)?;
         let outcome = Executor::new(catalog)
             .with_cost_parameters(self.cost_params)
-            .execute(plan, &schedule)?;
+            .execute_prepared(&prepared)?;
         Ok(QueryOutcome::from_execution(outcome))
     }
 }
@@ -210,9 +209,10 @@ impl ExecutionBackend for PooledBackend {
         plan: &Plan,
         options: &SchedulerOptions,
     ) -> Result<QueryOutcome> {
-        let extended = ExtendedPlan::from_plan(plan, catalog, &CostParameters::default())?;
-        let schedule = Scheduler::build(plan, &extended, options)?;
-        let outcome = self.runtime.submit(catalog, plan, &schedule)?.wait()?;
+        // Same cached prepare as the threaded backend; the submission then
+        // goes straight to binding on the shared pool.
+        let prepared = dbs3_engine::prepare(catalog, plan, options, &CostParameters::default())?;
+        let outcome = self.runtime.submit_prepared(catalog, &prepared)?.wait()?;
         Ok(QueryOutcome::from_execution(outcome))
     }
 }
@@ -398,6 +398,15 @@ impl BackendMetrics {
             BackendMetrics::Threaded(m) => m.total_threads,
             BackendMetrics::Simulated(r) => r.threads,
         }
+    }
+
+    /// Query-setup cache activity attributed to this execution (prepared
+    /// plans and shared build-side hash indexes); `None` for the simulator,
+    /// which has no cache to consult. See
+    /// [`ExecutionMetrics::caches`](dbs3_engine::ExecutionMetrics) for the
+    /// attribution caveats under concurrency.
+    pub fn cache_stats(&self) -> Option<dbs3_engine::CacheStats> {
+        self.as_threaded().map(|m| m.caches)
     }
 
     /// The threaded engine's metrics, if this execution used real threads.

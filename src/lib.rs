@@ -63,13 +63,13 @@ mod error;
 pub mod exec;
 mod session;
 
-pub use dbs3_engine::{QueryId, Runtime};
+pub use dbs3_engine::{cache_stats, clear_caches, CacheCounters, CacheStats, QueryId, Runtime};
 pub use error::{Error, Result};
 pub use exec::{
     Backend, BackendMetrics, ExecutionBackend, PooledBackend, QueryHandle, QueryOutcome,
     SimBackend, ThreadedBackend,
 };
-pub use session::{Query, Session};
+pub use session::{PreparedQuery, Query, Session};
 
 /// The most commonly used items of every crate, for `use dbs3::prelude::*`.
 pub mod prelude {
@@ -77,10 +77,10 @@ pub mod prelude {
         Backend, BackendMetrics, ExecutionBackend, PooledBackend, QueryHandle, QueryOutcome,
         SimBackend, ThreadedBackend,
     };
-    pub use crate::session::{Query, Session};
+    pub use crate::session::{PreparedQuery, Query, Session};
     pub use crate::{Error, Result};
     pub use dbs3_engine::{
-        ConsumptionStrategy, ExecutionSchedule, Executor, QueryId, Runtime, Scheduler,
+        CacheStats, ConsumptionStrategy, ExecutionSchedule, Executor, QueryId, Runtime, Scheduler,
         SchedulerOptions,
     };
     pub use dbs3_lera::{

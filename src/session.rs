@@ -17,12 +17,15 @@
 
 use crate::error::Result;
 use crate::exec::{Backend, ExecutionBackend, QueryHandle, QueryOutcome};
-use dbs3_engine::{ConsumptionStrategy, ExecutionSchedule, Runtime, Scheduler, SchedulerOptions};
+use dbs3_engine::{
+    ConsumptionStrategy, ExecutionSchedule, Executor, PreparedPlan, Runtime, Scheduler,
+    SchedulerOptions,
+};
 use dbs3_lera::{CostParameters, ExtendedPlan, Plan};
 use dbs3_storage::{
     Catalog, PartitionSpec, PartitionedRelation, WisconsinConfig, WisconsinGenerator,
 };
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An execution session: a catalog of partitioned relations plus the entry
 /// point for running queries against it on any [`ExecutionBackend`].
@@ -102,6 +105,16 @@ impl Session {
             options: SchedulerOptions::default(),
             backend: Backend::Threaded,
         }
+    }
+
+    /// Prepares `plan` under default options: expansion and scheduling run
+    /// once (through the process-wide prepared-query cache) and the result
+    /// can be [`run`](PreparedQuery::run) or
+    /// [`submit`](PreparedQuery::submit)ted any number of times. Equivalent
+    /// to `session.query(plan).prepare()`; use the builder form to bake in
+    /// knobs.
+    pub fn prepare(&self, plan: &Plan) -> Result<PreparedQuery> {
+        self.query(plan).prepare()
     }
 }
 
@@ -234,8 +247,101 @@ impl<'a> Query<'a> {
     /// it; the pool's width (fixed at [`Runtime::new`]) bounds the actual
     /// parallelism.
     pub fn submit(&self, runtime: &Runtime) -> Result<QueryHandle> {
-        let schedule = self.schedule()?;
-        let handle = runtime.submit(self.session.catalog(), self.plan, &schedule)?;
+        let prepared = dbs3_engine::prepare(
+            self.session.catalog(),
+            self.plan,
+            &self.options,
+            &CostParameters::default(),
+        )?;
+        let handle = runtime.submit_prepared(self.session.catalog(), &prepared)?;
+        Ok(QueryHandle::new(handle))
+    }
+
+    /// Resolves the query once — plan expansion, scheduling and generation
+    /// stamping — into a reusable [`PreparedQuery`], consuming the builder.
+    /// The work goes through the process-wide prepared-query cache, so
+    /// preparing the same plan shape twice is itself ~free.
+    pub fn prepare(self) -> Result<PreparedQuery> {
+        let prepared = dbs3_engine::prepare(
+            self.session.catalog(),
+            self.plan,
+            &self.options,
+            &CostParameters::default(),
+        )?;
+        Ok(PreparedQuery {
+            plan: self.plan.clone(),
+            options: self.options,
+            prepared: Mutex::new(prepared),
+        })
+    }
+}
+
+/// A query prepared once and executed many times.
+///
+/// Holds the expanded plan, execution schedule and the catalog generations
+/// they were derived from. [`run`](Self::run) and [`submit`](Self::submit)
+/// skip straight to operator binding — no re-expansion, no re-scheduling.
+/// If the session's catalog mutated since preparation (a referenced relation
+/// was replaced or removed), the prepared query transparently re-prepares
+/// against the current catalog instead of failing, so callers can hold one
+/// `PreparedQuery` across catalog churn; [`is_current`](Self::is_current)
+/// exposes the staleness check for callers that want to observe it.
+///
+/// Not tied to one session borrow: the session (or any session sharing the
+/// same relations) is passed at execution time, so the catalog can be
+/// mutated between runs.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    plan: Plan,
+    options: SchedulerOptions,
+    prepared: Mutex<Arc<PreparedPlan>>,
+}
+
+impl PreparedQuery {
+    /// The content fingerprint of the underlying plan (the structural half
+    /// of the prepared-query cache key).
+    pub fn fingerprint(&self) -> u64 {
+        let slot = self.prepared.lock().unwrap_or_else(|p| p.into_inner());
+        slot.fingerprint()
+    }
+
+    /// Whether the preparation still matches `session`'s catalog: every
+    /// relation the plan references is at the generation it was prepared
+    /// against.
+    pub fn is_current(&self, session: &Session) -> bool {
+        let slot = self.prepared.lock().unwrap_or_else(|p| p.into_inner());
+        slot.is_current(session.catalog())
+    }
+
+    /// The prepared plan for `catalog`, transparently re-preparing (and
+    /// caching the replacement) when a referenced relation changed
+    /// generation since preparation.
+    fn current(&self, catalog: &Catalog) -> Result<Arc<PreparedPlan>> {
+        let mut slot = self.prepared.lock().unwrap_or_else(|p| p.into_inner());
+        if !slot.is_current(catalog) {
+            *slot = dbs3_engine::prepare(
+                catalog,
+                &self.plan,
+                &self.options,
+                &CostParameters::default(),
+            )?;
+        }
+        Ok(Arc::clone(&slot))
+    }
+
+    /// Runs the prepared query on the threaded engine against `session`'s
+    /// catalog, blocking until the outcome is available.
+    pub fn run(&self, session: &Session) -> Result<QueryOutcome> {
+        let prepared = self.current(session.catalog())?;
+        let outcome = Executor::new(session.catalog()).execute_prepared(&prepared)?;
+        Ok(QueryOutcome::from_execution(outcome))
+    }
+
+    /// Submits the prepared query to a persistent shared [`Runtime`] pool,
+    /// returning immediately with a [`QueryHandle`].
+    pub fn submit(&self, session: &Session, runtime: &Runtime) -> Result<QueryHandle> {
+        let prepared = self.current(session.catalog())?;
+        let handle = runtime.submit_prepared(session.catalog(), &prepared)?;
         Ok(QueryHandle::new(handle))
     }
 }
@@ -370,6 +476,65 @@ mod tests {
             .run_on(&SimBackend::ksr1())
             .unwrap();
         assert_eq!(outcome.result_cardinality("Result"), Some(80));
+    }
+
+    #[test]
+    fn prepared_query_reruns_and_reprepares_after_catalog_mutation() {
+        let mut session = session();
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let prepared = session.query(&plan).threads(4).prepare().unwrap();
+        assert!(prepared.is_current(&session));
+        let fingerprint = prepared.fingerprint();
+        assert_eq!(fingerprint, plan.content_hash());
+        assert_eq!(
+            prepared.run(&session).unwrap().result_cardinality("Result"),
+            Some(80)
+        );
+
+        // Replace A with a repartitioned copy: new generation, same rows.
+        let a = WisconsinGenerator::new()
+            .generate(&WisconsinConfig::narrow("A", 800))
+            .unwrap();
+        session.catalog_mut().replace(
+            PartitionedRelation::from_relation(&a, PartitionSpec::on("unique1", 8, 2)).unwrap(),
+        );
+        assert!(!prepared.is_current(&session));
+        let warm = prepared.run(&session).unwrap();
+        assert_eq!(warm.result_cardinality("Result"), Some(80));
+        assert!(
+            prepared.is_current(&session),
+            "run() must transparently re-prepare against the mutated catalog"
+        );
+        assert_eq!(prepared.fingerprint(), fingerprint);
+    }
+
+    #[test]
+    fn prepared_query_submits_repeatedly_to_a_shared_runtime() {
+        let session = session();
+        let plan = plans::assoc_join("Bprime", "A", "unique1", JoinAlgorithm::Hash);
+        let runtime = Runtime::new(4).unwrap();
+        let prepared = session.query(&plan).threads(4).prepare().unwrap();
+        let first = prepared.submit(&session, &runtime).unwrap();
+        let second = prepared.submit(&session, &runtime).unwrap();
+        assert_eq!(first.wait().unwrap().result_cardinality("Result"), Some(80));
+        assert_eq!(
+            second.wait().unwrap().result_cardinality("Result"),
+            Some(80)
+        );
+    }
+
+    #[test]
+    fn session_prepare_uses_default_options() {
+        let session = session();
+        let plan = plans::ideal_join("A", "Bprime", "unique1", JoinAlgorithm::Hash);
+        let prepared = session.prepare(&plan).unwrap();
+        let outcome = prepared.run(&session).unwrap();
+        assert_eq!(outcome.result_cardinality("Result"), Some(80));
+        let stats = outcome.metrics.cache_stats().expect("threaded metrics");
+        assert!(
+            stats.index.hits + stats.index.misses > 0,
+            "join builds must consult the shared index cache"
+        );
     }
 
     #[test]

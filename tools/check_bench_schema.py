@@ -6,7 +6,9 @@ Usage:
 
 Modes:
     full        (default) a complete `BENCH_engine.json`: engine tiers,
-                multi-query concurrency levels, and the serve tier at
+                multi-query concurrency levels, one repeated-submit row per
+                tier (with explicit per-cache warm hit/miss counts and a
+                warm hit rate of at least 0.9), and the serve tier at
                 1/8/64 clients.
     serve-only  the standalone document `serve_bench --out` writes: just a
                 `serve` array with at least one row.
@@ -22,7 +24,23 @@ measured zero. The outcome accounting must be total:
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+REPEAT_KEYS = (
+    "workload",
+    "scale",
+    "pool_threads",
+    "submits",
+    "cold_s",
+    "warm_avg_s",
+    "warm_best_s",
+    "warm_speedup",
+    "warm_plan_hits",
+    "warm_plan_misses",
+    "warm_index_hits",
+    "warm_index_misses",
+    "warm_hit_rate",
+)
 
 SERVE_KEYS = (
     "scale",
@@ -98,6 +116,38 @@ def check_serve_rows(rows, expect_client_levels=None):
             fail(f"serve client levels {levels} != expected {expect_client_levels}")
 
 
+def check_repeat_rows(rows, expect_tiers):
+    if not isinstance(rows, list) or len(rows) != expect_tiers:
+        fail(f"expected {expect_tiers} repeat tiers, got {len(rows or [])}")
+    for row in rows:
+        missing = [k for k in REPEAT_KEYS if k not in row]
+        if missing:
+            fail(f"repeat row is missing keys {missing}: {row}")
+        if row["scale"] not in SCALES:
+            fail(f"repeat row has unknown scale {row['scale']!r}")
+        if not isinstance(row["submits"], int) or row["submits"] < 2:
+            fail(f"repeat row needs one cold and one warm submit: {row}")
+        # Cache counts are explicit integers: a zero miss count is a
+        # measurement, not an omission.
+        for key in (
+            "warm_plan_hits",
+            "warm_plan_misses",
+            "warm_index_hits",
+            "warm_index_misses",
+        ):
+            if not isinstance(row[key], int) or row[key] < 0:
+                fail(f"repeat row {key} must be an explicit count: {row}")
+        if row["cold_s"] <= 0.0 or row["warm_avg_s"] <= 0.0:
+            fail(f"repeat row latencies must be positive: {row}")
+        if not 0.0 <= row["warm_hit_rate"] <= 1.0:
+            fail(f"repeat row warm_hit_rate out of range: {row}")
+        # The warm window repeats a plan the cold submit just cached
+        # against an unchanged catalog; the committed record must show the
+        # caches actually serving it.
+        if row["warm_hit_rate"] < 0.9:
+            fail(f"repeat row warm_hit_rate below 0.9: {row}")
+
+
 def check_full(doc):
     if doc.get("schema_version") != SCHEMA_VERSION:
         fail(f"schema_version {doc.get('schema_version')!r} != {SCHEMA_VERSION}")
@@ -126,6 +176,9 @@ def check_full(doc):
         by_scale.setdefault(c["scale"], []).append(c["queries"])
     if len(by_scale) != 2 or any(v != [1, 4, 16] for v in by_scale.values()):
         fail(f"concurrent levels wrong: {by_scale}")
+    if "repeat" not in doc:
+        fail("document has no repeat tier")
+    check_repeat_rows(doc["repeat"], expect_tiers=2)
     if "serve" not in doc:
         fail("document has no serve tier")
     check_serve_rows(doc["serve"], expect_client_levels=[1, 8, 64])
